@@ -1,0 +1,65 @@
+"""Shared helpers for the figure/table benchmarks (see conftest.py).
+
+Every artifact of the paper's evaluation (Tables 1–3, Figures 2–11) has one
+bench module here.  Conventions:
+
+* Each bench runs under ``pytest benchmarks/ --benchmark-only``; the timed
+  body is the sweep (or crypto loop) that produces the artifact's data.
+* Sweeps are cached per (policy, sync, small) so figures sharing a
+  configuration (e.g. Figures 2/4 both use Policy I + proactive) pay once.
+* Default scale is the reduced preset (150 peers, 5 simulated days — every
+  ratio the analysis depends on preserved; see ``repro.sim.config``).  Set
+  ``WHOPAY_FULL=1`` for the paper-scale 1000-peer, 10-day runs.
+* Each bench prints the series it reproduces (the same rows the paper's
+  figure plots) and writes it to ``benchmarks/out/<artifact>.txt``.
+* Assertions check the *shape* of the series — monotonicity, peaks,
+  orderings — per the reproduction criteria in DESIGN.md §2.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from functools import lru_cache
+from pathlib import Path
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.sim.policies import policy_by_name
+from repro.sim.runner import run_availability_sweep, run_scaling_sweep
+
+FULL_SCALE = os.environ.get("WHOPAY_FULL", "") == "1"
+OUT_DIR = Path(__file__).parent / "out"
+
+
+@lru_cache(maxsize=None)
+def availability_sweep(policy_name: str, sync_mode: str) -> tuple:
+    """Cached Setup-A sweep for one configuration."""
+    rows = run_availability_sweep(
+        policy_by_name(policy_name), sync_mode, small=not FULL_SCALE
+    )
+    return tuple(tuple(sorted(row.items())) for row in rows)
+
+
+@lru_cache(maxsize=None)
+def scaling_sweep(policy_name: str, sync_mode: str) -> tuple:
+    """Cached Setup-B sweep for one configuration."""
+    rows = run_scaling_sweep(policy_by_name(policy_name), sync_mode, small=not FULL_SCALE)
+    return tuple(tuple(sorted(row.items())) for row in rows)
+
+
+def rows_of(frozen: tuple) -> list[dict]:
+    """Thaw a cached sweep back into row dicts."""
+    return [dict(items) for items in frozen]
+
+
+def emit(artifact: str, text: str) -> None:
+    """Print a reproduced series and persist it under benchmarks/out/."""
+    print()
+    print(text)
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / f"{artifact}.txt").write_text(text + "\n")
+
+

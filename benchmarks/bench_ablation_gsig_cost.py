@@ -1,0 +1,97 @@
+"""Ablation — the group-signature cost assumption (Table 3's "wild guess").
+
+The paper admits it guessed group-signature cost at 2x DSA ("we are forced
+to make a wild guess that efficient group signature schemes exist…").  Our
+actual scheme's cost is linear in the roster size (see the Table 3 bench).
+This ablation re-prices the same simulated operation mix under three cost
+models and shows what the guess is load-bearing for:
+
+* ``paper``      — Table 3 as printed (gsig/gver = 4 keygen units);
+* ``measured-8`` — our scheme at a small roster (ratio ≈ 50);
+* ``measured-N`` — our scheme at roster size = system size (ratio ∝ N).
+
+Finding (asserted below): the guess is *not* load-bearing, but for a
+subtler reason than "group signatures are rare".  The broker verifies group
+signatures too (every downtime operation and deposit carries one), so
+raising the gsig cost inflates both sides.  Which side wins depends on the
+operation mix: at low availability the broker's gver-heavy downtime traffic
+dominates and its share creeps *up* slightly; at high availability the
+peers' transfer traffic dominates and the broker share falls.  Across the
+whole sweep and all three models the headline is untouched: the broker
+share stays far below the centralized alternative.
+"""
+
+from repro.analysis.tables import format_series_table
+from repro.sim.config import setup_a_configs
+from repro.sim.costs import OP_COSTS
+from repro.sim.policies import POLICY_I
+from repro.sim.simulator import Simulation
+
+from _common import FULL_SCALE, emit
+
+#: Measured gsig/gver relative cost at roster size 8 (Table 3 bench): ~50.
+MEASURED_RATIO_SMALL = 50.0
+#: Our scheme scales linearly: ratio ≈ 6.5 per member (50/8 extrapolated).
+PER_MEMBER_RATIO = MEASURED_RATIO_SMALL / 8.0
+
+
+def _reprice(metrics, gsig_cost: float) -> tuple[float, float]:
+    """(broker_cpu, peer_cpu_total) with group sig/verify at ``gsig_cost``."""
+    weights = {"keygen": 1, "sig": 2, "ver": 2, "gsig": gsig_cost, "gver": gsig_cost}
+    broker = peer = 0.0
+    for op, count in metrics.ops.items():
+        cost = OP_COSTS[op]
+        peer += count * sum(weights[m] * n for m, n in cost.peer_micro.items())
+        broker += count * sum(weights[m] * n for m, n in cost.broker_micro.items())
+    peer += sum(weights[m] * n for m, n in metrics.extra_peer_micro.items())
+    return broker, peer
+
+
+def run_models():
+    rows = []
+    for config in setup_a_configs(policy=POLICY_I, sync_mode="lazy", small=not FULL_SCALE):
+        metrics = Simulation(config).run().metrics
+        models = {
+            "paper": 4.0,
+            "measured-8": MEASURED_RATIO_SMALL,
+            "measured-N": PER_MEMBER_RATIO * config.n_peers,
+        }
+        row = {"mu": config.mean_online / 3600.0}
+        for name, gsig_cost in models.items():
+            broker, peer = _reprice(metrics, gsig_cost)
+            per_peer = peer / config.n_peers
+            row[f"ratio({name})"] = broker / per_peer if per_peer else 0.0
+            row[f"share({name})"] = broker / (broker + peer) if broker + peer else 0.0
+        rows.append(row)
+    return rows
+
+
+def test_ablation_gsig_cost_models(benchmark, scale_note):
+    rows = benchmark.pedantic(run_models, rounds=1, iterations=1)
+    mu = [r["mu"] for r in rows]
+    series = {
+        key: [round(r[key], 4) for r in rows]
+        for key in ("share(paper)", "share(measured-8)", "share(measured-N)")
+    }
+    emit(
+        "ablation_gsig_cost",
+        format_series_table(
+            "mu_hours", mu, series,
+            title=f"Ablation: broker CPU share under three group-signature cost models — {scale_note}",
+        ),
+    )
+
+    for i in range(len(mu)):
+        # The headline survives every cost model at every point: the broker
+        # carries a small minority of the load.
+        for key in series:
+            assert series[key][i] < 0.35, (mu[i], key)
+        # The models stay within a small factor of each other (the spread
+        # widens at extreme availability where absolute shares are tiny).
+        values = [series[key][i] for key in series]
+        assert max(values) <= 3.0 * min(values), mu[i]
+    # The crossover: costlier gsigs RAISE the broker share at low
+    # availability (broker-side gver in downtime ops) and LOWER it at high
+    # availability (peer-side transfer gsigs dominate).
+    assert series["share(measured-N)"][0] > series["share(paper)"][0]
+    assert series["share(measured-N)"][-1] < series["share(paper)"][-1]

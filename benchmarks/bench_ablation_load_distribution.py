@@ -1,0 +1,81 @@
+"""Ablation — load *distribution* across peers (Section 4.3's claim).
+
+    "In general, the more coins a peer issues, the more transfers and
+    renewals he needs to handle.  This is desirable, as we expect more
+    active peers to do more work."
+
+Figures 4/5 plot only the *average* peer load; this bench looks at the
+distribution behind it.  Under the uniform population, served work is
+spread evenly; under the power-law population, the activity head issues
+most coins and therefore serves most transfers/renewals — work follows
+activity, exactly the "desirable" alignment the paper asserts.
+"""
+
+from dataclasses import replace
+
+from repro.analysis.stats import gini as _gini
+from repro.analysis.stats import pearson as _pearson
+from repro.analysis.stats import top_share as _top_share
+from repro.analysis.tables import format_table
+from repro.core.clock import DAY, HOUR
+from repro.sim.config import SimConfig
+from repro.sim.policies import POLICY_I
+from repro.sim.simulator import Simulation
+
+from _common import FULL_SCALE, emit
+
+
+def run_models():
+    base = SimConfig(
+        n_peers=150 if not FULL_SCALE else 1000,
+        duration=(5 if not FULL_SCALE else 10) * DAY,
+        renewal_period=(1.5 if not FULL_SCALE else 3) * DAY,
+        mean_online=2 * HOUR,
+        mean_offline=2 * HOUR,
+        policy=POLICY_I,
+        sync_mode="lazy",
+        track_per_peer=True,
+    )
+    out = {}
+    for heterogeneity in ("uniform", "powerlaw"):
+        sim = Simulation(replace(base, heterogeneity=heterogeneity))
+        metrics = sim.run().metrics
+        served = metrics.served_distribution()
+        payments = [metrics.per_peer_payments.get(i, 0) for i in range(base.n_peers)]
+        out[heterogeneity] = {
+            "gini_served": _gini(served),
+            "corr_activity_work": _pearson(
+                [float(p) for p in payments], [float(s) for s in served]
+            ),
+            "top10_share": _top_share(served, 0.1),
+        }
+    return out
+
+
+def test_ablation_load_distribution(benchmark, scale_note):
+    data = benchmark.pedantic(run_models, rounds=1, iterations=1)
+    rows = [
+        {
+            "population": name,
+            "gini_served": round(stats["gini_served"], 3),
+            "corr(activity, served)": round(stats["corr_activity_work"], 3),
+            "top-10% share": round(stats["top10_share"], 3),
+        }
+        for name, stats in data.items()
+    ]
+    emit(
+        "ablation_load_distribution",
+        format_table(
+            rows,
+            ["population", "gini_served", "corr(activity, served)", "top-10% share"],
+            title=f"Ablation: who does the owner-side work — {scale_note}",
+        ),
+    )
+
+    uniform, powerlaw = data["uniform"], data["powerlaw"]
+    # Power-law concentrates served work far more than uniform…
+    assert powerlaw["gini_served"] > uniform["gini_served"] + 0.15
+    assert powerlaw["top10_share"] > uniform["top10_share"] * 1.5
+    # …and the concentration lands on the *active* peers (the paper's
+    # "desirable" alignment): activity and served work correlate strongly.
+    assert powerlaw["corr_activity_work"] > 0.7

@@ -1,0 +1,47 @@
+"""Ablation — the middle-ground policies II.a and II.b.
+
+The paper ran policy II and reported only that its results "were less
+interesting"; this bench shows why: II.a/II.b land between I and III on
+broker load at every availability point, so they add no new information —
+but we verify the sandwich rather than assume it.
+"""
+
+from repro.analysis.tables import format_series_table
+from repro.sim.config import setup_a_configs
+from repro.sim.policies import POLICY_I, POLICY_II_A, POLICY_II_B, POLICY_III
+from repro.sim.simulator import Simulation
+
+from _common import FULL_SCALE, emit
+
+POLICIES = (POLICY_I, POLICY_II_A, POLICY_II_B, POLICY_III)
+
+
+def run_all_policies():
+    data = {}
+    for policy in POLICIES:
+        configs = setup_a_configs(policy=policy, sync_mode="proactive", small=not FULL_SCALE)
+        data[policy.name] = [
+            (config.mean_online / 3600.0, Simulation(config).run().metrics.broker_cpu_load())
+            for config in configs
+        ]
+    return data
+
+
+def test_ablation_policy2_sandwich(benchmark, scale_note):
+    data = benchmark.pedantic(run_all_policies, rounds=1, iterations=1)
+    mu = [point[0] for point in data["I"]]
+    series = {name: [point[1] for point in points] for name, points in data.items()}
+    emit(
+        "ablation_policy2",
+        format_series_table(
+            "mu_hours", mu, series,
+            title=f"Ablation: Broker CPU load across all four policies — {scale_note}",
+        ),
+    )
+
+    slack = 1.05  # simulation noise allowance
+    for i in range(len(mu)):
+        assert series["III"][i] <= series["II.a"][i] * slack, mu[i]
+        assert series["II.a"][i] <= series["I"][i] * slack, mu[i]
+        assert series["III"][i] <= series["II.b"][i] * slack, mu[i]
+        assert series["II.b"][i] <= series["I"][i] * slack, mu[i]

@@ -1,0 +1,97 @@
+"""Microbenchmarks for every cryptographic primitive in the substrate.
+
+Not a paper artifact — engineering instrumentation for the library itself.
+Runs at the 512-bit test size so the whole suite stays fast; Table 2's bench
+covers the paper-size 1024-bit DSA numbers.
+"""
+
+import pytest
+
+from repro.crypto.dsa import dsa_generate, dsa_sign, dsa_verify
+from repro.crypto.elgamal import elgamal_decrypt, elgamal_encrypt, elgamal_generate
+from repro.crypto.group_signature import GroupManager, group_sign, group_verify
+from repro.crypto.hashchain import HashChain, verify_chain_link
+from repro.crypto.params import PARAMS_TEST_512
+from repro.crypto.schnorr import schnorr_prove, schnorr_verify
+from repro.crypto.shamir import combine_shares, split_secret
+
+P = PARAMS_TEST_512
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    return dsa_generate(P)
+
+
+@pytest.fixture(scope="module")
+def group():
+    manager = GroupManager(P)
+    members = [manager.register(f"m{i}") for i in range(8)]
+    return manager, members, manager.public_key()
+
+
+def test_bench_dsa_keygen(benchmark):
+    benchmark(dsa_generate, P)
+
+
+def test_bench_dsa_sign(benchmark, keypair):
+    benchmark(dsa_sign, keypair, b"message")
+
+
+def test_bench_dsa_verify(benchmark, keypair):
+    signature = dsa_sign(keypair, b"message")
+    assert benchmark(dsa_verify, keypair.public, b"message", signature)
+
+
+def test_bench_schnorr_prove(benchmark, keypair):
+    benchmark(schnorr_prove, keypair, b"context")
+
+
+def test_bench_schnorr_verify(benchmark, keypair):
+    proof = schnorr_prove(keypair, b"context")
+    assert benchmark(schnorr_verify, keypair.public, proof, b"context")
+
+
+def test_bench_elgamal_roundtrip(benchmark):
+    key = elgamal_generate(P)
+    element = pow(P.g, 12345, P.p)
+
+    def roundtrip():
+        return elgamal_decrypt(key, elgamal_encrypt(key.public, element))
+
+    assert benchmark(roundtrip) == element
+
+
+def test_bench_group_sign(benchmark, group):
+    _manager, members, gpk = group
+    benchmark(group_sign, gpk, members[0], b"message")
+
+
+def test_bench_group_verify(benchmark, group):
+    _manager, members, gpk = group
+    signature = group_sign(gpk, members[0], b"message")
+    assert benchmark(group_verify, gpk, b"message", signature)
+
+
+def test_bench_group_open(benchmark, group):
+    manager, members, gpk = group
+    signature = group_sign(gpk, members[3], b"message")
+    assert benchmark(manager.open, signature) == "m3"
+
+
+def test_bench_shamir_split_combine(benchmark):
+    def roundtrip():
+        shares = split_secret(123456789, n=5, k=3, modulus=P.q)
+        return combine_shares(shares[:3], P.q)
+
+    assert benchmark(roundtrip) == 123456789
+
+
+def test_bench_hashchain_build(benchmark):
+    benchmark(HashChain, 100)
+
+
+def test_bench_hashchain_verify(benchmark):
+    chain = HashChain(100)
+    index, link = chain.pay(50)
+    assert benchmark(verify_chain_link, chain.anchor, index, link)

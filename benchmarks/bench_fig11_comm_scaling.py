@@ -1,0 +1,37 @@
+"""Figure 11 — broker communication load scaling with system size.
+
+Message-count counterpart of Figure 10: the broker's share of communication
+load stays roughly flat in N (linear growth), at a few percent of total.
+"""
+
+from repro.analysis.tables import format_series_table
+
+from _common import emit, rows_of, scaling_sweep
+
+CONFIGS = [("I", "proactive"), ("I", "lazy"), ("III", "proactive"), ("III", "lazy")]
+
+
+def run_all():
+    return {cfg: rows_of(scaling_sweep(*cfg)) for cfg in CONFIGS}
+
+
+def test_fig11_broker_comm_scaling(benchmark, scale_note):
+    data = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    sizes = [r["n_peers"] for r in data[CONFIGS[0]]]
+    series = {
+        f"{policy}+{sync[:4]}": [round(r["broker_comm_share"], 4) for r in rows]
+        for (policy, sync), rows in data.items()
+    }
+    emit(
+        "fig11_comm_scaling",
+        format_series_table(
+            "n_peers", sizes, series,
+            title=f"Figure 11: Broker Communication Load Share vs System Size — {scale_note}",
+        ),
+    )
+
+    for name, values in series.items():
+        assert max(values) <= min(values) * 1.5, (name, values)
+        assert all(0.005 <= v <= 0.12 for v in values), (name, values)
+    for i in range(len(sizes)):
+        assert series["I+lazy"][i] < series["I+proa"][i]

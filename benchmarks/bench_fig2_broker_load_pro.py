@@ -1,0 +1,38 @@
+"""Figure 2 — broker load, Policy I + proactive sync.
+
+Paper shapes (Section 6.2): purchases increase with availability; downtime
+transfers and downtime renewals first increase then decrease (two competing
+forces); synchronizations decrease monotonically (one per join event, and
+joins get rarer as sessions lengthen).  Deposits do not appear (policy I
+never deposits).
+"""
+
+from repro.analysis.series import is_decreasing, is_increasing, rises_then_falls
+from repro.analysis.tables import format_series_table
+
+from _common import availability_sweep, emit, rows_of
+
+
+def test_fig2_broker_load_policy1_proactive(benchmark, scale_note):
+    rows = rows_of(benchmark.pedantic(availability_sweep, args=("I", "proactive"), rounds=1, iterations=1))
+    mu = [r["mu_hours"] for r in rows]
+    series = {
+        "purchases": [r["broker_purchase"] for r in rows],
+        "downtime_transfers": [r["broker_downtime_transfer"] for r in rows],
+        "downtime_renewals": [r["broker_downtime_renewal"] for r in rows],
+        "syncs": [r["broker_sync"] for r in rows],
+        "deposits": [r["broker_deposit"] for r in rows],
+    }
+    emit(
+        "fig2_broker_load_pro",
+        format_series_table(
+            "mu_hours", mu, series,
+            title=f"Figure 2: Broker Load, Policy I + Proactive Sync — {scale_note}",
+        ),
+    )
+
+    assert is_increasing(series["purchases"], tolerance=0.10), series["purchases"]
+    assert rises_then_falls(series["downtime_transfers"], tolerance=0.10), series["downtime_transfers"]
+    assert rises_then_falls(series["downtime_renewals"], tolerance=0.10), series["downtime_renewals"]
+    assert is_decreasing(series["syncs"], tolerance=0.05), series["syncs"]
+    assert all(v == 0 for v in series["deposits"])  # policy I never deposits

@@ -1,0 +1,34 @@
+"""Figure 3 — broker load, Policy I + lazy sync.
+
+Same shapes as Figure 2 minus synchronizations, which lazy sync eliminates
+entirely ("the broker … handle[s] purchases, downtime transfers, and
+downtime renewals, but no synchronizations").
+"""
+
+from repro.analysis.series import is_increasing, rises_then_falls
+from repro.analysis.tables import format_series_table
+
+from _common import availability_sweep, emit, rows_of
+
+
+def test_fig3_broker_load_policy1_lazy(benchmark, scale_note):
+    rows = rows_of(benchmark.pedantic(availability_sweep, args=("I", "lazy"), rounds=1, iterations=1))
+    mu = [r["mu_hours"] for r in rows]
+    series = {
+        "purchases": [r["broker_purchase"] for r in rows],
+        "downtime_transfers": [r["broker_downtime_transfer"] for r in rows],
+        "downtime_renewals": [r["broker_downtime_renewal"] for r in rows],
+        "syncs": [r["broker_sync"] for r in rows],
+    }
+    emit(
+        "fig3_broker_load_lazy",
+        format_series_table(
+            "mu_hours", mu, series,
+            title=f"Figure 3: Broker Load, Policy I + Lazy Sync — {scale_note}",
+        ),
+    )
+
+    assert all(v == 0 for v in series["syncs"])  # lazy sync: no sync ops at all
+    assert is_increasing(series["purchases"], tolerance=0.10)
+    assert rises_then_falls(series["downtime_transfers"], tolerance=0.10)
+    assert rises_then_falls(series["downtime_renewals"], tolerance=0.10)

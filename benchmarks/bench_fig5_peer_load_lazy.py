@@ -1,0 +1,51 @@
+"""Figure 5 — average peer load, Policy I + lazy sync.
+
+Same as Figure 4 with two lazy-sync differences: no syncs, and a *checks*
+series appears (the owner-side public-binding reads that replace them);
+transfers still dominate.
+"""
+
+from repro.analysis.series import is_increasing
+from repro.analysis.tables import format_series_table
+
+from _common import availability_sweep, emit, rows_of
+
+PEER_SERIES = (
+    "purchase",
+    "issue",
+    "transfer",
+    "renewal",
+    "downtime_transfer",
+    "downtime_renewal",
+    "check",
+    "lazy_sync",
+    "sync",
+)
+
+
+def test_fig5_peer_load_policy1_lazy(benchmark, scale_note):
+    rows = rows_of(benchmark.pedantic(availability_sweep, args=("I", "lazy"), rounds=1, iterations=1))
+    mu = [r["mu_hours"] for r in rows]
+    series = {name: [round(r[f"peer_avg_{name}"], 2) for r in rows] for name in PEER_SERIES}
+    emit(
+        "fig5_peer_load_lazy",
+        format_series_table(
+            "mu_hours", mu, series,
+            title=f"Figure 5: Average Peer Load, Policy I + Lazy Sync — {scale_note}",
+        ),
+    )
+
+    assert all(v == 0 for v in series["sync"])
+    assert any(v > 0 for v in series["check"])  # checks replace syncs
+    # Lazy syncs only happen when a check finds broker-modified state.
+    for check, lazy in zip(series["check"], series["lazy_sync"]):
+        assert lazy <= check
+    # Transfers dominate (outside the degenerate α ≈ 0.11 corner, as in
+    # Figure 4's bench), and rise with availability.
+    assert is_increasing(series["transfer"], tolerance=0.05)
+    for i in range(len(mu)):
+        if mu[i] < 1.0:
+            continue
+        transfer = series["transfer"][i]
+        others = [series[name][i] for name in PEER_SERIES if name != "transfer"]
+        assert transfer >= max(others), (mu[i], transfer, others)

@@ -1,0 +1,41 @@
+"""Figure 6 — broker CPU load, four configurations.
+
+Paper: "The plots reveal two things.  First, lazy synchronization cuts down
+broker load significantly.  Second, the results apparently agree with our
+conjecture that the broker-centric policy yields less load on the broker
+than the user-centric policy."
+"""
+
+from repro.analysis.tables import format_series_table
+
+from _common import availability_sweep, emit, rows_of
+
+CONFIGS = [("I", "proactive"), ("I", "lazy"), ("III", "proactive"), ("III", "lazy")]
+
+
+def run_all():
+    return {cfg: rows_of(availability_sweep(*cfg)) for cfg in CONFIGS}
+
+
+def test_fig6_broker_cpu_load(benchmark, scale_note):
+    data = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    mu = [r["mu_hours"] for r in data[CONFIGS[0]]]
+    series = {
+        f"{policy}+{sync[:4]}": [r["broker_cpu"] for r in rows]
+        for (policy, sync), rows in data.items()
+    }
+    emit(
+        "fig6_broker_cpu",
+        format_series_table(
+            "mu_hours", mu, series,
+            title=f"Figure 6: Broker CPU Load (Table 3 units) — {scale_note}",
+        ),
+    )
+
+    for i in range(len(mu)):
+        # Lazy < proactive at the same policy.
+        assert series["I+lazy"][i] < series["I+proa"][i], mu[i]
+        assert series["III+lazy"][i] < series["III+proa"][i], mu[i]
+        # Broker-centric (III) <= user-centric (I) at the same sync mode.
+        assert series["III+proa"][i] <= series["I+proa"][i] * 1.02, mu[i]
+        assert series["III+lazy"][i] <= series["I+lazy"][i] * 1.02, mu[i]

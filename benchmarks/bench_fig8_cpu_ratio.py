@@ -1,0 +1,48 @@
+"""Figure 8 — broker-to-average-peer CPU load ratio (low availability).
+
+Paper: "With extremely low peer availability, broker load is two orders
+higher than average peer load.  With higher peer availability … broker load
+is one order higher than average peer load."  (At 1000 peers; the ratio's
+ceiling scales with the peer count, so the reduced-scale bands are scaled by
+N/1000.)  The ratio falls steeply as availability rises.
+"""
+
+from repro.analysis.series import is_decreasing
+from repro.analysis.tables import format_series_table
+
+from _common import FULL_SCALE, availability_sweep, emit, rows_of
+
+CONFIGS = [("I", "proactive"), ("I", "lazy"), ("III", "proactive"), ("III", "lazy")]
+LOW_AVAILABILITY_HOURS = 6.0  # the paper's figure 8 shows mu in [0.25, 6] hrs
+
+
+def run_all():
+    return {cfg: rows_of(availability_sweep(*cfg)) for cfg in CONFIGS}
+
+
+def test_fig8_cpu_load_ratio(benchmark, scale_note):
+    data = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    all_mu = [r["mu_hours"] for r in data[CONFIGS[0]]]
+    keep = [i for i, m in enumerate(all_mu) if m <= LOW_AVAILABILITY_HOURS]
+    mu = [all_mu[i] for i in keep]
+    n_peers = data[CONFIGS[0]][0]["n_peers"]
+    series = {
+        f"{policy}+{sync[:4]}": [round(rows[i]["cpu_ratio"], 1) for i in keep]
+        for (policy, sync), rows in data.items()
+    }
+    emit(
+        "fig8_cpu_ratio",
+        format_series_table(
+            "mu_hours", mu, series,
+            title=f"Figure 8: Broker-Peer CPU Load Ratio (N={n_peers}) — {scale_note}",
+        ),
+    )
+
+    scale = n_peers / 1000.0
+    for name, values in series.items():
+        # Steeply decreasing in availability.
+        assert is_decreasing(values, tolerance=0.05), (name, values)
+        # "Two orders higher" at the extreme low end (scaled by N/1000)…
+        assert values[0] > 100 * scale, (name, values[0])
+        # …and the majority of load is on the peers throughout: ratio << N.
+        assert values[0] < n_peers, (name, values[0])

@@ -1,0 +1,42 @@
+"""Figure 9 — broker-to-average-peer communication load ratio.
+
+Same presentation as Figure 8 under the message-count metric; identical
+shape expectations.
+"""
+
+from repro.analysis.series import is_decreasing
+from repro.analysis.tables import format_series_table
+
+from _common import availability_sweep, emit, rows_of
+
+CONFIGS = [("I", "proactive"), ("I", "lazy"), ("III", "proactive"), ("III", "lazy")]
+LOW_AVAILABILITY_HOURS = 6.0
+
+
+def run_all():
+    return {cfg: rows_of(availability_sweep(*cfg)) for cfg in CONFIGS}
+
+
+def test_fig9_comm_load_ratio(benchmark, scale_note):
+    data = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    all_mu = [r["mu_hours"] for r in data[CONFIGS[0]]]
+    keep = [i for i, m in enumerate(all_mu) if m <= LOW_AVAILABILITY_HOURS]
+    mu = [all_mu[i] for i in keep]
+    n_peers = data[CONFIGS[0]][0]["n_peers"]
+    series = {
+        f"{policy}+{sync[:4]}": [round(rows[i]["comm_ratio"], 1) for i in keep]
+        for (policy, sync), rows in data.items()
+    }
+    emit(
+        "fig9_comm_ratio",
+        format_series_table(
+            "mu_hours", mu, series,
+            title=f"Figure 9: Broker-Peer Communication Load Ratio (N={n_peers}) — {scale_note}",
+        ),
+    )
+
+    scale = n_peers / 1000.0
+    for name, values in series.items():
+        assert is_decreasing(values, tolerance=0.05), (name, values)
+        assert values[0] > 50 * scale, (name, values[0])
+        assert values[0] < n_peers, (name, values[0])

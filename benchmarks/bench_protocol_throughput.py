@@ -1,0 +1,60 @@
+"""Throughput of the real protocol stack (engineering instrumentation).
+
+Not a paper artifact: end-to-end payments per second through the actual
+cryptographic implementation (key generation, DSA, group signatures, full
+message exchanges) at the 512-bit test size and at the paper's 1024-bit
+production size.  Useful for sizing the full-crypto stack against the
+operation-level simulator's cost model.
+"""
+
+import pytest
+
+from repro.core.network import WhoPayNetwork
+from repro.crypto.params import PARAMS_1024_160, PARAMS_TEST_512
+
+
+def run_payment_cycle(params, payments: int) -> WhoPayNetwork:
+    net = WhoPayNetwork(params=params)
+    alice = net.add_peer("alice", balance=payments + 1)
+    bob = net.add_peer("bob")
+    carol = net.add_peer("carol")
+    state = alice.purchase()
+    alice.issue("bob", state.coin_y)
+    holders = [bob, carol]
+    for i in range(payments):
+        payer = holders[i % 2]
+        payee = holders[(i + 1) % 2]
+        payer.transfer(payee.address, state.coin_y)
+    return net
+
+
+def test_throughput_transfers_512(benchmark):
+    net = benchmark.pedantic(run_payment_cycle, args=(PARAMS_TEST_512, 20), rounds=1, iterations=1)
+    assert net.peers["bob"].counts.transfers_sent + net.peers["carol"].counts.transfers_sent == 20
+    seconds = benchmark.stats.stats.mean
+    print(f"\n512-bit full-crypto transfers: {20 / seconds:.1f} payments/s")
+
+
+def test_throughput_transfers_1024(benchmark):
+    net = benchmark.pedantic(run_payment_cycle, args=(PARAMS_1024_160, 10), rounds=1, iterations=1)
+    total = net.peers["bob"].counts.transfers_sent + net.peers["carol"].counts.transfers_sent
+    assert total == 10
+    seconds = benchmark.stats.stats.mean
+    print(f"\n1024-bit (paper-size) full-crypto transfers: {10 / seconds:.1f} payments/s")
+
+
+def test_throughput_detection_overhead(benchmark):
+    def run_with_detection():
+        net = WhoPayNetwork(params=PARAMS_TEST_512, enable_detection=True, dht_size=4)
+        alice = net.add_peer("alice", balance=25)
+        bob = net.add_peer("bob")
+        carol = net.add_peer("carol")
+        state = alice.purchase()
+        alice.issue("bob", state.coin_y)
+        holders = [bob, carol]
+        for i in range(20):
+            holders[i % 2].transfer(holders[(i + 1) % 2].address, state.coin_y)
+        return net
+
+    net = benchmark.pedantic(run_with_detection, rounds=1, iterations=1)
+    assert net.detection.publishes >= 21  # issue + 20 transfers

@@ -1,0 +1,23 @@
+"""Pytest fixtures for the benchmark suite (helpers live in _common.py)."""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+import pytest
+
+from _common import FULL_SCALE
+
+
+@pytest.fixture(scope="session")
+def scale_note() -> str:
+    """Human-readable scale marker included in emitted tables."""
+    if FULL_SCALE:
+        return "paper scale (1000 peers, 10 days)"
+    return "reduced scale (150 peers, 5 days; WHOPAY_FULL=1 for paper scale)"

@@ -1,0 +1,68 @@
+"""Quickstart: the full WhoPay coin lifecycle with real cryptography.
+
+Walks the paper's Figure 1 end to end — purchase, issue, transfer via the
+owner, downtime transfer via the broker, renewal, synchronization, deposit —
+printing what each party can (and provably cannot) see along the way.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import PARAMS_TEST_512, WhoPayNetwork
+
+
+def main() -> None:
+    # A complete deployment: transport + judge + broker, on the fast test
+    # group (use PARAMS_1024_160 for the paper's production key size).
+    net = WhoPayNetwork(params=PARAMS_TEST_512)
+    alice = net.add_peer("alice", balance=10)  # will own coins
+    bob = net.add_peer("bob")
+    carol = net.add_peer("carol")
+
+    print("== 1. Purchase ==")
+    state = alice.purchase(value=3)
+    print(f"alice bought a coin worth {state.coin.value}; the coin IS a public key:")
+    print(f"  pk_C = {state.coin_y:#x}"[:60] + "…")
+    print(f"  alice's account balance at the broker: {net.broker.balance('alice')}")
+
+    print("\n== 2. Issue (alice -> bob) ==")
+    binding = alice.issue("bob", state.coin_y)
+    print(f"bob now holds the coin under a fresh one-time holder key (seq={binding.seq})")
+    print("the coin names its owner (alice) — issue is semi-anonymous;")
+    print("bob's identity never appeared: he is known only as a holder key.")
+
+    print("\n== 3. Transfer via the owner (bob -> carol) ==")
+    b2 = bob.transfer("carol", state.coin_y)
+    print(f"owner alice re-bound the coin to carol's fresh key (seq={b2.seq})")
+    print("alice served the transfer but learned neither payer nor payee identity;")
+    print(f"her audit trail holds {len(alice.owned[state.coin_y].relinquishments)} relinquishment proof(s)")
+
+    print("\n== 4. Downtime transfer via the broker (carol -> bob) ==")
+    alice.depart()
+    b3 = carol.transfer_via_broker("bob", state.coin_y)
+    print(f"owner offline -> broker re-bound the coin (seq={b3.seq}, signed by broker)")
+
+    print("\n== 5. Renewal ==")
+    net.advance(net.renewal_period * 0.8)
+    renewed = bob.renew(state.coin_y)
+    print(f"coin renewed {'via broker (owner still offline)' if renewed.via_broker else 'via owner'}; "
+          f"new expiry at t={renewed.exp_date:.0f}s")
+
+    print("\n== 6. Synchronization ==")
+    alice.rejoin()
+    print(f"alice rejoined; broker handed her the bindings recorded while she was away "
+          f"(her local seq is now {alice.owned[state.coin_y].binding.seq})")
+
+    print("\n== 7. Deposit ==")
+    credited = bob.deposit(state.coin_y)  # anonymous bearer payout
+    bearer = [name for name in net.broker.accounts if name.startswith("bearer-")]
+    print(f"bob deposited the coin for {credited} into pseudonymous account {bearer[0]!r}")
+    print("the broker verified holdership + membership but learned no identity.")
+
+    print("\n== 8. Fairness (what the judge COULD do) ==")
+    print(f"every holder operation carried a group signature; the judge has performed "
+          f"{net.judge.openings_performed} opening(s) — zero, because no fraud occurred.")
+    print(f"\ntotal protocol messages exchanged: {net.transport.total_messages}")
+
+
+if __name__ == "__main__":
+    main()

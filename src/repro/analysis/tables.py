@@ -1,0 +1,59 @@
+"""Plain-text table formatting for benchmark output.
+
+The benches print the same rows/series the paper's figures plot; these
+helpers keep that output consistent and readable without any plotting
+dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:,.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_table(rows: Sequence[dict[str, Any]], columns: Sequence[str], title: str | None = None) -> str:
+    """Render ``rows`` (dicts) as an aligned text table over ``columns``."""
+    if not rows:
+        return (title + "\n" if title else "") + "(no data)"
+    cells = [[_format_cell(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(line[i]) for line in cells)) for i, col in enumerate(columns)
+    ]
+    out: list[str] = []
+    if title:
+        out.append(title)
+    header = "  ".join(col.rjust(widths[i]) for i, col in enumerate(columns))
+    out.append(header)
+    out.append("  ".join("-" * w for w in widths))
+    for line in cells:
+        out.append("  ".join(line[i].rjust(widths[i]) for i in range(len(columns))))
+    return "\n".join(out)
+
+
+def format_series_table(
+    x_label: str,
+    x_values: Sequence[Any],
+    series: dict[str, Sequence[Any]],
+    title: str | None = None,
+) -> str:
+    """Render one x-column plus one column per named series (figure style)."""
+    rows = []
+    for i, x in enumerate(x_values):
+        row: dict[str, Any] = {x_label: x}
+        for name, values in series.items():
+            row[name] = values[i]
+        rows.append(row)
+    return format_table(rows, [x_label, *series.keys()], title=title)

@@ -1,0 +1,159 @@
+"""Onion routing over the in-memory transport.
+
+The classic construction (Reed/Syverson/Goldschlag — the paper's reference
+[22]), adapted to the synchronous request/response transport:
+
+* every relay publishes a static DH public key;
+* the client picks a circuit of relays, mints one *ephemeral* DH keypair
+  per hop, and derives a per-hop layer key (forward secrecy: circuits never
+  reuse ephemerals);
+* the request is wrapped innermost-out: layer *i* encrypts ``{next hop,
+  inner box}`` under hop *i*'s key and prepends the hop's ephemeral public
+  value so the relay can derive the same key;
+* each relay peels one layer and forwards; the exit relay performs the
+  actual protocol request; each relay seals the response back under its
+  layer key, so the client unwraps the layers in circuit order.
+
+Who learns what: the destination sees the exit relay's address; the entry
+relay sees the client but only the next relay; no single relay sees both
+endpoints (with ≥ 2 hops).  The anonymity tests assert these properties on
+actual transcripts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.anonymity.cipher import CipherError, derive_shared_key, open_box, seal_box
+from repro.crypto.keys import KeyPair, PublicKey
+from repro.crypto.params import DlogParams
+from repro.messages.codec import decode, encode
+from repro.net.node import Node
+from repro.net.transport import NetworkError, Transport
+
+RELAY_KIND = "onion.relay"
+
+
+class _OnionRelay(Node):
+    """One onion router."""
+
+    def __init__(self, transport: Transport, address: str, params: DlogParams) -> None:
+        super().__init__(transport, address)
+        self.params = params
+        self.keypair = KeyPair.generate(params)
+        self.relayed = 0
+        self.on(RELAY_KIND, self._handle_relay)
+
+    def _handle_relay(self, src: str, payload: dict) -> bytes:
+        ephemeral = PublicKey(params=self.params, y=payload["eph_y"])
+        key = derive_shared_key(self.keypair, ephemeral)
+        try:
+            inner = decode(open_box(key, payload["box"]))
+        except CipherError as exc:
+            raise NetworkError(f"{self.address}: bad onion layer: {exc}") from exc
+        self.relayed += 1
+        if inner["hop"] == "relay":
+            response = self.request(
+                inner["next"], RELAY_KIND, {"eph_y": inner["eph_y"], "box": inner["box"]}
+            )
+        else:  # exit hop: perform the real protocol request
+            result = self.request(inner["next"], inner["kind"], decode(inner["payload"]))
+            response = encode(result)
+        # Wrap the response under this hop's key for the trip back.
+        return seal_box(key, response)
+
+
+@dataclass(frozen=True)
+class OnionCircuit:
+    """Client-side view of an established circuit."""
+
+    relays: tuple[str, ...]
+    layer_keys: tuple[bytes, ...]
+    ephemeral_ys: tuple[int, ...]
+
+
+class OnionOverlay:
+    """Relay pool + client API."""
+
+    def __init__(self, transport: Transport, params: DlogParams, size: int = 3, prefix: str = "onion") -> None:
+        if size < 1:
+            raise ValueError("need at least one relay")
+        self.transport = transport
+        self.params = params
+        self.relays = [_OnionRelay(transport, f"{prefix}-{i}", params) for i in range(size)]
+        self._directory = {relay.address: relay.keypair.public for relay in self.relays}
+
+    def relay_addresses(self) -> list[str]:
+        """All relay addresses (the public directory)."""
+        return list(self._directory)
+
+    def build_circuit(self, hops: list[str] | None = None) -> OnionCircuit:
+        """Derive per-hop keys for a circuit through ``hops`` (default: all).
+
+        Fresh ephemerals every call — building a new circuit unlinks the
+        client from its previous traffic.
+        """
+        if hops is None:
+            hops = self.relay_addresses()
+        if not hops:
+            raise ValueError("circuit needs at least one hop")
+        keys = []
+        ephemerals = []
+        for address in hops:
+            relay_key = self._directory.get(address)
+            if relay_key is None:
+                raise ValueError(f"unknown relay {address!r}")
+            ephemeral = KeyPair.generate(self.params)
+            keys.append(derive_shared_key(ephemeral, relay_key))
+            ephemerals.append(ephemeral.public.y)
+        return OnionCircuit(
+            relays=tuple(hops), layer_keys=tuple(keys), ephemeral_ys=tuple(ephemerals)
+        )
+
+    def send(self, src: str, circuit: OnionCircuit, dst: str, kind: str, payload: Any) -> Any:
+        """Send a request to ``dst`` through ``circuit``; returns the response.
+
+        ``payload`` (and the response) must be codec values — which every
+        WhoPay protocol payload is.
+        """
+        # Innermost: the exit hop's instruction.
+        inner: dict[str, Any] = {
+            "hop": "exit",
+            "next": dst,
+            "kind": kind,
+            "payload": encode(payload),
+        }
+        box = seal_box(circuit.layer_keys[-1], encode(inner))
+        # Wrap outward: hop i forwards to hop i+1.
+        for i in range(len(circuit.relays) - 2, -1, -1):
+            inner = {
+                "hop": "relay",
+                "next": circuit.relays[i + 1],
+                "eph_y": circuit.ephemeral_ys[i + 1],
+                "box": box,
+            }
+            box = seal_box(circuit.layer_keys[i], encode(inner))
+        wire = self.transport.request(
+            src, circuit.relays[0], RELAY_KIND, {"eph_y": circuit.ephemeral_ys[0], "box": box}
+        )
+        # Unwrap the response layers in circuit order.
+        for key in circuit.layer_keys:
+            wire = open_box(key, wire)
+        return decode(wire)
+
+
+def anonymize_node(node: Node, overlay: OnionOverlay, circuit: OnionCircuit | None = None) -> OnionCircuit:
+    """Reroute ``node``'s outbound requests through an onion circuit.
+
+    After this call, every ``node.request(dst, kind, payload)`` travels the
+    circuit: payees, owners, and the broker see only the exit relay's
+    address.  Returns the circuit in use (pass one in to share or rotate).
+    """
+    active = circuit if circuit is not None else overlay.build_circuit()
+
+    def routed_request(dst: str, kind: str, payload: Any) -> Any:
+        return overlay.send(node.address, active, dst, kind, payload)
+
+    node.request = routed_request  # type: ignore[method-assign]
+    return active

@@ -1,0 +1,31 @@
+"""Baseline payment systems the paper compares against or builds on.
+
+* :mod:`repro.baselines.ppay` — PPay (Yang & Garcia-Molina, CCS 2003;
+  paper Section 3.1): scalable like WhoPay but with owner *and* holder
+  identities exposed in every coin.  The scalability baseline.
+* :mod:`repro.baselines.centralized` — a Burk–Pfitzmann / Vo–Hohenberger
+  style online-transfer system where every transfer goes through the broker
+  (paper Section 7): anonymous and fair but centralized.  The anonymity
+  baseline.
+* :mod:`repro.baselines.layered` — layered-coin offline transfers (paper
+  Section 7): no third party per hop, but coins grow per transfer and
+  double-spending is only caught at deposit.
+* :mod:`repro.baselines.payword` — PayWord hash-chain credit windows that
+  aggregate micropayments into WhoPay payments (paper Section 7, last
+  paragraph).
+"""
+
+from repro.baselines.centralized import CentralizedBroker, CentralizedPeer
+from repro.baselines.layered import LayeredCoin, LayeredCoinSystem
+from repro.baselines.payword import PaywordCreditWindow
+from repro.baselines.ppay import PPayBroker, PPayPeer
+
+__all__ = [
+    "PPayBroker",
+    "PPayPeer",
+    "CentralizedBroker",
+    "CentralizedPeer",
+    "LayeredCoin",
+    "LayeredCoinSystem",
+    "PaywordCreditWindow",
+]

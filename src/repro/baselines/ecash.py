@@ -1,0 +1,145 @@
+"""Chaum-style blind-signature e-cash (the paper's Section 1 lineage).
+
+The classical centralized anonymous payment design that predates WhoPay:
+
+* **withdraw** — the client mints a random serial, blinds it, pays the mint,
+  and gets a blind signature; unblinding yields a coin ``(serial,
+  signature)`` the mint cannot link to the withdrawal;
+* **spend** — the coin is handed to a merchant, who can verify it offline;
+* **deposit** — the mint checks the signature and a double-spend ledger of
+  seen serials.
+
+Strengths: unconditional payer anonymity (information-theoretic — the mint's
+view is independent of the coin).  Weaknesses, which are exactly WhoPay's
+motivations: every withdraw/deposit hits the mint (no scalability), coins
+are not transferable without going back to the mint, and there is **no
+fairness** — a double spender's identity is unrecoverable, the loss is just
+eaten (detectable, not punishable).  The comparison tests make each of
+these explicit.
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass
+
+from repro.core.errors import DoubleSpendDetected, InsufficientFunds, VerificationFailed
+from repro.crypto.blind import blind, sign_blinded, unblind, verify_unblinded
+from repro.crypto.rsa import RsaKeyPair, RsaPublicKey, rsa_generate
+
+
+@dataclass(frozen=True)
+class EcashCoin:
+    """A bearer token: random serial + mint signature on it."""
+
+    serial: bytes
+    signature: int
+    value: int
+
+    def message(self) -> bytes:
+        """What the mint's signature covers."""
+        return b"ecash-coin|" + self.value.to_bytes(8, "big") + b"|" + self.serial
+
+
+class EcashMint:
+    """The central mint (broker analogue)."""
+
+    def __init__(self, modulus_bits: int = 512, coin_value: int = 1) -> None:
+        self._keypair: RsaKeyPair = rsa_generate(modulus_bits)
+        self.coin_value = coin_value
+        self.accounts: dict[str, int] = {}
+        self.seen_serials: dict[bytes, bytes] = {}  # serial -> depositor tag
+        self.withdrawals = 0
+        self.deposits = 0
+        self.fraud_events: list[DoubleSpendDetected] = []
+
+    @property
+    def public_key(self) -> RsaPublicKey:
+        """The mint's verification key (system-wide known)."""
+        return self._keypair.public
+
+    def open_account(self, name: str, balance: int) -> None:
+        """Fund a named account."""
+        self.accounts[name] = balance
+
+    def balance(self, name: str) -> int:
+        """Account balance."""
+        return self.accounts.get(name, 0)
+
+    def sign_withdrawal(self, account: str, blinded: int) -> int:
+        """Debit the account and blind-sign whatever the client sent.
+
+        The mint sees only the blinded value — it cannot recognize the coin
+        at deposit time.  That blindness is also why the signature *is* the
+        money: the debit happens here, unconditionally.
+        """
+        balance = self.accounts.get(account)
+        if balance is None or balance < self.coin_value:
+            raise InsufficientFunds(account)
+        self.accounts[account] = balance - self.coin_value
+        self.withdrawals += 1
+        return sign_blinded(self._keypair, blinded)
+
+    def deposit(self, coin: EcashCoin, payout_account: str) -> int:
+        """Verify and retire a coin; credit the payout account."""
+        self.deposits += 1
+        if coin.value != self.coin_value:
+            raise VerificationFailed("wrong denomination")
+        if not verify_unblinded(self.public_key, coin.message(), coin.signature):
+            raise VerificationFailed("coin signature invalid")
+        if coin.serial in self.seen_serials:
+            event = DoubleSpendDetected(
+                "e-cash serial already deposited",
+                evidence={
+                    "serial": coin.serial,
+                    "first_payee": self.seen_serials[coin.serial],
+                    "second_payee": payout_account,
+                    # NOTE the gap vs WhoPay: there is no identity to open.
+                    "culprit": None,
+                },
+            )
+            self.fraud_events.append(event)
+            raise event
+        self.seen_serials[coin.serial] = payout_account.encode()
+        self.accounts[payout_account] = self.accounts.get(payout_account, 0) + coin.value
+        return coin.value
+
+
+class EcashClient:
+    """A user of the mint."""
+
+    def __init__(self, name: str, mint: EcashMint) -> None:
+        self.name = name
+        self.mint = mint
+        self.wallet: list[EcashCoin] = []
+
+    def withdraw(self) -> EcashCoin:
+        """Withdraw one coin anonymously (the mint never sees the serial)."""
+        serial = secrets.token_bytes(16)
+        value = self.mint.coin_value
+        message = b"ecash-coin|" + value.to_bytes(8, "big") + b"|" + serial
+        blinded, state = blind(self.mint.public_key, message)
+        blind_signature = self.mint.sign_withdrawal(self.name, blinded)
+        signature = unblind(self.mint.public_key, state, blind_signature)
+        if not verify_unblinded(self.mint.public_key, message, signature):
+            raise VerificationFailed("mint produced an invalid blind signature")
+        coin = EcashCoin(serial=serial, signature=signature, value=value)
+        self.wallet.append(coin)
+        return coin
+
+    def pay(self, merchant: "EcashClient") -> EcashCoin:
+        """Hand a coin to a merchant (who verifies it offline)."""
+        if not self.wallet:
+            raise InsufficientFunds("empty wallet")
+        coin = self.wallet.pop()
+        if not verify_unblinded(self.mint.public_key, coin.message(), coin.signature):
+            raise VerificationFailed("refusing an invalid coin")
+        merchant.wallet.append(coin)
+        return coin
+
+    def deposit_all(self) -> int:
+        """Deposit every held coin to this client's account."""
+        total = 0
+        while self.wallet:
+            total += self.mint.deposit(self.wallet.pop(), self.name)
+        return total

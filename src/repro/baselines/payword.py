@@ -1,0 +1,132 @@
+"""PayWord credit windows over WhoPay (paper Section 7, last paragraph).
+
+    "we can use a scheme such as PayWord to first aggregate small
+    micropayments into bigger payments and carry out the bigger payments
+    using WhoPay.  That is, each pair of users maintains a soft credit
+    window between themselves and only makes payments when this window
+    reaches a threshold value."
+
+:class:`PaywordCreditWindow` is that pairwise window: the payer commits a
+signed hash-chain anchor; each micropayment reveals one more chain link
+(one SHA-256 — no signatures, no network round trips beyond the token); when
+``threshold`` unpaid units accumulate, :meth:`settle` fires real WhoPay
+payments and opens a fresh chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import ProtocolError, VerificationFailed
+from repro.core.peer import Peer
+from repro.crypto.hashchain import HashChain, verify_chain_link
+from repro.messages.envelope import SignedMessage, seal
+
+#: Default payment-method preference for settlement (paper's policy III order).
+SETTLE_PREFERENCES = ("transfer", "issue", "purchase_issue")
+
+
+@dataclass
+class MicropaymentToken:
+    """What the payer hands over per micropayment: ``(index, w_index)``."""
+
+    index: int
+    link: bytes
+
+
+class PaywordCreditWindow:
+    """A pairwise soft-credit channel settling through WhoPay coins.
+
+    One window per (payer, payee) direction; the payee verifies each token
+    in O(delta) hashes and trusts the signed anchor for everything else.
+    """
+
+    def __init__(
+        self,
+        payer: Peer,
+        payee: Peer,
+        chain_length: int = 100,
+        threshold: int = 10,
+    ) -> None:
+        if threshold < 1 or threshold > chain_length:
+            raise ValueError("threshold must be in [1, chain_length]")
+        self.payer = payer
+        self.payee = payee
+        self.chain_length = chain_length
+        self.threshold = threshold
+        self.micropayments_made = 0
+        self.whopay_payments_made = 0
+        self._open_chain()
+
+    def _open_chain(self) -> None:
+        # Per-chain accounting: both the payee's verified watermark and the
+        # settled watermark restart with every fresh chain.
+        self.settled_units = 0
+        self._chain = HashChain(self.chain_length)
+        self._commitment: SignedMessage = seal(
+            self.payer.identity,
+            {
+                "kind": "payword.commitment",
+                "payee": self.payee.address,
+                "anchor": self._chain.anchor,
+                "length": self.chain_length,
+            },
+        )
+        if not self._verify_commitment():
+            raise VerificationFailed("payer produced an invalid commitment")
+        self._verified_index = 0
+
+    def _verify_commitment(self) -> bool:
+        payload = self._commitment.payload
+        return (
+            self._commitment.verify()
+            and payload["payee"] == self.payee.address
+            and payload["length"] == self.chain_length
+        )
+
+    # -- payer side --------------------------------------------------------
+
+    @property
+    def unsettled_units(self) -> int:
+        """Micropayment units revealed but not yet settled in coins."""
+        return self._verified_index - self.settled_units
+
+    def micropay(self, units: int = 1) -> MicropaymentToken:
+        """Spend ``units`` more credit; returns the token for the payee.
+
+        Automatically settles (with real WhoPay payments) whenever the
+        revealed-but-unsettled credit reaches the threshold.
+        """
+        index, link = self._chain.pay(units)
+        token = MicropaymentToken(index=index, link=link)
+        self.micropayments_made += units
+        self._receive(token)
+        if self._verified_index - self.settled_units >= self.threshold:
+            self.settle()
+        return token
+
+    def settle(self) -> int:
+        """Convert accumulated credit into WhoPay payments; returns units paid.
+
+        Each threshold-sized block becomes one unit WhoPay payment (the
+        "bigger payment").  A fresh chain opens if this one is exhausted.
+        """
+        owed = self._verified_index - self.settled_units
+        blocks = owed // self.threshold
+        for _ in range(blocks):
+            self.payer.pay(self.payee.address, SETTLE_PREFERENCES)
+            self.whopay_payments_made += 1
+            self.settled_units += self.threshold
+        if self._chain.remaining == 0 and self._verified_index == self.settled_units:
+            self._open_chain()
+        return blocks * self.threshold
+
+    # -- payee side -----------------------------------------------------------
+
+    def _receive(self, token: MicropaymentToken) -> None:
+        payload = self._commitment.payload
+        if token.index <= self._verified_index or token.index > payload["length"]:
+            raise ProtocolError("token index out of window")
+        if not verify_chain_link(payload["anchor"], token.index, token.link):
+            raise VerificationFailed("hash-chain token does not verify")
+        self._verified_index = token.index

@@ -1,0 +1,57 @@
+"""WhoPay core: the paper's primary contribution (Sections 4 and 5).
+
+The package implements the full protocol suite over the in-memory network
+substrate with real cryptography:
+
+* :mod:`repro.core.coin` — coins as public keys, holder bindings, wallets.
+* :mod:`repro.core.judge` — registration and identity opening (fairness).
+* :mod:`repro.core.broker` — purchase, deposit, downtime transfer/renewal,
+  synchronization, deposit-time double-spend detection.
+* :mod:`repro.core.peer` — the user agent: issue, transfer-via-owner,
+  renewal, holder wallets, owner binding lists, lazy-sync checks.
+* :mod:`repro.core.detection` — real-time double-spending detection over
+  the DHT (Section 5.1).
+* :mod:`repro.core.coinshop` — coin-shop issuer anonymity (Section 5.2).
+* :mod:`repro.core.anonymous_owner` — ownerless coins with i3 handles
+  (Section 5.2, approach 3).
+* :mod:`repro.core.audit` — audit trails and culprit attribution.
+* :mod:`repro.core.network` — one-call assembly of a complete WhoPay
+  deployment (transport + judge + broker + peers [+ DHT]).
+"""
+
+from repro.core.broker import Broker
+from repro.core.clock import Clock
+from repro.core.coin import Coin, CoinBinding, HeldCoin, OwnedCoinState
+from repro.core.errors import (
+    CoinExpired,
+    DoubleSpendDetected,
+    FraudDetected,
+    InsufficientFunds,
+    NotHolder,
+    NotOwner,
+    ProtocolError,
+    VerificationFailed,
+)
+from repro.core.judge import Judge
+from repro.core.network import WhoPayNetwork
+from repro.core.peer import Peer
+
+__all__ = [
+    "Clock",
+    "Coin",
+    "CoinBinding",
+    "HeldCoin",
+    "OwnedCoinState",
+    "Judge",
+    "Broker",
+    "Peer",
+    "WhoPayNetwork",
+    "ProtocolError",
+    "VerificationFailed",
+    "NotHolder",
+    "NotOwner",
+    "CoinExpired",
+    "DoubleSpendDetected",
+    "FraudDetected",
+    "InsufficientFunds",
+]

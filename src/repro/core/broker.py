@@ -1,0 +1,503 @@
+"""The broker ``B`` (paper Sections 4.1–4.2).
+
+The broker is the only entity that can create coins and the only one that
+redeems them for cash.  Between those endpoints it is involved *only* when a
+coin's owner is offline: downtime transfers, downtime renewals, and the
+synchronization owners perform after rejoining — which is precisely the load
+the paper's evaluation measures (Figures 2, 3, 6, 7, 10, 11).
+
+Security duties implemented here:
+
+* verifying dual-signed holder operations (coin-key signature proves
+  holdership, group signature proves legitimate membership and enables
+  fairness);
+* the two downtime-verification flavours of Section 4.2 — signature check
+  when the broker has no state for the coin, bit-by-bit comparison against
+  stored state when it does;
+* deposit-time double-spending detection: a second deposit of the same coin
+  raises :class:`~repro.core.errors.DoubleSpendDetected` carrying both
+  deposit envelopes as evidence for the judge;
+* monotonic sequence-number enforcement on every binding it records.
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core import protocol
+from repro.core.clock import DEFAULT_RENEWAL_PERIOD, Clock
+from repro.core.coin import Coin, CoinBinding
+from repro.core.errors import (
+    CoinExpired,
+    DoubleSpendDetected,
+    InsufficientFunds,
+    NotHolder,
+    ProtocolError,
+    UnknownCoin,
+    VerificationFailed,
+)
+from repro.core.judge import Judge
+from repro.crypto.keys import KeyPair, PublicKey
+from repro.crypto.params import DlogParams
+from repro.messages.envelope import DualSignedMessage
+from repro.net.node import Node
+from repro.net.transport import Transport
+
+
+@dataclass
+class Account:
+    """A broker-side cash account."""
+
+    identity: PublicKey
+    balance: int
+
+
+@dataclass
+class OperationCounts:
+    """Per-operation counters matching the paper's load breakdown."""
+
+    purchases: int = 0
+    deposits: int = 0
+    downtime_transfers: int = 0
+    downtime_renewals: int = 0
+    syncs: int = 0
+    binding_queries: int = 0
+
+    def total(self) -> int:
+        """All broker operations."""
+        return (
+            self.purchases
+            + self.deposits
+            + self.downtime_transfers
+            + self.downtime_renewals
+            + self.syncs
+            + self.binding_queries
+        )
+
+
+class Broker(Node):
+    """The broker endpoint."""
+
+    def __init__(
+        self,
+        transport: Transport,
+        judge: Judge,
+        params: DlogParams,
+        clock: Clock,
+        address: str = "broker",
+        renewal_period: float = DEFAULT_RENEWAL_PERIOD,
+    ) -> None:
+        super().__init__(transport, address)
+        self.params = params
+        self.judge = judge
+        self.clock = clock
+        self.renewal_period = renewal_period
+        self.keypair = KeyPair.generate(params)
+
+        self.accounts: dict[str, Account] = {}
+        self.valid_coins: dict[int, Coin] = {}
+        self.deposited: dict[int, bytes] = {}  # coin_y -> first deposit envelope
+        self.downtime_bindings: dict[int, CoinBinding] = {}
+        self.owner_coins: dict[str, set[int]] = {}
+        self.pending_sync: dict[str, set[int]] = {}  # owner -> coins changed offline
+        self.fraud_events: list[DoubleSpendDetected] = []
+        self.counts = OperationCounts()
+        self._sync_nonces: dict[str, bytes] = {}
+        self._gpk_cache: dict[int, Any] = {}
+        self.detection = None  # set by WhoPayNetwork when the DHT is enabled
+
+        self.on(protocol.PURCHASE, self._handle_purchase)
+        self.on(protocol.PURCHASE_BATCH, self._handle_purchase_batch)
+        self.on(protocol.DEPOSIT, self._handle_deposit)
+        self.on(protocol.DOWNTIME_TRANSFER, self._handle_downtime_transfer)
+        self.on(protocol.DOWNTIME_RENEWAL, self._handle_downtime_renewal)
+        self.on(protocol.TOP_UP, self._handle_top_up)
+        self.on(protocol.SYNC_CHALLENGE, self._handle_sync_challenge)
+        self.on(protocol.SYNC, self._handle_sync)
+        self.on(protocol.BINDING_QUERY, self._handle_binding_query)
+
+    # -- accounts ---------------------------------------------------------------
+
+    @property
+    def public_key(self) -> PublicKey:
+        """The broker's verification key ``pk_B`` (system-wide known)."""
+        return self.keypair.public
+
+    def open_account(self, name: str, identity: PublicKey, balance: int) -> None:
+        """Open a cash account (bank-relationship setup, out of protocol)."""
+        if name in self.accounts:
+            raise ValueError(f"account {name!r} already exists")
+        self.accounts[name] = Account(identity=identity, balance=balance)
+
+    def open_account_from_certificate(self, certificate, ca_key: PublicKey, balance: int) -> None:
+        """Open an account from a CA-issued identity certificate.
+
+        The paper's purchase flow has users present "a public key
+        certificate"; with this path the broker needs no out-of-band key
+        table — trust in the CA key suffices.  Raises on invalid, expired,
+        or revoked-by-shape certificates.
+        """
+        from repro.core.errors import VerificationFailed as _VF
+
+        if not certificate.verify(ca_key, now=self.clock.now()):
+            raise _VF("identity certificate invalid or expired")
+        self.open_account(
+            certificate.subject,
+            certificate.subject_key(self.params),
+            balance,
+        )
+
+    def balance(self, name: str) -> int:
+        """Current balance of ``name`` (0 for unknown pseudonymous payouts)."""
+        account = self.accounts.get(name)
+        return 0 if account is None else account.balance
+
+    def circulating_value(self) -> int:
+        """Total value of coins minted and not yet deposited."""
+        return sum(
+            coin.value
+            for coin_y, coin in self.valid_coins.items()
+            if coin_y not in self.deposited
+        )
+
+    def verify_conservation(self, expected_total: int) -> bool:
+        """Audit hook: accounts + circulating value must equal total wealth.
+
+        Value enters the system only through :meth:`open_account`; every
+        protocol operation merely moves it between accounts and coins.  A
+        False return means a minting/accounting bug — tests and the stateful
+        property machine call this after every step.
+        """
+        accounts = sum(account.balance for account in self.accounts.values())
+        return accounts + self.circulating_value() == expected_total
+
+    def export_ledger(self) -> dict[str, Any]:
+        """Audit export: counts, balances, and circulation (no secrets)."""
+        return {
+            "accounts": {name: account.balance for name, account in self.accounts.items()},
+            "coins_minted": len(self.valid_coins),
+            "coins_deposited": len(self.deposited),
+            "circulating_value": self.circulating_value(),
+            "downtime_bindings": len(self.downtime_bindings),
+            "fraud_events": len(self.fraud_events),
+            "operation_counts": {
+                "purchases": self.counts.purchases,
+                "deposits": self.counts.deposits,
+                "downtime_transfers": self.counts.downtime_transfers,
+                "downtime_renewals": self.counts.downtime_renewals,
+                "syncs": self.counts.syncs,
+                "binding_queries": self.counts.binding_queries,
+            },
+        }
+
+    # -- verification helpers -----------------------------------------------------
+
+    def _gpk_at(self, version: int):
+        if version not in self._gpk_cache:
+            self._gpk_cache[version] = self.judge.group_public_key_at(version)
+        return self._gpk_cache[version]
+
+    def _verify_holder_op(self, data: bytes) -> tuple[protocol.HolderOperation, DualSignedMessage, Coin, CoinBinding]:
+        """Common validation for deposit / downtime transfer / downtime renewal.
+
+        Returns the decoded operation, its envelope, the coin, and the
+        holder's (verified) proof binding.  Raises a protocol error subclass
+        on any failure.
+        """
+        try:
+            envelope = protocol.decode_dual(data, self.params)
+            operation = protocol.HolderOperation.from_payload(envelope.payload)
+        except (ValueError, KeyError) as exc:
+            raise ProtocolError(f"malformed holder operation: {exc}") from exc
+
+        if envelope.roster_version < self.judge.minimum_accepted_version:
+            raise VerificationFailed(
+                "group signature predates the latest expulsion (revoked snapshot)"
+            )
+        gpk = self._gpk_at(envelope.roster_version)
+        if not envelope.verify(gpk):
+            raise VerificationFailed("holder envelope signatures invalid")
+
+        coin = Coin(cert=protocol.decode_signed(operation.coin_cert, self.params))
+        if not coin.verify(self.public_key):
+            raise VerificationFailed("coin certificate invalid")
+        if coin.coin_y not in self.valid_coins:
+            raise UnknownCoin(f"coin {coin.coin_y:#x} is not in circulation")
+        if coin.coin_y in self.deposited:
+            event = DoubleSpendDetected(
+                "coin already deposited",
+                evidence={
+                    "coin_y": coin.coin_y,
+                    "first_deposit": self.deposited[coin.coin_y],
+                    "second_request": data,
+                },
+            )
+            self.fraud_events.append(event)
+            raise event
+
+        proof = CoinBinding(
+            signed=protocol.decode_signed(operation.proof_binding, self.params),
+            via_broker=operation.proof_via_broker,
+        )
+        stored = self.downtime_bindings.get(coin.coin_y)
+        if stored is not None and operation.proof_via_broker:
+            # Second flavour (Section 4.2): bit-by-bit comparison with state.
+            if proof.encode() != stored.encode():
+                raise NotHolder("proof binding does not match broker state")
+        else:
+            coin_key = coin.coin_public_key(self.params)
+            if not proof.verify(coin_key, self.public_key):
+                raise VerificationFailed("proof binding signature invalid")
+            if stored is not None and proof.seq < stored.seq:
+                raise NotHolder("proof binding is stale (older than broker state)")
+        # Holdership: the inner envelope must be signed by the bound holder key.
+        if envelope.coin_signer.y != proof.holder_y:
+            raise NotHolder("request not signed with the bound holder key")
+        if self.clock.now() > proof.exp_date:
+            raise CoinExpired(f"coin {coin.coin_y:#x} expired")
+        return operation, envelope, coin, proof
+
+    def _record_downtime_binding(self, coin: Coin, binding: CoinBinding) -> None:
+        self.downtime_bindings[coin.coin_y] = binding
+        owner = coin.owner_address
+        if owner is not None:
+            self.pending_sync.setdefault(owner, set()).add(coin.coin_y)
+        if self.detection is not None:
+            self.detection.publish_broker(self, binding)
+
+    # -- handlers --------------------------------------------------------------
+
+    def _handle_purchase(self, src: str, data: bytes) -> bytes:
+        """Purchase (Section 4.2): verify identity, debit, sign the coin."""
+        self.counts.purchases += 1
+        try:
+            signed = protocol.decode_signed(data, self.params)
+            request = protocol.PurchaseRequest.from_payload(signed.payload)
+        except (ValueError, KeyError) as exc:
+            raise ProtocolError(f"malformed purchase: {exc}") from exc
+        if not signed.verify():
+            raise VerificationFailed("purchase signature invalid")
+        account = self.accounts.get(request.account)
+        if account is None or account.identity.y != signed.signer.y:
+            raise VerificationFailed("purchase not signed by the account identity")
+        if account.balance < request.value:
+            raise InsufficientFunds(f"account {request.account!r} cannot cover {request.value}")
+        if request.coin_y in self.valid_coins:
+            raise ProtocolError("coin key collision (resubmitted purchase?)")
+        if not self.params.is_element(request.coin_y):
+            raise ProtocolError("coin key is not a valid group element")
+        account.balance -= request.value
+        if request.anonymous:
+            # Section 5.2 approach 3: ownerless coin — the certificate binds
+            # only the handle and the coin key.  The broker cannot map the
+            # coin to its owner afterwards, so no owner index entry is made
+            # (which is why lazy synchronization replaces sync for these).
+            coin = Coin.build(
+                self.keypair,
+                coin_y=request.coin_y,
+                value=request.value,
+                owner_address=None,
+                owner_y=None,
+                handle=request.handle,
+            )
+        else:
+            coin = Coin.build(
+                self.keypair,
+                coin_y=request.coin_y,
+                value=request.value,
+                owner_address=src,
+                owner_y=signed.signer.y,
+                handle=None,
+            )
+            self.owner_coins.setdefault(src, set()).add(request.coin_y)
+        self.valid_coins[request.coin_y] = coin
+        return coin.encode()
+
+    def _handle_purchase_batch(self, src: str, data: bytes) -> list[bytes]:
+        """Batch purchase: one signed request, many coins (Section 4.2).
+
+        Atomic: either the whole batch is minted and the account debited for
+        the total, or nothing happens.  Counted as one broker operation —
+        the amortization is exactly what batching is for.
+        """
+        self.counts.purchases += 1
+        try:
+            signed = protocol.decode_signed(data, self.params)
+            request = protocol.BatchPurchaseRequest.from_payload(signed.payload)
+        except (ValueError, KeyError) as exc:
+            raise ProtocolError(f"malformed batch purchase: {exc}") from exc
+        if not signed.verify():
+            raise VerificationFailed("batch purchase signature invalid")
+        account = self.accounts.get(request.account)
+        if account is None or account.identity.y != signed.signer.y:
+            raise VerificationFailed("batch purchase not signed by the account identity")
+        total = sum(value for _coin_y, value in request.coins)
+        if account.balance < total:
+            raise InsufficientFunds(
+                f"account {request.account!r} cannot cover batch total {total}"
+            )
+        for coin_y, _value in request.coins:
+            if coin_y in self.valid_coins:
+                raise ProtocolError("coin key collision in batch")
+            if not self.params.is_element(coin_y):
+                raise ProtocolError("batch contains an invalid coin key")
+        account.balance -= total
+        minted: list[bytes] = []
+        for coin_y, value in request.coins:
+            coin = Coin.build(
+                self.keypair,
+                coin_y=coin_y,
+                value=value,
+                owner_address=src,
+                owner_y=signed.signer.y,
+                handle=None,
+            )
+            self.valid_coins[coin_y] = coin
+            self.owner_coins.setdefault(src, set()).add(coin_y)
+            minted.append(coin.encode())
+        return minted
+
+    def _handle_deposit(self, src: str, data: bytes) -> dict[str, Any]:
+        """Deposit: verify holdership + membership, credit, retire the coin."""
+        self.counts.deposits += 1
+        operation, envelope, coin, proof = self._verify_holder_op(data)
+        if operation.op != "deposit":
+            raise ProtocolError("deposit handler got a non-deposit operation")
+        assert operation.payout_to is not None
+        self.deposited[coin.coin_y] = data
+        self.downtime_bindings.pop(coin.coin_y, None)
+        # The broker's registry is authoritative for value: a holder whose
+        # certificate predates a top-up still redeems the full amount.
+        value = self.valid_coins[coin.coin_y].value
+        payout = self.accounts.get(operation.payout_to)
+        if payout is None:
+            # Pseudonymous payout: open a bearer account on the fly.  The
+            # depositor stays anonymous; the account token is its claim.
+            self.accounts[operation.payout_to] = Account(
+                identity=envelope.coin_signer, balance=value
+            )
+        else:
+            payout.balance += value
+        return {"ok": True, "credited": value}
+
+    def _fresh_binding(self, coin: Coin, holder_y: int, previous_seq: int) -> CoinBinding:
+        return CoinBinding.build(
+            self.keypair,
+            coin_y=coin.coin_y,
+            holder_y=holder_y,
+            seq=previous_seq + 1,
+            exp_date=self.clock.now() + self.renewal_period,
+            via_broker=True,
+        )
+
+    def _handle_downtime_transfer(self, src: str, data: bytes) -> bytes:
+        """Downtime transfer (Section 4.2): re-bind the coin, keep state."""
+        self.counts.downtime_transfers += 1
+        operation, envelope, coin, proof = self._verify_holder_op(data)
+        if operation.op != "transfer":
+            raise ProtocolError("downtime-transfer handler got a non-transfer op")
+        assert operation.new_holder_y is not None
+        if not self.params.is_element(operation.new_holder_y):
+            raise ProtocolError("new holder key is not a valid group element")
+        binding = self._fresh_binding(coin, operation.new_holder_y, proof.seq)
+        self._record_downtime_binding(coin, binding)
+        return binding.encode()
+
+    def _handle_downtime_renewal(self, src: str, data: bytes) -> bytes:
+        """Downtime renewal (Section 4.2): same holder, new seq and expiry."""
+        self.counts.downtime_renewals += 1
+        operation, envelope, coin, proof = self._verify_holder_op(data)
+        if operation.op != "renewal":
+            raise ProtocolError("downtime-renewal handler got a non-renewal op")
+        binding = self._fresh_binding(coin, proof.holder_y, proof.seq)
+        self._record_downtime_binding(coin, binding)
+        return binding.encode()
+
+    def _handle_top_up(self, src: str, data: bytes) -> bytes:
+        """Increase a coin's value (the Section 2 security property's "only
+        the broker can … increase the value of coins").
+
+        The requester proves holdership anonymously (dual-signed envelope)
+        and separately authorizes the funding debit with the funding
+        account's identity key.  The broker re-mints the certificate at the
+        new value; the coin key, owner, and current binding are untouched,
+        so the coin keeps circulating seamlessly.
+        """
+        self.counts.purchases += 1  # value creation: accounted like a purchase
+        operation, envelope, coin, proof = self._verify_holder_op(data)
+        if operation.op != "top_up":
+            raise ProtocolError("top-up handler got a different operation")
+        assert operation.delta is not None and operation.funding_auth is not None
+        auth = protocol.decode_signed(operation.funding_auth, self.params)
+        auth_payload = auth.payload
+        if (
+            not isinstance(auth_payload, dict)
+            or auth_payload.get("kind") != "whopay.debit_auth"
+            or auth_payload.get("coin_y") != coin.coin_y
+            or auth_payload.get("amount") != operation.delta
+        ):
+            raise ProtocolError("malformed funding authorization")
+        account = self.accounts.get(auth_payload.get("account"))
+        if account is None or auth.signer.y != account.identity.y or not auth.verify():
+            raise VerificationFailed("funding authorization not signed by the account identity")
+        if account.balance < operation.delta:
+            raise InsufficientFunds("funding account cannot cover the top-up")
+        account.balance -= operation.delta
+        payload = coin.payload
+        new_coin = Coin.build(
+            self.keypair,
+            coin_y=coin.coin_y,
+            value=coin.value + operation.delta,
+            owner_address=payload["owner"],
+            owner_y=payload["owner_y"],
+            handle=payload["handle"],
+        )
+        self.valid_coins[coin.coin_y] = new_coin
+        return new_coin.encode()
+
+    def _handle_sync_challenge(self, src: str, _payload: Any) -> bytes:
+        """First half of sync: hand out a fresh challenge nonce."""
+        nonce = secrets.token_bytes(16)
+        self._sync_nonces[src] = nonce
+        return nonce
+
+    def _handle_sync(self, src: str, data: bytes) -> list[tuple[int, bytes]]:
+        """Proactive synchronization (Section 4.2).
+
+        The owner proves its identity by signing the challenge nonce with its
+        identity key; the broker replies with every binding it recorded for
+        the owner's coins during the downtime.
+        """
+        self.counts.syncs += 1
+        try:
+            signed = protocol.decode_signed(data, self.params)
+            payload = signed.payload
+            nonce = payload["nonce"]
+        except (ValueError, KeyError, TypeError) as exc:
+            raise ProtocolError(f"malformed sync: {exc}") from exc
+        expected = self._sync_nonces.pop(src, None)
+        if expected is None or nonce != expected:
+            raise VerificationFailed("sync nonce missing or mismatched")
+        if not signed.verify():
+            raise VerificationFailed("sync signature invalid")
+        owned = self.owner_coins.get(src, set())
+        known_identities = {
+            self.valid_coins[coin_y].owner_y for coin_y in owned
+        }
+        if owned and signed.signer.y not in known_identities:
+            raise VerificationFailed("sync not signed by the coin owner's identity")
+        changed = self.pending_sync.pop(src, set())
+        response = []
+        for coin_y in sorted(changed):
+            binding = self.downtime_bindings.get(coin_y)
+            if binding is not None:
+                response.append((coin_y, binding.encode()))
+        return response
+
+    def _handle_binding_query(self, src: str, coin_y: int) -> bytes | None:
+        """Lazy-sync check: the owner asks for broker state on one coin."""
+        self.counts.binding_queries += 1
+        binding = self.downtime_bindings.get(coin_y)
+        return None if binding is None else binding.encode()

@@ -1,0 +1,41 @@
+"""A controllable clock shared by all protocol entities.
+
+Coin expiration (Section 4.1: "Coins must be renewed periodically to retain
+their value") makes the protocol time-dependent.  All entities read the same
+injected :class:`Clock`, which tests and simulations advance explicitly, so
+expiry behaviour is deterministic.  Times are seconds; the paper's renewal
+period of 3 days is :data:`DEFAULT_RENEWAL_PERIOD`.
+"""
+
+from __future__ import annotations
+
+HOUR = 3600.0
+DAY = 24 * HOUR
+
+#: Paper Section 6.1: "We use a renewal period of 3 days".
+DEFAULT_RENEWAL_PERIOD = 3 * DAY
+
+
+class Clock:
+    """A monotonically advancing simulated wall clock."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward; returns the new time."""
+        if seconds < 0:
+            raise ValueError("clock cannot move backwards")
+        self._now += seconds
+        return self._now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Jump to an absolute time (must not be in the past)."""
+        if timestamp < self._now:
+            raise ValueError("clock cannot move backwards")
+        self._now = timestamp
+        return self._now

@@ -1,0 +1,100 @@
+"""Coin shops (paper Section 5.2, approach 2).
+
+    "Coin shops purchase coins from the broker, and peers purchase coins,
+    using the issue procedure, from the coin shops.  …  Coin shops do not
+    care about anonymity; they are in this business for profit, e.g., by
+    charging a small fee for each coin issued.  Peers do not own, and hence
+    never issue coins.  Peers spend coins only using the transfer procedure,
+    which is anonymous."
+
+A :class:`CoinShop` is a peer specialization that keeps a stock of unissued
+coins, sells them through the ordinary issue protocol (plus a fee), and then
+earns its keep by serving the transfers/renewals of the coins it issued —
+i.e., it deliberately concentrates the coin-owner role onto highly available
+commercial nodes, which is also the paper's "super peer" conjecture from the
+scaling discussion in Section 6.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.coin import CoinBinding
+from repro.core.errors import InsufficientFunds, ProtocolError
+from repro.core.peer import Peer
+
+
+@dataclass
+class SaleRecord:
+    """One coin sale: which coin, to whom (address only), at what fee."""
+
+    coin_y: int
+    customer: str
+    price: int
+    fee: int
+
+
+class CoinShop(Peer):
+    """A commercial coin issuer.
+
+    The shop's fee accounting is deliberately out-of-band (a real deployment
+    would settle fees through WhoPay itself or a subscription); what matters
+    for the anonymity argument is the *protocol* shape: customers acquire
+    coins via issue-from-shop and afterwards spend exclusively by transfer.
+    """
+
+    def __init__(self, *args, fee: int = 0, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.fee = fee
+        self.sales: list[SaleRecord] = []
+        self.revenue = 0
+
+    # -- stocking ----------------------------------------------------------
+
+    def restock(self, count: int, value: int = 1) -> int:
+        """Purchase ``count`` fresh coins from the broker to sell later."""
+        for _ in range(count):
+            self.purchase(value=value)
+        return len(self.spendable_owned())
+
+    def stock_size(self) -> int:
+        """Unissued coins available for sale."""
+        return len(self.spendable_owned())
+
+    # -- selling ----------------------------------------------------------
+
+    def sell(self, customer: str, value: int = 1) -> CoinBinding:
+        """Issue one stocked coin of ``value`` to ``customer``.
+
+        Restocks on demand if the shelf is empty.  Returns the issue binding
+        (the customer's proof of holdership).
+        """
+        coin_y = None
+        for candidate in self.spendable_owned():
+            if self.owned[candidate].coin.value == value:
+                coin_y = candidate
+                break
+        if coin_y is None:
+            state = self.purchase(value=value)
+            coin_y = state.coin_y
+        binding = self.issue(customer, coin_y)
+        self.sales.append(
+            SaleRecord(coin_y=coin_y, customer=customer, price=value, fee=self.fee)
+        )
+        self.revenue += self.fee
+        return binding
+
+
+def buy_coin_from_shop(customer: Peer, shop: CoinShop, value: int = 1) -> int:
+    """Customer-side purchase: ask the shop to issue a coin; returns coin_y.
+
+    After this call the customer *holds* the coin (it appears in its wallet)
+    but does not own it — exactly the state from which every subsequent
+    spend is an anonymous transfer.
+    """
+    before = set(customer.wallet)
+    shop.sell(customer.address, value=value)
+    added = set(customer.wallet) - before
+    if len(added) != 1:
+        raise ProtocolError("shop sale did not deliver exactly one coin")
+    return added.pop()

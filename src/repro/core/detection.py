@@ -1,0 +1,110 @@
+"""Real-time double-spending detection (paper Section 5.1).
+
+The mechanism in the paper's words:
+
+    "The idea is to make every peer's coin binding list globally readable.
+    To make sure every coin owner publishes its list faithfully, a peer does
+    not accept payment until verifying that the relevant public binding has
+    been properly updated.  Each peer constantly monitors the public
+    bindings for the coins it currently holds, and any unexpected update can
+    trigger appropriate actions."
+
+:class:`DetectionService` wires the pieces together:
+
+* owners (and the broker, during downtime) publish each new binding to the
+  access-controlled DHT *before* completing the payment;
+* payees verify the public binding matches the binding they were handed
+  before accepting (enforced in ``Peer._handle_payment_complete``);
+* holders subscribe to their coins through the notification hub; an update
+  that re-binds a coin away from the subscriber's holder key raises an
+  :class:`~repro.core.peer.Alarm` on the victim — in real time, not at
+  deposit time.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.coin import CoinBinding, OwnedCoinState
+from repro.crypto.params import DlogParams
+from repro.dht.binding_store import BindingRecord, BindingStore, WriteRejected
+from repro.dht.notify import NotificationHub
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.broker import Broker
+    from repro.core.peer import Peer
+
+
+class DetectionService:
+    """Publish/verify/monitor façade over the DHT binding store."""
+
+    def __init__(self, store: BindingStore, hub: NotificationHub, params: DlogParams) -> None:
+        self.store = store
+        self.hub = hub
+        self.params = params
+        self.publishes = 0
+        self.rejected_publishes = 0
+
+    # -- publishing ----------------------------------------------------------
+
+    def _record_for(self, binding: CoinBinding) -> BindingRecord:
+        signed = binding.signed
+        return BindingRecord(
+            payload=signed.payload_bytes,
+            signer_y=signed.signer.y,
+            sig_r=signed.signature.r,
+            sig_s=signed.signature.s,
+            via_broker=binding.via_broker,
+        )
+
+    def publish_owner(self, peer: "Peer", state: OwnedCoinState, binding: CoinBinding) -> None:
+        """Owner-side publish on issue/transfer/renewal.
+
+        The DHT's validator re-checks the signature and sequence monotonicity;
+        a rejection here means the owner attempted a rollback and is surfaced
+        immediately rather than swallowed.
+        """
+        self._publish(self._record_for(binding), src=peer.address)
+
+    def publish_broker(self, broker: "Broker", binding: CoinBinding) -> None:
+        """Broker-side publish on downtime transfer/renewal."""
+        self._publish(self._record_for(binding), src=broker.address)
+
+    def _publish(self, record: BindingRecord, src: str) -> None:
+        try:
+            self.store.publish(record, src=src)
+            self.publishes += 1
+        except WriteRejected:
+            self.rejected_publishes += 1
+            raise
+
+    # -- reading ----------------------------------------------------------------
+
+    def fetch_binding(self, src: str, coin_y: int) -> CoinBinding | None:
+        """Read the public binding of ``coin_y`` (payee check, owner check)."""
+        from repro.core.protocol import decode_signed
+
+        record = self.store.fetch(coin_y, src=src)
+        if record is None:
+            return None
+        # Rebuild the typed binding from the published record.
+        from repro.crypto.dsa import DsaSignature
+        from repro.crypto.keys import PublicKey
+        from repro.messages.envelope import SignedMessage
+
+        signed = SignedMessage(
+            payload_bytes=record.payload,
+            signer=PublicKey(params=self.params, y=record.signer_y),
+            signature=DsaSignature(r=record.sig_r, s=record.sig_s),
+        )
+        return CoinBinding(signed=signed, via_broker=record.via_broker)
+
+    # -- monitoring ----------------------------------------------------------------
+
+    def subscribe(self, peer: "Peer", coin_y: int) -> None:
+        """Register a holder for push updates on its coin."""
+        self.hub.subscribe(coin_y, peer.address)
+
+    def unsubscribe(self, peer: "Peer", coin_y: int) -> None:
+        """Stop watching a coin (after spending/depositing it)."""
+        self.hub.unsubscribe(coin_y, peer.address)

@@ -1,0 +1,55 @@
+"""Exception taxonomy for the WhoPay protocols.
+
+Every protocol failure maps to a subclass of :class:`ProtocolError` so
+callers can distinguish "your request was malformed" from "fraud was just
+detected" — the latter carries the evidence needed for adjudication.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class ProtocolError(Exception):
+    """Base class for all WhoPay protocol failures."""
+
+
+class VerificationFailed(ProtocolError):
+    """A signature, proof, or certificate failed to verify."""
+
+
+class NotHolder(ProtocolError):
+    """The requester could not prove holdership of the coin."""
+
+
+class NotOwner(ProtocolError):
+    """The contacted party is not (or could not prove being) the coin owner."""
+
+
+class CoinExpired(ProtocolError):
+    """The coin's expiration date has passed without renewal."""
+
+
+class UnknownCoin(ProtocolError):
+    """The coin is not in the relevant registry (broker list, owner list…)."""
+
+
+class InsufficientFunds(ProtocolError):
+    """The account cannot cover the requested purchase."""
+
+
+class FraudDetected(ProtocolError):
+    """Fraud was detected; carries the evidence for the judge.
+
+    ``evidence`` is a dict of named artifacts (conflicting bindings, deposit
+    requests, group signatures) that :mod:`repro.core.audit` and the judge
+    consume to attribute blame.
+    """
+
+    def __init__(self, message: str, evidence: dict[str, Any] | None = None) -> None:
+        super().__init__(message)
+        self.evidence = evidence or {}
+
+
+class DoubleSpendDetected(FraudDetected):
+    """The same coin was spent (or deposited) twice."""

@@ -1,0 +1,103 @@
+"""One-call assembly of a complete WhoPay deployment.
+
+:class:`WhoPayNetwork` wires together everything a scenario needs — the
+transport, clock, judge, broker, peers, and optionally the DHT-backed
+real-time detection service — with sane defaults, so examples and tests can
+say::
+
+    net = WhoPayNetwork(params=PARAMS_TEST_512)
+    alice = net.add_peer("alice", balance=10)
+    bob = net.add_peer("bob")
+    coin = alice.purchase()
+    alice.issue("bob", coin.coin_y)
+"""
+
+from __future__ import annotations
+
+from repro.core.broker import Broker
+from repro.core.clock import DEFAULT_RENEWAL_PERIOD, Clock
+from repro.core.detection import DetectionService
+from repro.core.judge import Judge
+from repro.core.peer import Peer
+from repro.crypto.params import DlogParams, default_params
+from repro.dht.binding_store import BindingStore
+from repro.dht.chord import ChordRing
+from repro.dht.notify import NotificationHub
+from repro.net.transport import Transport
+
+
+class WhoPayNetwork:
+    """A fully wired WhoPay system in one object."""
+
+    def __init__(
+        self,
+        params: DlogParams | None = None,
+        enable_detection: bool = False,
+        dht_size: int = 8,
+        dht_backend: str = "chord",
+        sync_mode: str = "proactive",
+        renewal_period: float = DEFAULT_RENEWAL_PERIOD,
+    ) -> None:
+        self.params = params or default_params()
+        self.transport = Transport()
+        self.clock = Clock()
+        self.judge = Judge(self.params)
+        self.broker = Broker(
+            self.transport,
+            judge=self.judge,
+            params=self.params,
+            clock=self.clock,
+            renewal_period=renewal_period,
+        )
+        self.sync_mode = sync_mode
+        self.renewal_period = renewal_period
+        self.peers: dict[str, Peer] = {}
+        # PKI: every peer gets a CA-issued identity certificate (the
+        # "public key certificate" of Section 4.2's purchase flow).
+        from repro.pki import CertificateAuthority
+
+        self.ca = CertificateAuthority(self.params)
+        self.detection: DetectionService | None = None
+        if enable_detection:
+            # The §5.1 infrastructure is DHT-agnostic; pick the fabric.
+            if dht_backend == "chord":
+                fabric = ChordRing(self.transport, size=dht_size)
+            elif dht_backend == "kademlia":
+                from repro.dht.kademlia import KademliaNetwork
+
+                fabric = KademliaNetwork(self.transport, size=dht_size)
+            else:
+                raise ValueError("dht_backend must be 'chord' or 'kademlia'")
+            store = BindingStore(fabric, self.params, self.broker.public_key)
+            hub = NotificationHub(store)
+            self.detection = DetectionService(store, hub, self.params)
+            self.broker.detection = self.detection
+
+    def add_peer(self, address: str, balance: int = 0, sync_mode: str | None = None) -> Peer:
+        """Register a user: judge enrollment, broker account, transport node."""
+        member_key = self.judge.register(address)
+        peer = Peer(
+            self.transport,
+            address=address,
+            params=self.params,
+            clock=self.clock,
+            judge=self.judge,
+            member_key=member_key,
+            broker_address=self.broker.address,
+            broker_key=self.broker.public_key,
+            sync_mode=sync_mode if sync_mode is not None else self.sync_mode,
+            renewal_period=self.renewal_period,
+        )
+        peer.detection = self.detection
+        peer.certificate = self.ca.issue(address, peer.identity.public, self.clock.now())
+        self.broker.open_account_from_certificate(peer.certificate, self.ca.public_key, balance)
+        self.peers[address] = peer
+        return peer
+
+    def peer(self, address: str) -> Peer:
+        """Look up a peer by address."""
+        return self.peers[address]
+
+    def advance(self, seconds: float) -> float:
+        """Move simulated time forward."""
+        return self.clock.advance(seconds)

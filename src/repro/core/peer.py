@@ -1,0 +1,875 @@
+"""The WhoPay peer: wallet holder, coin owner, payer and payee (Section 4).
+
+One :class:`Peer` plays every user role in the paper:
+
+* **buyer** — :meth:`purchase` coins from the broker;
+* **payer** — :meth:`issue` coins it owns, :meth:`transfer` coins it holds
+  (via the owner when online, via the broker otherwise), with :meth:`pay`
+  choosing the method by a preference policy;
+* **payee** — handles issue/transfer offers, minting a fresh per-coin key
+  pair for each payment and verifying the whole evidence chain before
+  accepting;
+* **owner** — serves transfer and renewal requests for the coins it
+  purchased, maintains the binding list and relinquishment audit trail, and
+  synchronizes with the broker after downtime (proactively or lazily,
+  Section 5.2);
+* **holder** — renews held coins before expiry and deposits them for cash.
+
+Anonymity mechanics exactly as specified: holder-side messages are signed
+with the per-coin holder key plus the group key (never the identity key),
+so neither the owner nor the broker learns who holds, pays, or deposits.
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core import protocol
+from repro.core.clock import DEFAULT_RENEWAL_PERIOD, Clock
+from repro.core.coin import Coin, CoinBinding, HeldCoin, OwnedCoinState
+from repro.core.errors import (
+    CoinExpired,
+    NotHolder,
+    NotOwner,
+    ProtocolError,
+    UnknownCoin,
+    VerificationFailed,
+)
+from repro.core.judge import Judge
+from repro.crypto.group_signature import GroupMemberKey
+from repro.crypto.keys import KeyPair, PublicKey
+from repro.crypto.params import DlogParams
+from repro.crypto.schnorr import SchnorrProof, schnorr_prove, schnorr_verify
+from repro.messages.envelope import DualSignedMessage, group_seal, seal
+from repro.net.node import Node
+from repro.net.transport import NetworkError, NodeOffline, Transport
+
+#: How long before expiry a holder starts renewing (one quarter of the period).
+RENEWAL_WINDOW_FRACTION = 0.25
+
+
+@dataclass
+class PeerCounts:
+    """Per-operation counters (the peer-side load of Figures 4/5)."""
+
+    purchases: int = 0
+    issues: int = 0
+    transfers_sent: int = 0
+    transfers_handled: int = 0
+    renewals_sent: int = 0
+    renewals_handled: int = 0
+    deposits: int = 0
+    downtime_transfers: int = 0
+    downtime_renewals: int = 0
+    syncs: int = 0
+    checks: int = 0
+    lazy_syncs: int = 0
+    payments_received: int = 0
+
+
+@dataclass
+class Alarm:
+    """A real-time double-spend alarm raised by binding monitoring."""
+
+    coin_y: int
+    expected_holder_y: int
+    observed_holder_y: int
+    observed_seq: int
+    at: float
+
+
+@dataclass
+class _PendingOffer:
+    """Payee-side state between offer and completion."""
+
+    coin_y: int
+    holder_keypair: KeyPair
+    payer: str
+
+
+class Peer(Node):
+    """A WhoPay user agent attached to the shared transport."""
+
+    def __init__(
+        self,
+        transport: Transport,
+        address: str,
+        params: DlogParams,
+        clock: Clock,
+        judge: Judge,
+        member_key: GroupMemberKey,
+        broker_address: str,
+        broker_key: PublicKey,
+        sync_mode: str = "proactive",
+        renewal_period: float = DEFAULT_RENEWAL_PERIOD,
+    ) -> None:
+        if sync_mode not in ("proactive", "lazy"):
+            raise ValueError("sync_mode must be 'proactive' or 'lazy'")
+        super().__init__(transport, address)
+        self.params = params
+        self.clock = clock
+        self.judge = judge
+        self.identity = KeyPair.generate(params)
+        self.member_key = member_key
+        self.broker_address = broker_address
+        self.broker_key = broker_key
+        self.sync_mode = sync_mode
+        self.renewal_period = renewal_period
+
+        self.wallet: dict[int, HeldCoin] = {}
+        self.owned: dict[int, OwnedCoinState] = {}
+        self.counts = PeerCounts()
+        self.alarms: list[Alarm] = []
+        self.detection = None  # set by WhoPayNetwork when the DHT is enabled
+        self._pending: dict[bytes, _PendingOffer] = {}
+        self._expected_rebinds: set[int] = set()  # coins I am moving myself
+        self._gpk_cache: dict[int, Any] = {}
+
+        self.on(protocol.ISSUE_OFFER, self._handle_payment_offer)
+        self.on(protocol.ISSUE_COMPLETE, self._handle_payment_complete)
+        self.on(protocol.TRANSFER_OFFER, self._handle_payment_offer)
+        self.on(protocol.TRANSFER_COMPLETE, self._handle_payment_complete)
+        self.on(protocol.TRANSFER_REQUEST, self._handle_transfer_request)
+        self.on(protocol.RENEW_REQUEST, self._handle_renew_request)
+        self.on(protocol.BINDING_UPDATE, self._handle_binding_update)
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+
+    def _gpk(self, version: int | None = None):
+        if version is None:
+            gpk = self.judge.group_public_key()
+            self._gpk_cache[len(gpk.roster)] = gpk
+            return gpk
+        if version not in self._gpk_cache:
+            self._gpk_cache[version] = self.judge.group_public_key_at(version)
+        return self._gpk_cache[version]
+
+    def _verify_dual(self, envelope: DualSignedMessage) -> bool:
+        # Revocation floor: refuse signatures minted against a roster
+        # snapshot that predates the latest expulsion.
+        if envelope.roster_version < self.judge.minimum_accepted_version:
+            return False
+        return envelope.verify(self._gpk(envelope.roster_version))
+
+    def _owner_proof_context(self, nonce: bytes, binding: CoinBinding) -> bytes:
+        return b"whopay-owner-proof|" + nonce + b"|" + binding.encode()
+
+    def balance_held(self) -> int:
+        """Total value of coins currently in the wallet."""
+        return sum(held.value for held in self.wallet.values())
+
+    def spendable_owned(self) -> list[int]:
+        """Coins this peer owns that have never been issued (issuable)."""
+        return [coin_y for coin_y, state in self.owned.items() if not state.issued]
+
+    def wallet_summary(self) -> list[dict[str, Any]]:
+        """Inspection view of every held coin (no secrets included)."""
+        now = self.clock.now()
+        rows = []
+        for held in self.wallet.values():
+            owner = held.coin.owner_address
+            rows.append(
+                {
+                    "coin": held.coin_y,
+                    "value": held.value,
+                    "owner": owner if owner is not None else "<anonymous>",
+                    "owner_online": bool(owner and self.transport.is_online(owner)),
+                    "seq": held.binding.seq,
+                    "via_broker": held.binding.via_broker,
+                    "expires_in": held.binding.exp_date - now,
+                    "expired": held.is_expired(now),
+                }
+            )
+        return rows
+
+    def owned_summary(self) -> list[dict[str, Any]]:
+        """Inspection view of every owned coin (no secrets included)."""
+        rows = []
+        for state in self.owned.values():
+            rows.append(
+                {
+                    "coin": state.coin_y,
+                    "value": state.coin.value,
+                    "issued": state.issued,
+                    "seq": state.binding.seq if state.binding else None,
+                    "relinquishments": len(state.relinquishments),
+                    "needs_check": state.dirty,
+                }
+            )
+        return rows
+
+    # ------------------------------------------------------------------
+    # lifecycle / churn
+    # ------------------------------------------------------------------
+
+    def depart(self) -> None:
+        """Go offline (coins owned by this peer become 'offline coins')."""
+        self.go_offline()
+
+    def rejoin(self) -> None:
+        """Come back online; synchronize state per the configured mode.
+
+        Proactive: one sync exchange with the broker immediately (the paper's
+        base protocol).  Lazy (Section 5.2): mark every owned coin as
+        possibly-stale; the first transfer/renewal request for a coin then
+        triggers a *check*.
+        """
+        self.go_online()
+        if self.sync_mode == "proactive":
+            self.sync_with_broker()
+        else:
+            for state in self.owned.values():
+                state.dirty = True
+
+    def sync_with_broker(self) -> int:
+        """Proactive synchronization; returns how many bindings were updated."""
+        nonce = self.request(self.broker_address, protocol.SYNC_CHALLENGE, None)
+        signed = seal(self.identity, {"kind": "whopay.sync", "nonce": nonce})
+        updates = self.request(self.broker_address, protocol.SYNC, signed.encode())
+        self.counts.syncs += 1
+        applied = 0
+        for coin_y, binding_bytes in updates:
+            state = self.owned.get(coin_y)
+            if state is None:
+                continue
+            binding = CoinBinding(
+                signed=protocol.decode_signed(binding_bytes, self.params), via_broker=True
+            )
+            if not binding.verify(state.coin_keypair.public, self.broker_key):
+                raise VerificationFailed("broker sync returned an invalid binding")
+            if state.binding is None or binding.seq > state.binding.seq:
+                state.binding = binding
+                applied += 1
+            state.dirty = False
+        for state in self.owned.values():
+            state.dirty = False
+        return applied
+
+    def _check_coin_state(self, state: OwnedCoinState) -> None:
+        """Lazy-sync *check*: refresh one coin's binding before serving it.
+
+        Consults the public binding list when real-time detection is running
+        (the Section 5.2 design), otherwise asks the broker directly.  If the
+        authoritative state is newer than ours, adopt it — that adoption is
+        what the paper calls a lazy synchronization.
+        """
+        self.counts.checks += 1
+        latest: CoinBinding | None = None
+        if self.detection is not None:
+            latest = self.detection.fetch_binding(self.address, state.coin_y)
+        else:
+            raw = self.request(self.broker_address, protocol.BINDING_QUERY, state.coin_y)
+            if raw is not None:
+                latest = CoinBinding(
+                    signed=protocol.decode_signed(raw, self.params), via_broker=True
+                )
+        if latest is not None:
+            if not latest.verify(state.coin_keypair.public, self.broker_key):
+                raise VerificationFailed("public binding fails verification")
+            if state.binding is None or latest.seq > state.binding.seq:
+                state.binding = latest
+                self.counts.lazy_syncs += 1
+        state.dirty = False
+
+    # ------------------------------------------------------------------
+    # buyer: purchase
+    # ------------------------------------------------------------------
+
+    def purchase(self, value: int = 1, account: str | None = None) -> OwnedCoinState:
+        """Buy a coin from the broker (Section 4.2, Purchase)."""
+        coin_keypair = KeyPair.generate(self.params)
+        request = protocol.PurchaseRequest(
+            coin_y=coin_keypair.public.y,
+            value=value,
+            account=account if account is not None else self.address,
+        )
+        signed = seal(self.identity, request.to_payload())
+        coin_bytes = self.request(self.broker_address, protocol.PURCHASE, signed.encode())
+        coin = Coin(cert=protocol.decode_signed(coin_bytes, self.params))
+        if not coin.verify(self.broker_key) or coin.coin_y != coin_keypair.public.y:
+            raise VerificationFailed("broker returned an invalid coin")
+        state = OwnedCoinState(coin=coin, coin_keypair=coin_keypair)
+        self.owned[coin.coin_y] = state
+        self.counts.purchases += 1
+        return state
+
+    def purchase_batch(self, count: int, value: int = 1, account: str | None = None) -> list[OwnedCoinState]:
+        """Buy ``count`` coins in one signed round trip (Section 4.2).
+
+        One broker operation regardless of ``count`` — the batching
+        amortization the paper points out.  Atomic on the broker side.
+        """
+        if count < 1:
+            raise ValueError("batch needs at least one coin")
+        keypairs = [KeyPair.generate(self.params) for _ in range(count)]
+        request = protocol.BatchPurchaseRequest(
+            coins=tuple((kp.public.y, value) for kp in keypairs),
+            account=account if account is not None else self.address,
+        )
+        signed = seal(self.identity, request.to_payload())
+        minted = self.request(self.broker_address, protocol.PURCHASE_BATCH, signed.encode())
+        if len(minted) != count:
+            raise VerificationFailed("broker returned the wrong number of coins")
+        states: list[OwnedCoinState] = []
+        by_y = {kp.public.y: kp for kp in keypairs}
+        for coin_bytes in minted:
+            coin = Coin(cert=protocol.decode_signed(coin_bytes, self.params))
+            keypair = by_y.get(coin.coin_y)
+            if keypair is None or not coin.verify(self.broker_key):
+                raise VerificationFailed("broker returned an invalid batch coin")
+            state = OwnedCoinState(coin=coin, coin_keypair=keypair)
+            self.owned[coin.coin_y] = state
+            states.append(state)
+        self.counts.purchases += 1
+        return states
+
+    # ------------------------------------------------------------------
+    # payer: issue / transfer / deposit / renewal
+    # ------------------------------------------------------------------
+
+    def issue(self, payee: str, coin_y: int | None = None) -> CoinBinding:
+        """Issue a coin this peer owns to ``payee`` (Section 4.2, Issue)."""
+        candidates = self.spendable_owned()
+        if coin_y is None:
+            if not candidates:
+                raise UnknownCoin("no unissued coin to issue")
+            coin_y = candidates[0]
+        state = self.owned.get(coin_y)
+        if state is None:
+            raise NotOwner(f"not the owner of coin {coin_y:#x}")
+        if state.issued:
+            raise ProtocolError("coin already issued; it must circulate by transfer")
+
+        offer = self.request(payee, protocol.ISSUE_OFFER, state.coin.encode())
+        holder_y, nonce = offer["holder_y"], offer["nonce"]
+        # "a randomly chosen sequence number" — but never at or below one we
+        # already signed (a failed earlier attempt may have published it).
+        seq = max(secrets.randbelow(1 << 30), state.seq_floor + 1)
+        state.seq_floor = seq
+        binding = CoinBinding.build(
+            state.coin_keypair,
+            coin_y=state.coin_y,
+            holder_y=holder_y,
+            seq=seq,
+            exp_date=self.clock.now() + self.renewal_period,
+        )
+        if self.detection is not None:
+            self.detection.publish_owner(self, state, binding)
+        result = self.request(
+            payee,
+            protocol.ISSUE_COMPLETE,
+            self._completion_payload(state, binding, nonce),
+        )
+        if not result.get("ok"):
+            raise ProtocolError(f"payee rejected the issue: {result.get('reason')}")
+        state.binding = binding
+        self.counts.issues += 1
+        return binding
+
+    def _completion_payload(
+        self, state: OwnedCoinState, binding: CoinBinding, nonce: bytes
+    ) -> dict[str, Any]:
+        """Build the ISSUE/TRANSFER_COMPLETE payload for a coin I own.
+
+        Basic coins: ownership is proven with the identity key (the coin
+        names its owner).  Ownerless coins (Section 5.2 approach 3):
+        ownership is proven with the *coin* key, and the binding is wrapped
+        in a group signature — "peers sign their messages with their group
+        private keys when issuing coins" — so a cheating anonymous issuer
+        can still be opened by the judge.
+        """
+        if state.coin.is_ownerless:
+            from repro.crypto.group_signature import group_sign
+
+            gpk = self._gpk()
+            dual = DualSignedMessage(
+                inner=binding.signed,
+                group_signature=group_sign(gpk, self.member_key, binding.signed.encode()),
+                roster_version=len(gpk.roster),
+            )
+            proof = schnorr_prove(
+                state.coin_keypair, self._owner_proof_context(nonce, binding)
+            )
+            return {
+                "coin": state.coin.encode(),
+                "binding": None,
+                "binding_dual": protocol.encode_dual(dual),
+                "via_broker": False,
+                "proof_t": proof.commitment,
+                "proof_z": proof.response,
+                "nonce": nonce,
+            }
+        proof = schnorr_prove(self.identity, self._owner_proof_context(nonce, binding))
+        return {
+            "coin": state.coin.encode(),
+            "binding": binding.encode(),
+            "binding_dual": None,
+            "via_broker": False,
+            "proof_t": proof.commitment,
+            "proof_z": proof.response,
+            "nonce": nonce,
+        }
+
+    def _holder_envelope(self, held: HeldCoin, op: str, **fields: Any) -> DualSignedMessage:
+        operation = protocol.HolderOperation(
+            op=op,
+            coin_cert=held.coin.encode(),
+            proof_binding=held.binding.signed.encode(),
+            proof_via_broker=held.binding.via_broker,
+            **fields,
+        )
+        return group_seal(held.holder_keypair, self.member_key, self._gpk(), operation.to_payload())
+
+    def _pick_held(self, coin_y: int | None, owner_online: bool | None = None) -> HeldCoin:
+        now = self.clock.now()
+        if coin_y is not None:
+            held = self.wallet.get(coin_y)
+            if held is None:
+                raise NotHolder(f"not holding coin {coin_y:#x}")
+            return held
+        for held in self.wallet.values():
+            if held.is_expired(now):
+                continue
+            if owner_online is None:
+                return held
+            online = self.transport.is_online(held.coin.owner_address)
+            if online == owner_online:
+                return held
+        raise UnknownCoin("no suitable coin in the wallet")
+
+    def transfer(self, payee: str, coin_y: int | None = None) -> CoinBinding:
+        """Transfer a held coin via its owner (Section 4.2, Transfer)."""
+        held = self._pick_held(coin_y, owner_online=True)
+        if held.is_expired(self.clock.now()):
+            raise CoinExpired(f"coin {held.coin_y:#x} expired")
+        offer = self.request(payee, protocol.TRANSFER_OFFER, held.coin.encode())
+        envelope = self._holder_envelope(
+            held, "transfer", new_holder_y=offer["holder_y"], nonce=offer["nonce"]
+        )
+        # The rebind we are about to see on the public list is our own doing;
+        # do not alarm on it (Section 5.1: only *unexpected* updates matter).
+        self._expected_rebinds.add(held.coin_y)
+        response = self.request(
+            held.coin.owner_address,
+            protocol.TRANSFER_REQUEST,
+            {"envelope": protocol.encode_dual(envelope), "payee": payee, "nonce": offer["nonce"]},
+        )
+        binding = CoinBinding(
+            signed=protocol.decode_signed(response["binding"], self.params),
+            via_broker=False,
+        )
+        if not binding.verify(held.coin.coin_public_key(self.params), self.broker_key):
+            raise VerificationFailed("owner returned an invalid transfer binding")
+        if binding.holder_y != offer["holder_y"] or binding.seq <= held.binding.seq:
+            raise VerificationFailed("transfer binding does not match the request")
+        if self.detection is not None:
+            self.detection.unsubscribe(self, held.coin_y)
+        del self.wallet[held.coin_y]
+        self._expected_rebinds.discard(held.coin_y)
+        self.counts.transfers_sent += 1
+        return binding
+
+    def transfer_via_broker(self, payee: str, coin_y: int | None = None) -> CoinBinding:
+        """Transfer a held coin whose owner is offline (Downtime transfer)."""
+        held = self._pick_held(coin_y, owner_online=False)
+        if held.is_expired(self.clock.now()):
+            raise CoinExpired(f"coin {held.coin_y:#x} expired")
+        offer = self.request(payee, protocol.TRANSFER_OFFER, held.coin.encode())
+        envelope = self._holder_envelope(
+            held, "transfer", new_holder_y=offer["holder_y"], nonce=offer["nonce"]
+        )
+        self._expected_rebinds.add(held.coin_y)
+        binding_bytes = self.request(
+            self.broker_address, protocol.DOWNTIME_TRANSFER, protocol.encode_dual(envelope)
+        )
+        binding = CoinBinding(
+            signed=protocol.decode_signed(binding_bytes, self.params), via_broker=True
+        )
+        if not binding.verify(held.coin.coin_public_key(self.params), self.broker_key):
+            raise VerificationFailed("broker returned an invalid downtime binding")
+        # Relay the completed payment to the payee (the broker stays out of
+        # the payer-payee path; Section 4.2 has the broker "send W the signed
+        # binding" — the relay is equivalent and keeps W hidden from B).
+        result = self.request(
+            payee,
+            protocol.TRANSFER_COMPLETE,
+            {
+                "coin": held.coin.encode(),
+                "binding": binding.encode(),
+                "binding_dual": None,
+                "via_broker": True,
+                "proof_t": None,
+                "proof_z": None,
+                "nonce": offer["nonce"],
+            },
+        )
+        if not result.get("ok"):
+            raise ProtocolError(f"payee rejected the downtime transfer: {result.get('reason')}")
+        if self.detection is not None:
+            self.detection.unsubscribe(self, held.coin_y)
+        del self.wallet[held.coin_y]
+        self._expected_rebinds.discard(held.coin_y)
+        self.counts.downtime_transfers += 1
+        return binding
+
+    def deposit(self, coin_y: int | None = None, payout_to: str | None = None) -> int:
+        """Deposit a held coin at the broker for cash (Section 4.2, Deposit).
+
+        ``payout_to`` defaults to a fresh pseudonymous bearer account so the
+        deposit reveals nothing; pass the peer's named account to cash out
+        identifiably.  Returns the credited value.
+        """
+        held = self._pick_held(coin_y)
+        account = payout_to if payout_to is not None else "bearer-" + secrets.token_hex(8)
+        envelope = self._holder_envelope(held, "deposit", payout_to=account)
+        result = self.request(self.broker_address, protocol.DEPOSIT, protocol.encode_dual(envelope))
+        if not result.get("ok"):
+            raise ProtocolError("broker rejected the deposit")
+        if self.detection is not None:
+            self.detection.unsubscribe(self, held.coin_y)
+        del self.wallet[held.coin_y]
+        self.counts.deposits += 1
+        return result["credited"]
+
+    def top_up(self, coin_y: int, delta: int, funding_account: str | None = None) -> int:
+        """Increase a held coin's value by ``delta`` (broker-only operation).
+
+        Holdership is proven anonymously; the funding debit is authorized
+        with this peer's identity key against ``funding_account`` (default:
+        the peer's named account — fund from an account created under a
+        fresh identity if the link matters).  Returns the new value.
+        """
+        if delta <= 0:
+            raise ValueError("top-up delta must be positive")
+        held = self.wallet.get(coin_y)
+        if held is None:
+            raise NotHolder(f"not holding coin {coin_y:#x}")
+        account = funding_account if funding_account is not None else self.address
+        auth = seal(
+            self.identity,
+            {
+                "kind": "whopay.debit_auth",
+                "account": account,
+                "amount": delta,
+                "coin_y": coin_y,
+            },
+        )
+        envelope = self._holder_envelope(
+            held, "top_up", delta=delta, funding_auth=auth.encode()
+        )
+        new_cert = self.request(
+            self.broker_address, protocol.TOP_UP, protocol.encode_dual(envelope)
+        )
+        new_coin = Coin(cert=protocol.decode_signed(new_cert, self.params))
+        if (
+            not new_coin.verify(self.broker_key)
+            or new_coin.coin_y != coin_y
+            or new_coin.value != held.coin.value + delta
+        ):
+            raise VerificationFailed("broker returned an invalid topped-up coin")
+        held.coin = new_coin
+        return new_coin.value
+
+    def renew(self, coin_y: int) -> CoinBinding:
+        """Renew a held coin via its owner, or the broker when offline."""
+        held = self.wallet.get(coin_y)
+        if held is None:
+            raise NotHolder(f"not holding coin {coin_y:#x}")
+        envelope = self._holder_envelope(held, "renewal")
+        owner = held.coin.owner_address
+        if owner is not None and self.transport.is_online(owner):
+            response = self.request(
+                owner, protocol.RENEW_REQUEST, protocol.encode_dual(envelope)
+            )
+            binding = CoinBinding(
+                signed=protocol.decode_signed(response, self.params), via_broker=False
+            )
+            self.counts.renewals_sent += 1
+        else:
+            response = self.request(
+                self.broker_address, protocol.DOWNTIME_RENEWAL, protocol.encode_dual(envelope)
+            )
+            binding = CoinBinding(
+                signed=protocol.decode_signed(response, self.params), via_broker=True
+            )
+            self.counts.downtime_renewals += 1
+        if not binding.verify(held.coin.coin_public_key(self.params), self.broker_key):
+            raise VerificationFailed("renewal returned an invalid binding")
+        if binding.holder_y != held.holder_keypair.public.y or binding.seq <= held.binding.seq:
+            raise VerificationFailed("renewal binding does not match")
+        held.binding = binding
+        return binding
+
+    def renew_due_coins(self) -> int:
+        """Renew every held coin inside its renewal window; returns count."""
+        window = self.renewal_period * RENEWAL_WINDOW_FRACTION
+        due = [
+            coin_y
+            for coin_y, held in self.wallet.items()
+            if held.needs_renewal(self.clock.now(), window)
+        ]
+        for coin_y in due:
+            self.renew(coin_y)
+        return len(due)
+
+    def pay(self, payee: str, preferences: tuple[str, ...] = ("transfer", "downtime_transfer", "issue", "purchase_issue")) -> str:
+        """Make one unit payment to ``payee`` following a preference order.
+
+        The preference tuple mirrors the paper's Section 6.1 policies; each
+        entry is tried in order and the first applicable method is used.
+        Returns the method that succeeded.  Raises
+        :class:`~repro.core.errors.ProtocolError` if no method applies.
+        """
+        for method in preferences:
+            try:
+                if method == "transfer":
+                    self.transfer(payee)
+                elif method == "downtime_transfer":
+                    self.transfer_via_broker(payee)
+                elif method == "issue":
+                    self.issue(payee)
+                elif method == "purchase_issue":
+                    state = self.purchase()
+                    self.issue(payee, state.coin_y)
+                elif method == "deposit_purchase_issue":
+                    held = self._pick_held(None, owner_online=False)
+                    self.deposit(held.coin_y)
+                    state = self.purchase()
+                    self.issue(payee, state.coin_y)
+                else:
+                    raise ValueError(f"unknown payment method {method!r}")
+                return method
+            except (UnknownCoin, NotHolder, CoinExpired, NodeOffline):
+                continue
+        raise ProtocolError(f"no payment method in {preferences} was applicable")
+
+    def pay_amount(
+        self,
+        payee: str,
+        amount: int,
+        preferences: tuple[str, ...] = ("transfer", "downtime_transfer", "issue", "purchase_issue"),
+    ) -> list[tuple[str, int]]:
+        """Pay an arbitrary ``amount`` using (possibly) multiple coins.
+
+        Coin selection is greedy largest-first over the wallet (held coins
+        of any denomination), topping up the remainder with the preference
+        policy's fallback methods one unit-coin at a time.  Returns the list
+        of ``(method, value)`` legs executed.  If a leg fails midway, the
+        already-paid legs stand — coins are bearer value; partial payment is
+        a business-level matter, exactly like cash.
+        """
+        if amount <= 0:
+            raise ValueError("amount must be positive")
+        legs: list[tuple[str, int]] = []
+        remaining = amount
+        # Spend existing holdings largest-first without overshooting.
+        while remaining > 0:
+            now = self.clock.now()
+            candidates = sorted(
+                (
+                    held
+                    for held in self.wallet.values()
+                    if not held.is_expired(now) and held.value <= remaining
+                ),
+                key=lambda held: held.value,
+                reverse=True,
+            )
+            if not candidates:
+                break
+            held = candidates[0]
+            owner = held.coin.owner_address
+            try:
+                if owner is not None and self.transport.is_online(owner):
+                    self.transfer(payee, held.coin_y)
+                    legs.append(("transfer", held.value))
+                else:
+                    self.transfer_via_broker(payee, held.coin_y)
+                    legs.append(("downtime_transfer", held.value))
+                remaining -= held.value
+            except (NodeOffline, NetworkError, ProtocolError):
+                # This coin is unusable right now; exclude it and move on.
+                break
+        # Cover the remainder with the policy's non-transfer methods.
+        fallback = tuple(m for m in preferences if m not in ("transfer", "downtime_transfer"))
+        while remaining > 0:
+            method = self.pay(payee, fallback)
+            legs.append((method, 1))
+            remaining -= 1
+        return legs
+
+    # ------------------------------------------------------------------
+    # payee handlers
+    # ------------------------------------------------------------------
+
+    def _handle_payment_offer(self, src: str, coin_bytes: bytes) -> dict[str, Any]:
+        """Offer step of issue/transfer: mint a holder key, hand out a nonce."""
+        coin = Coin(cert=protocol.decode_signed(coin_bytes, self.params))
+        if not coin.verify(self.broker_key):
+            raise VerificationFailed("offered coin certificate is invalid")
+        holder_keypair = KeyPair.generate(self.params)
+        nonce = secrets.token_bytes(16)
+        self._pending[nonce] = _PendingOffer(
+            coin_y=coin.coin_y, holder_keypair=holder_keypair, payer=src
+        )
+        return {"holder_y": holder_keypair.public.y, "nonce": nonce}
+
+    def _handle_payment_complete(self, src: str, payload: dict[str, Any]) -> dict[str, Any]:
+        """Completion step: verify coin, binding, and ownership proof; accept."""
+        nonce = payload["nonce"]
+        pending = self._pending.get(nonce)
+        if pending is None:
+            return {"ok": False, "reason": "no pending offer for this nonce"}
+        coin = Coin(cert=protocol.decode_signed(payload["coin"], self.params))
+        if not coin.verify(self.broker_key) or coin.coin_y != pending.coin_y:
+            return {"ok": False, "reason": "coin does not match the offer"}
+        if payload.get("binding_dual") is not None:
+            # Ownerless coin: the binding travels group-countersigned.
+            dual = protocol.decode_dual(payload["binding_dual"], self.params)
+            if not self._verify_dual(dual):
+                return {"ok": False, "reason": "issuer group signature invalid"}
+            binding = CoinBinding(signed=dual.inner, via_broker=False)
+        else:
+            binding = CoinBinding(
+                signed=protocol.decode_signed(payload["binding"], self.params),
+                via_broker=bool(payload["via_broker"]),
+            )
+        if not binding.verify(coin.coin_public_key(self.params), self.broker_key):
+            return {"ok": False, "reason": "binding signature invalid"}
+        if binding.holder_y != pending.holder_keypair.public.y:
+            return {"ok": False, "reason": "binding names a different holder key"}
+        if self.clock.now() > binding.exp_date:
+            return {"ok": False, "reason": "binding already expired"}
+        if not binding.via_broker:
+            # Ownership challenge, bound to our nonce and this exact binding.
+            # Basic coins: the owner proves knowledge of the identity key the
+            # coin names.  Ownerless coins: knowledge of the coin key itself.
+            proof = SchnorrProof(commitment=payload["proof_t"], response=payload["proof_z"])
+            if coin.is_ownerless:
+                prover_key = coin.coin_public_key(self.params)
+            else:
+                prover_key = PublicKey(params=self.params, y=coin.owner_y)
+            if not schnorr_verify(prover_key, proof, self._owner_proof_context(nonce, binding)):
+                return {"ok": False, "reason": "ownership proof failed"}
+        if self.detection is not None:
+            # Section 5.1: "a peer does not accept payment until verifying
+            # that the relevant public binding has been properly updated."
+            published = self.detection.fetch_binding(self.address, coin.coin_y)
+            if published is None or published.encode() != binding.encode():
+                return {"ok": False, "reason": "public binding not updated"}
+        del self._pending[nonce]
+        held = HeldCoin(coin=coin, holder_keypair=pending.holder_keypair, binding=binding)
+        self.wallet[coin.coin_y] = held
+        if self.detection is not None:
+            self.detection.subscribe(self, coin.coin_y)
+        self.counts.payments_received += 1
+        return {"ok": True, "reason": None}
+
+    # ------------------------------------------------------------------
+    # owner handlers
+    # ------------------------------------------------------------------
+
+    def _serve_holder_request(self, data: bytes, expected_op: str) -> tuple[protocol.HolderOperation, DualSignedMessage, OwnedCoinState]:
+        try:
+            envelope = protocol.decode_dual(data, self.params)
+            operation = protocol.HolderOperation.from_payload(envelope.payload)
+        except (ValueError, KeyError) as exc:
+            raise ProtocolError(f"malformed holder request: {exc}") from exc
+        if operation.op != expected_op:
+            raise ProtocolError(f"expected a {expected_op} request")
+        if not self._verify_dual(envelope):
+            raise VerificationFailed("holder envelope signatures invalid")
+        coin = Coin(cert=protocol.decode_signed(operation.coin_cert, self.params))
+        state = self.owned.get(coin.coin_y)
+        if state is None:
+            raise NotOwner(f"I do not own coin {coin.coin_y:#x}")
+        if state.dirty:
+            self._check_coin_state(state)
+        if state.binding is None:
+            raise ProtocolError("coin was never issued")
+        proof = CoinBinding(
+            signed=protocol.decode_signed(operation.proof_binding, self.params),
+            via_broker=operation.proof_via_broker,
+        )
+        if proof.encode() != state.binding.encode():
+            raise NotHolder("proof binding does not match the owner's state")
+        if envelope.coin_signer.y != proof.holder_y:
+            raise NotHolder("request not signed with the bound holder key")
+        if self.clock.now() > proof.exp_date:
+            raise CoinExpired("held binding has expired")
+        # Audit trail: keep the dual-signed request as relinquishment proof.
+        state.relinquishments.append(data)
+        return operation, envelope, state
+
+    def _next_binding(self, state: OwnedCoinState, holder_y: int) -> CoinBinding:
+        assert state.binding is not None
+        seq = max(state.binding.seq, state.seq_floor) + 1
+        state.seq_floor = seq
+        return CoinBinding.build(
+            state.coin_keypair,
+            coin_y=state.coin_y,
+            holder_y=holder_y,
+            seq=seq,
+            exp_date=self.clock.now() + self.renewal_period,
+        )
+
+    def _handle_transfer_request(self, src: str, payload: dict[str, Any]) -> dict[str, Any]:
+        """Owner side of Transfer: re-bind the coin and notify the payee."""
+        operation, envelope, state = self._serve_holder_request(
+            payload["envelope"], "transfer"
+        )
+        assert operation.new_holder_y is not None
+        binding = self._next_binding(state, operation.new_holder_y)
+        if self.detection is not None:
+            self.detection.publish_owner(self, state, binding)
+        result = self.request(
+            payload["payee"],
+            protocol.TRANSFER_COMPLETE,
+            self._completion_payload(state, binding, operation.nonce),
+        )
+        if not result.get("ok"):
+            # Roll back: the payee refused, the old binding stands.
+            state.relinquishments.pop()
+            raise ProtocolError(f"payee rejected the transfer: {result.get('reason')}")
+        state.binding = binding
+        self.counts.transfers_handled += 1
+        return {"binding": binding.encode()}
+
+    def _handle_renew_request(self, src: str, data: bytes) -> bytes:
+        """Owner side of Renewal: same holder, bumped seq and expiry."""
+        operation, envelope, state = self._serve_holder_request(data, "renewal")
+        binding = self._next_binding(state, state.binding.holder_y)
+        if self.detection is not None:
+            self.detection.publish_owner(self, state, binding)
+        state.binding = binding
+        self.counts.renewals_handled += 1
+        return binding.encode()
+
+    # ------------------------------------------------------------------
+    # real-time detection (holder-side monitoring)
+    # ------------------------------------------------------------------
+
+    def _handle_binding_update(self, src: str, record_bytes: bytes) -> None:
+        """Push notification from the DHT: did someone move *my* coin?"""
+        from repro.dht.binding_store import BindingRecord
+
+        record = BindingRecord.from_encoded(record_bytes)
+        info = record.binding()
+        held = self.wallet.get(info["coin_y"])
+        if held is None or info["coin_y"] in self._expected_rebinds:
+            return None
+        my_key = held.holder_keypair.public.y
+        if info["holder_y"] != my_key and info["seq"] >= held.binding.seq:
+            self.alarms.append(
+                Alarm(
+                    coin_y=info["coin_y"],
+                    expected_holder_y=my_key,
+                    observed_holder_y=info["holder_y"],
+                    observed_seq=info["seq"],
+                    at=self.clock.now(),
+                )
+            )
+        return None

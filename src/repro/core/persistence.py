@@ -1,0 +1,245 @@
+"""Wallet persistence: serialize a peer's monetary state across restarts.
+
+Coins are bearer instruments held as key material, so losing process state
+means losing money — a production wallet must persist.  This module exports
+everything a peer needs to resume exactly where it stopped:
+
+* the identity keypair (the broker account is bound to it),
+* the group member key (re-registration would create a new judge identity),
+* every held coin (certificate, holder secret, proof binding),
+* every owned coin (certificate, coin secret, current binding,
+  relinquishment audit trail, lazy-sync flags, sequence floor).
+
+The blob is a canonical-codec value, so it is deterministic and versioned;
+it contains raw secrets — encrypt at rest with
+:func:`repro.anonymity.cipher.seal_box` if the storage medium is untrusted
+(:func:`export_peer_state` takes an optional key to do exactly that).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.anonymity.cipher import open_box, seal_box
+from repro.core.coin import Coin, CoinBinding, HeldCoin, OwnedCoinState
+from repro.core.errors import VerificationFailed
+from repro.core.peer import Peer
+from repro.core.protocol import decode_signed
+from repro.crypto.group_signature import GroupMemberKey
+from repro.crypto.keys import KeyPair
+from repro.messages.codec import decode, encode
+
+FORMAT = "whopay.wallet.v1"
+BROKER_FORMAT = "whopay.broker.v1"
+
+
+def export_broker_state(broker, encryption_key: bytes | None = None) -> bytes:
+    """Serialize the broker's monetary state (the mint must survive too).
+
+    Covers the signing key, every account, the valid-coin registry, the
+    double-spend ledger, the downtime bindings, and the owner index — the
+    state whose loss would either destroy money (accounts) or re-enable
+    double spending (the deposited set).
+    """
+    blob = encode(
+        {
+            "format": BROKER_FORMAT,
+            "address": broker.address,
+            "signing_x": broker.keypair.x,
+            "accounts": [
+                {"name": name, "identity_y": account.identity.y, "balance": account.balance}
+                for name, account in broker.accounts.items()
+            ],
+            "valid_coins": [coin.encode() for coin in broker.valid_coins.values()],
+            "deposited": [
+                {"coin_y": coin_y, "envelope": envelope}
+                for coin_y, envelope in broker.deposited.items()
+            ],
+            "downtime": [
+                {
+                    "coin_y": coin_y,
+                    "binding": binding.signed.encode(),
+                }
+                for coin_y, binding in broker.downtime_bindings.items()
+            ],
+            "owner_coins": [
+                {"owner": owner, "coins": sorted(coins)}
+                for owner, coins in broker.owner_coins.items()
+            ],
+            "pending_sync": [
+                {"owner": owner, "coins": sorted(coins)}
+                for owner, coins in broker.pending_sync.items()
+            ],
+        }
+    )
+    if encryption_key is not None:
+        return b"enc:" + seal_box(encryption_key, blob)
+    return blob
+
+
+def restore_broker_state(broker, blob: bytes, encryption_key: bytes | None = None) -> None:
+    """Load exported state into a freshly constructed broker.
+
+    Restores the signing key first (coins must keep verifying), then
+    re-validates every stored coin certificate against it before accepting
+    it back into the registry.
+    """
+    from repro.core.coin import Coin
+    from repro.crypto.keys import PublicKey
+
+    if blob.startswith(b"enc:"):
+        if encryption_key is None:
+            raise VerificationFailed("state is encrypted; key required")
+        blob = open_box(encryption_key, blob[4:])
+    state = decode(blob)
+    if not isinstance(state, dict) or state.get("format") != BROKER_FORMAT:
+        raise VerificationFailed("unrecognized broker-state format")
+
+    broker.keypair = KeyPair.from_secret(broker.params, state["signing_x"])
+    from repro.core.broker import Account
+
+    broker.accounts.clear()
+    for entry in state["accounts"]:
+        broker.accounts[entry["name"]] = Account(
+            identity=PublicKey(params=broker.params, y=entry["identity_y"]),
+            balance=entry["balance"],
+        )
+    broker.valid_coins.clear()
+    for coin_bytes in state["valid_coins"]:
+        coin = Coin(cert=decode_signed(coin_bytes, broker.params))
+        if not coin.verify(broker.keypair.public):
+            raise VerificationFailed("stored coin certificate fails under the restored key")
+        broker.valid_coins[coin.coin_y] = coin
+    broker.deposited.clear()
+    for entry in state["deposited"]:
+        broker.deposited[entry["coin_y"]] = entry["envelope"]
+    broker.downtime_bindings.clear()
+    for entry in state["downtime"]:
+        binding = CoinBinding(
+            signed=decode_signed(entry["binding"], broker.params), via_broker=True
+        )
+        broker.downtime_bindings[entry["coin_y"]] = binding
+    broker.owner_coins.clear()
+    for entry in state["owner_coins"]:
+        broker.owner_coins[entry["owner"]] = set(entry["coins"])
+    broker.pending_sync.clear()
+    for entry in state["pending_sync"]:
+        broker.pending_sync[entry["owner"]] = set(entry["coins"])
+
+
+def export_peer_state(peer: Peer, encryption_key: bytes | None = None) -> bytes:
+    """Serialize ``peer``'s monetary state; optionally encrypted at rest."""
+    held_entries = []
+    for held in peer.wallet.values():
+        held_entries.append(
+            {
+                "coin": held.coin.encode(),
+                "holder_x": held.holder_keypair.x,
+                "binding": held.binding.signed.encode(),
+                "via_broker": held.binding.via_broker,
+            }
+        )
+    owned_entries = []
+    for state in peer.owned.values():
+        owned_entries.append(
+            {
+                "coin": state.coin.encode(),
+                "coin_x": state.coin_keypair.x,
+                "binding": state.binding.signed.encode() if state.binding else None,
+                "binding_via_broker": state.binding.via_broker if state.binding else False,
+                "relinquishments": list(state.relinquishments),
+                "dirty": state.dirty,
+                "seq_floor": state.seq_floor,
+            }
+        )
+    blob = encode(
+        {
+            "format": FORMAT,
+            "address": peer.address,
+            "identity_x": peer.identity.x,
+            "member_x": peer.member_key.x,
+            "member_h": peer.member_key.h,
+            "held": held_entries,
+            "owned": owned_entries,
+        }
+    )
+    if encryption_key is not None:
+        return b"enc:" + seal_box(encryption_key, blob)
+    return blob
+
+
+def restore_peer_state(peer: Peer, blob: bytes, encryption_key: bytes | None = None) -> int:
+    """Load exported state into a (freshly constructed) ``peer``.
+
+    Replaces the peer's identity and member keys with the stored ones and
+    rebuilds both wallets, verifying every certificate and binding against
+    the broker key on the way in (a corrupted store must not inject bogus
+    coins).  Returns the number of coins restored.
+    """
+    if blob.startswith(b"enc:"):
+        if encryption_key is None:
+            raise VerificationFailed("state is encrypted; key required")
+        blob = open_box(encryption_key, blob[4:])
+    state = decode(blob)
+    if not isinstance(state, dict) or state.get("format") != FORMAT:
+        raise VerificationFailed("unrecognized wallet format")
+    if state["address"] != peer.address:
+        raise VerificationFailed(
+            f"state belongs to {state['address']!r}, not {peer.address!r}"
+        )
+
+    peer.identity = KeyPair.from_secret(peer.params, state["identity_x"])
+    peer.member_key = GroupMemberKey(
+        params=peer.params, x=state["member_x"], h=state["member_h"]
+    )
+
+    restored = 0
+    peer.wallet.clear()
+    for entry in state["held"]:
+        coin = Coin(cert=decode_signed(entry["coin"], peer.params))
+        if not coin.verify(peer.broker_key):
+            raise VerificationFailed("stored coin certificate invalid")
+        binding = CoinBinding(
+            signed=decode_signed(entry["binding"], peer.params),
+            via_broker=bool(entry["via_broker"]),
+        )
+        if not binding.verify(coin.coin_public_key(peer.params), peer.broker_key):
+            raise VerificationFailed("stored holding binding invalid")
+        holder_keypair = KeyPair.from_secret(peer.params, entry["holder_x"])
+        if binding.holder_y != holder_keypair.public.y:
+            raise VerificationFailed("stored holder key does not match its binding")
+        peer.wallet[coin.coin_y] = HeldCoin(
+            coin=coin, holder_keypair=holder_keypair, binding=binding
+        )
+        # Re-arm real-time monitoring: DHT subscriptions are transport-side
+        # state and do not survive the restart, so re-subscribe per coin.
+        if peer.detection is not None:
+            peer.detection.subscribe(peer, coin.coin_y)
+        restored += 1
+
+    peer.owned.clear()
+    for entry in state["owned"]:
+        coin = Coin(cert=decode_signed(entry["coin"], peer.params))
+        if not coin.verify(peer.broker_key):
+            raise VerificationFailed("stored owned-coin certificate invalid")
+        coin_keypair = KeyPair.from_secret(peer.params, entry["coin_x"])
+        if coin_keypair.public.y != coin.coin_y:
+            raise VerificationFailed("stored coin secret does not match the coin")
+        binding = None
+        if entry["binding"] is not None:
+            binding = CoinBinding(
+                signed=decode_signed(entry["binding"], peer.params),
+                via_broker=bool(entry["binding_via_broker"]),
+            )
+            if not binding.verify(coin_keypair.public, peer.broker_key):
+                raise VerificationFailed("stored owner binding invalid")
+        peer.owned[coin.coin_y] = OwnedCoinState(
+            coin=coin,
+            coin_keypair=coin_keypair,
+            binding=binding,
+            relinquishments=list(entry["relinquishments"]),
+            dirty=bool(entry["dirty"]),
+            seq_floor=int(entry["seq_floor"]),
+        )
+        restored += 1
+    return restored

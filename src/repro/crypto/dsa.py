@@ -1,0 +1,99 @@
+"""DSA signatures (FIPS 186 style) over the shared Schnorr groups.
+
+This is the workhorse signature scheme of the reproduction — the paper's
+Table 2 benchmarks exactly these three operations (key generation, signature
+generation, signature verification) at the 1024/160 parameter size.
+
+Nonces are derived deterministically from the secret key and message (an
+RFC 6979 flavoured HMAC construction) so that signing is safe against nonce
+reuse and reproducible under test, while remaining indistinguishable from
+random-nonce DSA to verifiers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+
+from repro.crypto import primitives
+from repro.crypto.keys import KeyPair, PublicKey
+from repro.crypto.params import DlogParams, default_params
+
+
+@dataclass(frozen=True)
+class DsaSignature:
+    """A DSA signature pair ``(r, s)``, both in ``[1, q)``."""
+
+    r: int
+    s: int
+
+    def encode(self) -> bytes:
+        """Stable byte encoding (used when signatures are nested in messages)."""
+        return primitives.int_to_bytes(self.r) + b"|" + primitives.int_to_bytes(self.s)
+
+
+class DsaKeyPair(KeyPair):
+    """A :class:`~repro.crypto.keys.KeyPair` intended for DSA use."""
+
+
+def dsa_generate(params: DlogParams | None = None) -> KeyPair:
+    """Generate a DSA key pair (Table 2 row 1: "DSA key generation")."""
+    return KeyPair.generate(params or default_params())
+
+
+def _derive_nonce(params: DlogParams, x: int, digest: int) -> int:
+    """Deterministic nonce in ``[1, q)`` from the key and message digest.
+
+    A simplified RFC 6979: HMAC-SHA256 keyed by the secret exponent over the
+    message digest, extended in counter mode until a value below ``q`` is
+    found.  Distinct messages yield independent-looking nonces; the same
+    message always yields the same signature (handy for tests).
+    """
+    key = primitives.int_to_bytes(x).rjust(32, b"\x00")
+    msg = primitives.int_to_bytes(digest).rjust(32, b"\x00")
+    counter = 0
+    while True:
+        mac = hmac.new(key, msg + counter.to_bytes(4, "big"), hashlib.sha256).digest()
+        k = int.from_bytes(mac, "big") % params.q
+        if 0 < k:
+            return k
+        counter += 1
+
+
+def dsa_sign(keypair: KeyPair, message: bytes) -> DsaSignature:
+    """Sign ``message`` (Table 2 row 2: "DSA signature generation")."""
+    params = keypair.params
+    digest = primitives.hash_to_int(message, modulus=params.q)
+    while True:
+        k = _derive_nonce(params, keypair.x, digest)
+        r = pow(params.g, k, params.p) % params.q
+        if r == 0:
+            digest = (digest + 1) % params.q  # vanishingly unlikely; re-derive
+            continue
+        k_inv = primitives.modinv(k, params.q)
+        s = (k_inv * (digest + keypair.x * r)) % params.q
+        if s == 0:
+            digest = (digest + 1) % params.q
+            continue
+        return DsaSignature(r=r, s=s)
+
+
+def dsa_verify(public: PublicKey, message: bytes, signature: DsaSignature) -> bool:
+    """Verify a signature (Table 2 row 3: "DSA signature verification").
+
+    Returns ``False`` (never raises) on any malformed input, so protocol code
+    can treat verification as a pure predicate.
+    """
+    params = public.params
+    r, s = signature.r, signature.s
+    if not (0 < r < params.q and 0 < s < params.q):
+        return False
+    if not params.is_element(public.y):
+        return False
+    digest = primitives.hash_to_int(message, modulus=params.q)
+    w = primitives.modinv(s, params.q)
+    u1 = (digest * w) % params.q
+    u2 = (r * w) % params.q
+    v = (pow(params.g, u1, params.p) * pow(public.y, u2, params.p)) % params.p % params.q
+    return v == r

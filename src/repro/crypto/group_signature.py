@@ -1,0 +1,337 @@
+"""Group signatures with judge opening (Section 3.2 of the paper).
+
+The paper requires a scheme with three properties:
+
+* **Anonymity / unlinkability** — a verifier learns only that *some*
+  registered member signed; two signatures by the same member cannot be
+  linked.
+* **Public verifiability** — anyone holding the group public key can check
+  membership.
+* **Openability** — the judge (holder of the opening key) can recover the
+  signer's identity from any valid signature.
+
+The construction implemented here is a *ring signature with an escrowed
+opening key*:
+
+1. Every member ``i`` is registered by the judge with a membership key
+   ``h_i = g^{x_i}``; the judge records ``h_i → identity``.
+2. A signature on message ``M`` is an ElGamal encryption ``(c1, c2) =
+   (g^r, h_i · y_J^r)`` of the signer's membership key under the judge's
+   opening key ``y_J``, together with a Fiat–Shamir OR-proof
+   (Cramer–Damgård–Schoenmakers composition) over the member roster that,
+   for **some** ``j``, the prover knows ``(r, x_j)`` with::
+
+       c1 = g^r   ∧   c2 / h_j = y_J^r   ∧   h_j = g^{x_j}
+
+   The proof is bound to ``M`` through the challenge hash.
+3. The judge opens a signature by decrypting ``(c1, c2)`` and looking up the
+   resulting ``h_i`` in its registry.
+
+Deviation note (recorded in DESIGN.md §4): the paper assumes a hypothetical
+"efficient group signature scheme" with constant-size signatures and guesses
+its cost at 2x DSA (Table 3).  Our scheme is a real, working one but its
+sign/verify cost is linear in the roster size.  The simulator therefore pins
+the paper's 2x cost model (``repro.sim.costs``); the measured cost of this
+scheme is reported separately by ``benchmarks/bench_table3_relative_cost.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto import primitives
+from repro.crypto.elgamal import ElGamalCiphertext, ElGamalKeyPair, elgamal_generate
+from repro.crypto.keys import KeyPair, PublicKey
+from repro.crypto.params import DlogParams, default_params
+
+
+class GroupSignatureError(Exception):
+    """Raised on malformed group-signature operations (never on bad sigs)."""
+
+
+@dataclass(frozen=True)
+class GroupPublicKey:
+    """What a verifier needs: the group, the opening key, and the roster.
+
+    The roster is a tuple of membership keys ``h_j``.  Membership keys are
+    pseudonymous — only the judge can map one back to a real identity — so
+    publishing the roster leaks nothing about identities.
+
+    ``version`` identifies the roster snapshot (it advances on every
+    registration *and* every expulsion), letting verifiers fetch exactly the
+    snapshot a signer used and letting the system enforce a revocation
+    floor: signatures minted against pre-expulsion snapshots can be refused.
+    """
+
+    params: DlogParams
+    opening_key: PublicKey
+    roster: tuple[int, ...]
+    version: int = 0
+
+    def encode(self) -> bytes:
+        """Stable byte encoding hashed into every challenge."""
+        parts = [self.params.encode(), self.opening_key.encode()]
+        parts.extend(primitives.int_to_bytes(h) for h in self.roster)
+        return b"|".join(parts)
+
+    def roster_index(self, h: int) -> int | None:
+        """Index of membership key ``h`` in the roster, or ``None``."""
+        try:
+            return self.roster.index(h)
+        except ValueError:
+            return None
+
+
+@dataclass(frozen=True)
+class GroupMemberKey:
+    """A member's group private key ``gk_U``: secret exponent + roster entry."""
+
+    params: DlogParams
+    x: int
+    h: int  # = g^x mod p, the membership (roster) key
+
+    @property
+    def membership_key(self) -> int:
+        """The public roster entry for this member."""
+        return self.h
+
+
+@dataclass(frozen=True)
+class GroupSignature:
+    """A group signature: ciphertext + per-clause OR-proof transcripts."""
+
+    ciphertext: ElGamalCiphertext
+    challenges: tuple[int, ...]
+    responses_r: tuple[int, ...]
+    responses_x: tuple[int, ...]
+
+    def encode(self) -> bytes:
+        """Stable byte encoding."""
+        parts = [self.ciphertext.encode()]
+        for seq in (self.challenges, self.responses_r, self.responses_x):
+            parts.extend(primitives.int_to_bytes(v) for v in seq)
+        return b"|".join(parts)
+
+
+class GroupManager:
+    """The judge's side of the scheme: registration and opening.
+
+    In WhoPay there is a single group containing every user (Section 3.2,
+    footnote 1).  The manager can also split its opening key among ``N``
+    judges with :meth:`export_opening_shares` (Shamir, Section 3.2).
+    """
+
+    def __init__(self, params: DlogParams | None = None) -> None:
+        self.params = params or default_params()
+        self._opening = elgamal_generate(self.params)
+        self._registry: dict[int, str] = {}  # h -> identity
+        # Snapshot history: version v is _snapshots[v].  Every registration
+        # and every expulsion appends a snapshot, so old signatures remain
+        # verifiable against the exact roster they were minted under.
+        self._snapshots: list[tuple[int, ...]] = [()]
+        self._expelled: dict[str, int] = {}  # identity -> expulsion version
+
+    @property
+    def opening_keypair(self) -> ElGamalKeyPair:
+        """The judge's ElGamal opening key pair (keep secret)."""
+        return self._opening
+
+    def public_key(self) -> GroupPublicKey:
+        """Snapshot of the current group public key (roster included)."""
+        return self.public_key_at(len(self._snapshots) - 1)
+
+    def public_key_at(self, version: int) -> GroupPublicKey:
+        """The group public key as of roster version ``version``.
+
+        A verifier can reconstruct exactly the snapshot a signer used (the
+        signer's envelope records its roster version).
+        """
+        if not 0 <= version < len(self._snapshots):
+            raise GroupSignatureError(f"unknown roster version {version}")
+        return GroupPublicKey(
+            params=self.params,
+            opening_key=self._opening.public,
+            roster=self._snapshots[version],
+            version=version,
+        )
+
+    @property
+    def current_version(self) -> int:
+        """The latest roster version."""
+        return len(self._snapshots) - 1
+
+    def register(self, identity: str) -> GroupMemberKey:
+        """Enroll ``identity``: mint a membership key and record the mapping.
+
+        The paper has the judge assign each user a distinct private key
+        (Section 3.2); we follow that and generate the key on the judge's
+        side, returning it for delivery to the member.
+        """
+        member = KeyPair.generate(self.params)
+        if member.public.y in self._registry:  # astronomically unlikely
+            raise GroupSignatureError("membership key collision")
+        self._registry[member.public.y] = identity
+        self._snapshots.append(self._snapshots[-1] + (member.public.y,))
+        return GroupMemberKey(params=self.params, x=member.x, h=member.public.y)
+
+    def expel(self, identity: str) -> int:
+        """Remove ``identity`` from the roster; returns the new version.
+
+        The member can no longer produce signatures that verify against
+        current (or later) snapshots.  Its registry entry is kept so the
+        judge can still open the member's *historical* signatures — expelling
+        a fraudster must not destroy the evidence trail.
+        """
+        targets = [h for h, name in self._registry.items() if name == identity]
+        current = self._snapshots[-1]
+        live = [h for h in targets if h in current]
+        if not live:
+            raise GroupSignatureError(f"{identity!r} is not an active member")
+        self._snapshots.append(tuple(h for h in current if h not in live))
+        self._expelled[identity] = self.current_version
+        return self.current_version
+
+    def is_expelled(self, identity: str) -> bool:
+        """True if ``identity`` has been removed from the current roster."""
+        return identity in self._expelled
+
+    def member_count(self) -> int:
+        """Number of currently enrolled members."""
+        return len(self._snapshots[-1])
+
+    def open(self, signature: GroupSignature) -> str | None:
+        """Reveal the signer's identity (fairness).
+
+        Returns the registered identity, or ``None`` if the decrypted
+        membership key is not in the registry (which cannot happen for a
+        signature that verified against this group's public key).
+        """
+        from repro.crypto.elgamal import elgamal_decrypt
+
+        h = elgamal_decrypt(self._opening, signature.ciphertext)
+        return self._registry.get(h)
+
+    def export_opening_shares(self, n: int, k: int) -> list[tuple[int, int]]:
+        """Split the opening exponent into ``n`` Shamir shares, threshold ``k``.
+
+        Any ``k`` judges can jointly rebuild the opening key via
+        :func:`repro.crypto.shamir.combine_shares`; fewer learn nothing.
+        """
+        from repro.crypto.shamir import split_secret
+
+        return split_secret(self._opening.secret, n=n, k=k, modulus=self.params.q)
+
+
+def _challenge_hash(
+    gpk: GroupPublicKey,
+    ciphertext: ElGamalCiphertext,
+    commitments: list[tuple[int, int, int]],
+    message: bytes,
+) -> int:
+    parts: list[bytes] = [b"group-sig-v1", gpk.encode(), ciphertext.encode()]
+    for t1, t2, t3 in commitments:
+        parts.append(primitives.int_to_bytes(t1))
+        parts.append(primitives.int_to_bytes(t2))
+        parts.append(primitives.int_to_bytes(t3))
+    parts.append(message)
+    return primitives.hash_to_int(*parts, modulus=gpk.params.q)
+
+
+def group_sign(gpk: GroupPublicKey, member: GroupMemberKey, message: bytes) -> GroupSignature:
+    """Sign ``message`` anonymously on behalf of the group.
+
+    The signer must appear in ``gpk.roster``; signing against a stale roster
+    snapshot that predates the member's registration raises
+    :class:`GroupSignatureError`.
+    """
+    params = gpk.params
+    p, q, g = params.p, params.q, params.g
+    y = gpk.opening_key.y
+    idx = gpk.roster_index(member.h)
+    if idx is None:
+        raise GroupSignatureError("signer is not in the roster snapshot")
+
+    # ElGamal-encrypt the signer's membership key, keeping the nonce for the proof.
+    r = params.random_exponent()
+    c1 = pow(g, r, p)
+    c2 = (member.h * pow(y, r, p)) % p
+    ciphertext = ElGamalCiphertext(c1=c1, c2=c2)
+
+    n = len(gpk.roster)
+    challenges: list[int] = [0] * n
+    responses_r: list[int] = [0] * n
+    responses_x: list[int] = [0] * n
+    commitments: list[tuple[int, int, int]] = [(0, 0, 0)] * n
+
+    c1_inv = primitives.modinv(c1, p)
+    # Simulate every non-signer clause with a random challenge.
+    for j, h_j in enumerate(gpk.roster):
+        if j == idx:
+            continue
+        c_j = primitives.randbelow(q)
+        s_r = primitives.randbelow(q)
+        s_x = primitives.randbelow(q)
+        ratio = (c2 * primitives.modinv(h_j, p)) % p  # c2 / h_j
+        t1 = (pow(g, s_r, p) * pow(c1_inv, c_j, p)) % p
+        t2 = (pow(y, s_r, p) * pow(primitives.modinv(ratio, p), c_j, p)) % p
+        t3 = (pow(g, s_x, p) * pow(primitives.modinv(h_j, p), c_j, p)) % p
+        challenges[j] = c_j
+        responses_r[j] = s_r
+        responses_x[j] = s_x
+        commitments[j] = (t1, t2, t3)
+
+    # Honest commitment for the signer's clause.
+    a = params.random_exponent()
+    b = params.random_exponent()
+    commitments[idx] = (pow(g, a, p), pow(y, a, p), pow(g, b, p))
+
+    total = _challenge_hash(gpk, ciphertext, commitments, message)
+    c_idx = (total - sum(challenges)) % q
+    challenges[idx] = c_idx
+    responses_r[idx] = (a + c_idx * r) % q
+    responses_x[idx] = (b + c_idx * member.x) % q
+
+    return GroupSignature(
+        ciphertext=ciphertext,
+        challenges=tuple(challenges),
+        responses_r=tuple(responses_r),
+        responses_x=tuple(responses_x),
+    )
+
+
+def group_verify(gpk: GroupPublicKey, message: bytes, signature: GroupSignature) -> bool:
+    """Verify a group signature against the roster in ``gpk``.
+
+    Pure predicate: returns ``False`` on any malformed input.
+    """
+    params = gpk.params
+    p, q, g = params.p, params.q, params.g
+    y = gpk.opening_key.y
+    n = len(gpk.roster)
+    if not (len(signature.challenges) == len(signature.responses_r) == len(signature.responses_x) == n):
+        return False
+    c1, c2 = signature.ciphertext.c1, signature.ciphertext.c2
+    if not (0 < c1 < p and 0 < c2 < p):
+        return False
+
+    try:
+        c1_inv = primitives.modinv(c1, p)
+        c2_inv = primitives.modinv(c2, p)
+    except ValueError:
+        return False
+
+    commitments: list[tuple[int, int, int]] = []
+    for j, h_j in enumerate(gpk.roster):
+        c_j = signature.challenges[j]
+        s_r = signature.responses_r[j]
+        s_x = signature.responses_x[j]
+        if not (0 <= c_j < q and 0 <= s_r < q and 0 <= s_x < q):
+            return False
+        ratio_inv = (h_j * c2_inv) % p  # (c2 / h_j)^-1
+        t1 = (pow(g, s_r, p) * pow(c1_inv, c_j, p)) % p
+        t2 = (pow(y, s_r, p) * pow(ratio_inv, c_j, p)) % p
+        t3 = (pow(g, s_x, p) * pow(primitives.modinv(h_j, p), c_j, p)) % p
+        commitments.append((t1, t2, t3))
+
+    total = _challenge_hash(gpk, signature.ciphertext, commitments, message)
+    return sum(signature.challenges) % q == total

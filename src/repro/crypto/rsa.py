@@ -1,0 +1,99 @@
+"""Textbook-plus-hash RSA, from scratch.
+
+Needed only by the blind-signature machinery (:mod:`repro.crypto.blind`) —
+Chaum's blinding (the paper's reference [9], the mechanism behind the
+"numerous anonymous payment systems" of Section 1) relies on RSA's
+multiplicative structure, which the discrete-log schemes used elsewhere in
+this package do not offer.
+
+Signatures are full-domain-hash style: the message is hashed and expanded to
+the modulus size before exponentiation, which removes textbook RSA's
+malleability for *ordinary* signing while keeping the homomorphism available
+to the explicit blinding API.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto import primitives
+
+#: Fermat number F4; the standard public exponent.
+PUBLIC_EXPONENT = 65537
+
+
+@dataclass(frozen=True)
+class RsaPublicKey:
+    """An RSA verification key ``(n, e)``."""
+
+    n: int
+    e: int
+
+    def encode(self) -> bytes:
+        """Stable byte encoding."""
+        return primitives.int_to_bytes(self.n) + b"|" + primitives.int_to_bytes(self.e)
+
+
+@dataclass(frozen=True)
+class RsaKeyPair:
+    """An RSA key pair; ``d`` is the signing exponent."""
+
+    public: RsaPublicKey
+    d: int
+    p: int
+    q: int
+
+
+def rsa_generate(bits: int = 1024) -> RsaKeyPair:
+    """Generate an RSA key pair with a ``bits``-sized modulus.
+
+    512-bit moduli are fine for tests; anything real should use ≥ 2048.
+    """
+    if bits < 128:
+        raise ValueError("modulus too small to be meaningful")
+    half = bits // 2
+    while True:
+        p = primitives.generate_prime(half)
+        q = primitives.generate_prime(bits - half)
+        if p == q:
+            continue
+        n = p * q
+        if n.bit_length() != bits:
+            continue
+        phi = (p - 1) * (q - 1)
+        if phi % PUBLIC_EXPONENT == 0:
+            continue
+        d = primitives.modinv(PUBLIC_EXPONENT, phi)
+        return RsaKeyPair(public=RsaPublicKey(n=n, e=PUBLIC_EXPONENT), d=d, p=p, q=q)
+
+
+def hash_to_modulus(message: bytes, n: int) -> int:
+    """Full-domain hash of ``message`` into ``[1, n)``."""
+    digest = primitives.hash_to_int(b"rsa-fdh-v1", message, modulus=n - 1)
+    return digest + 1  # avoid the fixed point 0
+
+
+def rsa_sign(keypair: RsaKeyPair, message: bytes) -> int:
+    """FDH-RSA signature on ``message``."""
+    return pow(hash_to_modulus(message, keypair.public.n), keypair.d, keypair.public.n)
+
+
+def rsa_verify(public: RsaPublicKey, message: bytes, signature: int) -> bool:
+    """Verify an FDH-RSA signature; pure predicate."""
+    if not 0 < signature < public.n:
+        return False
+    return pow(signature, public.e, public.n) == hash_to_modulus(message, public.n)
+
+
+def rsa_sign_raw(keypair: RsaKeyPair, value: int) -> int:
+    """Exponentiate a *raw* value with the signing key.
+
+    This is the mint's side of blind signing: the value arrived already
+    hashed-and-blinded from the client, so no hashing happens here.  Never
+    expose this on ordinary messages — it is exactly the textbook-RSA oracle
+    the FDH wrapping exists to prevent — which is why the blind-signing
+    protocol (``repro.crypto.blind``) is its only caller.
+    """
+    if not 0 < value < keypair.public.n:
+        raise ValueError("value out of modulus range")
+    return pow(value, keypair.d, keypair.public.n)

@@ -1,0 +1,67 @@
+"""Schnorr proofs of knowledge of a discrete logarithm.
+
+WhoPay's issue and transfer protocols contain an ownership challenge:
+"U … answers a challenge by V to prove he is the owner of the coin"
+(Section 4.2).  Because coins are public keys, the natural instantiation is
+a Schnorr proof of knowledge of the coin's secret key, made non-interactive
+with the Fiat–Shamir transform and bound to a verifier-chosen challenge
+nonce (so transcripts cannot be replayed to a different verifier).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto import primitives
+from repro.crypto.keys import KeyPair, PublicKey
+
+
+@dataclass(frozen=True)
+class SchnorrProof:
+    """A non-interactive Schnorr proof ``(commitment, response)``."""
+
+    commitment: int  # t = g^v mod p
+    response: int  # z = v + c*x mod q
+
+    def encode(self) -> bytes:
+        """Stable byte encoding."""
+        return primitives.int_to_bytes(self.commitment) + b"|" + primitives.int_to_bytes(self.response)
+
+
+def _challenge(public: PublicKey, commitment: int, context: bytes) -> int:
+    params = public.params
+    return primitives.hash_to_int(
+        b"schnorr-v1",
+        public.encode(),
+        primitives.int_to_bytes(commitment),
+        context,
+        modulus=params.q,
+    )
+
+
+def schnorr_prove(keypair: KeyPair, context: bytes) -> SchnorrProof:
+    """Prove knowledge of ``keypair.x``, bound to ``context``.
+
+    ``context`` should include the verifier's fresh nonce plus any protocol
+    state the proof must commit to (coin id, session id); this is what makes
+    the ownership challenge unreplayable.
+    """
+    params = keypair.params
+    v = params.random_exponent()
+    t = pow(params.g, v, params.p)
+    c = _challenge(keypair.public, t, context)
+    z = (v + c * keypair.x) % params.q
+    return SchnorrProof(commitment=t, response=z)
+
+
+def schnorr_verify(public: PublicKey, proof: SchnorrProof, context: bytes) -> bool:
+    """Check a proof against the same ``context`` the prover used."""
+    params = public.params
+    if not params.is_element(public.y):
+        return False
+    if not (0 < proof.commitment < params.p) or not (0 <= proof.response < params.q):
+        return False
+    c = _challenge(public, proof.commitment, context)
+    lhs = pow(params.g, proof.response, params.p)
+    rhs = (proof.commitment * pow(public.y, c, params.p)) % params.p
+    return lhs == rhs

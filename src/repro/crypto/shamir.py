@@ -1,0 +1,66 @@
+"""Shamir secret sharing over GF(q).
+
+Section 3.2 of the paper: "this master private key can be divided among N
+judges using Shamir's secret sharing protocol and at least K judges are
+needed in order to recover the key."  :class:`~repro.crypto.group_signature.
+GroupManager.export_opening_shares` uses this module for exactly that.
+
+Shares are points ``(i, f(i))`` of a random degree-``k-1`` polynomial with
+``f(0) = secret``, all arithmetic modulo the (prime) group order ``q``.
+"""
+
+from __future__ import annotations
+
+from repro.crypto import primitives
+
+
+def split_secret(secret: int, n: int, k: int, modulus: int) -> list[tuple[int, int]]:
+    """Split ``secret`` into ``n`` shares with reconstruction threshold ``k``.
+
+    Returns ``n`` points ``(x, y)`` with distinct non-zero ``x``.  Any ``k``
+    of them reconstruct the secret; any ``k-1`` are information-theoretically
+    independent of it.
+    """
+    if not 1 <= k <= n:
+        raise ValueError("need 1 <= k <= n")
+    if n >= modulus:
+        raise ValueError("too many shares for the field size")
+    if not 0 <= secret < modulus:
+        raise ValueError("secret out of field range")
+    if not primitives.is_probable_prime(modulus, rounds=10):
+        raise ValueError("modulus must be prime")
+    coefficients = [secret] + [primitives.randbelow(modulus) for _ in range(k - 1)]
+    shares = []
+    for x in range(1, n + 1):
+        y = 0
+        for coeff in reversed(coefficients):  # Horner evaluation
+            y = (y * x + coeff) % modulus
+        shares.append((x, y))
+    return shares
+
+
+def combine_shares(shares: list[tuple[int, int]], modulus: int) -> int:
+    """Reconstruct the secret from ``k`` (or more) distinct shares.
+
+    Lagrange interpolation at ``x = 0``.  With fewer than the original
+    threshold of shares this returns an unrelated field element rather than
+    raising — the caller cannot detect insufficiency, which is inherent to
+    the scheme.
+    """
+    if not shares:
+        raise ValueError("no shares provided")
+    xs = [x for x, _ in shares]
+    if len(set(xs)) != len(xs):
+        raise ValueError("duplicate share indices")
+    secret = 0
+    for i, (x_i, y_i) in enumerate(shares):
+        numerator = 1
+        denominator = 1
+        for j, (x_j, _) in enumerate(shares):
+            if i == j:
+                continue
+            numerator = (numerator * (-x_j)) % modulus
+            denominator = (denominator * (x_i - x_j)) % modulus
+        lagrange = (numerator * primitives.modinv(denominator, modulus)) % modulus
+        secret = (secret + y_i * lagrange) % modulus
+    return secret

@@ -1,0 +1,152 @@
+"""Access-controlled public coin-binding storage (paper Section 5.1).
+
+The policy the paper specifies:
+
+    "only users who know sk_CU (which, supposedly, is only the owner of the
+    coin) can write to the id pk_CU (by providing the right signature, which
+    can be published along with the binding to back it up), but anyone can
+    read the id pk_CU … the broker should also be allowed to write to any id."
+
+A :class:`BindingRecord` is the published value: the binding payload, the
+authorizing signature, and who signed (the coin key itself or the broker).
+:class:`BindingStore` wires the policy into a Chord ring as each node's
+``put_validator`` and exposes typed publish/fetch helpers.  Rollback
+protection: a write with a sequence number not larger than the stored one is
+rejected, so a fraudulent owner cannot quietly re-point a coin at an old
+holder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.crypto.dsa import DsaSignature, dsa_verify
+from repro.crypto.keys import PublicKey
+from repro.crypto.params import DlogParams
+from repro.dht.chord import ChordRing, key_to_id
+from repro.messages.codec import decode, encode
+
+
+class WriteRejected(Exception):
+    """A put failed the access-control or monotonicity policy."""
+
+
+@dataclass(frozen=True)
+class BindingRecord:
+    """The published state of one coin.
+
+    ``payload`` is the canonical encoding of the binding dict (coin public
+    key, holder coin public key, sequence number, expiry); ``signer_y`` is
+    the ``y`` value of the signing key — either the coin's own public key
+    (owner write) or the broker's (downtime write).
+    """
+
+    payload: bytes
+    signer_y: int
+    sig_r: int
+    sig_s: int
+    via_broker: bool
+
+    def encode(self) -> bytes:
+        """Canonical encoding (transport sizing, storage)."""
+        return encode(
+            {
+                "payload": self.payload,
+                "signer_y": self.signer_y,
+                "sig_r": self.sig_r,
+                "sig_s": self.sig_s,
+                "via_broker": self.via_broker,
+            }
+        )
+
+    @classmethod
+    def from_encoded(cls, data: bytes) -> "BindingRecord":
+        """Inverse of :meth:`encode`."""
+        fields = decode(data)
+        return cls(
+            payload=fields["payload"],
+            signer_y=fields["signer_y"],
+            sig_r=fields["sig_r"],
+            sig_s=fields["sig_s"],
+            via_broker=fields["via_broker"],
+        )
+
+    def binding(self) -> dict[str, Any]:
+        """The decoded binding dict."""
+        return decode(self.payload)
+
+    def sequence(self) -> int:
+        """The binding's sequence number (monotonicity key)."""
+        return self.binding()["seq"]
+
+
+class BindingStore:
+    """The coin-binding service on top of a DHT fabric.
+
+    ``ring`` is any object with the shared DHT surface: ``nodes`` (each
+    accepting a ``put_validator``/``after_put`` attribute), ``put(key,
+    value, src)``, ``get(key, src)``, and ``transport`` —
+    :class:`~repro.dht.chord.ChordRing` and
+    :class:`~repro.dht.kademlia.KademliaNetwork` both qualify.
+    """
+
+    def __init__(self, ring: "ChordRing | Any", params: DlogParams, broker_key: PublicKey) -> None:
+        self.ring = ring
+        self.params = params
+        self.broker_key = broker_key
+        for node in ring.nodes:
+            node.put_validator = self._validate  # type: ignore[attr-defined]
+
+    # -- policy -------------------------------------------------------------
+
+    def _validate(self, key_id: int, stored: Any, value: Any) -> str | None:
+        """Chord put validator: return a rejection reason or ``None``."""
+        try:
+            record = BindingRecord.from_encoded(value)
+            binding = record.binding()
+        except Exception:
+            return "malformed binding record"
+        coin_y = binding.get("coin_y")
+        if not isinstance(coin_y, int):
+            return "binding lacks coin key"
+        if key_to_id(self._coin_key_bytes(coin_y)) != key_id:
+            return "binding published under the wrong DHT key"
+        # Access control: the signature must verify under the coin key itself
+        # (owner write) or the broker key (downtime write).
+        if record.via_broker:
+            expected = self.broker_key
+            if record.signer_y != expected.y:
+                return "broker write not signed by the broker"
+        else:
+            if record.signer_y != coin_y:
+                return "owner write not signed by the coin key"
+            expected = PublicKey(params=self.params, y=coin_y)
+        signature = DsaSignature(r=record.sig_r, s=record.sig_s)
+        if not dsa_verify(expected, record.payload, signature):
+            return "bad signature"
+        if stored is not None:
+            try:
+                previous = BindingRecord.from_encoded(stored)
+                if record.sequence() <= previous.sequence():
+                    return "stale sequence number"
+            except Exception:
+                pass  # corrupt stored state never blocks a valid overwrite
+        return None
+
+    def _coin_key_bytes(self, coin_y: int) -> bytes:
+        return b"whopay-binding|" + coin_y.to_bytes((coin_y.bit_length() + 7) // 8 or 1, "big")
+
+    # -- API ------------------------------------------------------------------
+
+    def publish(self, record: BindingRecord, src: str = "client") -> None:
+        """Publish a binding; raises :class:`WriteRejected` on policy failure."""
+        coin_y = record.binding()["coin_y"]
+        result = self.ring.put(self._coin_key_bytes(coin_y), record.encode(), src=src)
+        if not result["ok"]:
+            raise WriteRejected(result["reason"])
+
+    def fetch(self, coin_y: int, src: str = "client") -> BindingRecord | None:
+        """Read the current public binding of coin ``coin_y`` (anyone may)."""
+        raw = self.ring.get(self._coin_key_bytes(coin_y), src=src)
+        return None if raw is None else BindingRecord.from_encoded(raw)

@@ -1,0 +1,215 @@
+"""Kademlia: XOR-metric DHT (Maymounkov & Mazières, 2002).
+
+A second, independently-implemented DHT substrate.  The paper names several
+interchangeable DHTs for its Section 5.1 infrastructure (CAN, Chord, Pastry,
+Tapestry); this module demonstrates that interchangeability concretely —
+:class:`KademliaNetwork` exposes the same ``nodes`` / ``put`` / ``get`` /
+``transport`` surface as :class:`~repro.dht.chord.ChordRing`, so the
+access-controlled binding store and the notification hub run over either
+routing fabric unmodified (see ``tests/dht/test_kademlia.py``).
+
+Faithful core mechanics:
+
+* 160-bit node and key identifiers, XOR distance;
+* per-node k-buckets (one per distance prefix), refreshed on every contact;
+* iterative, client-driven lookups with parallelism ``alpha``;
+* values stored on the ``k`` closest nodes to the key (built-in replication);
+* ``find_value`` short-circuits at the first node holding the value.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any
+
+from repro.net.node import Node
+from repro.net.transport import NetworkError, NodeOffline, Transport
+
+ID_BITS = 160
+K_BUCKET_SIZE = 4  # contacts per bucket (k)
+ALPHA = 2  # lookup parallelism
+
+
+def kad_id(data: bytes) -> int:
+    """Map arbitrary bytes to the 160-bit identifier space."""
+    return int.from_bytes(hashlib.sha1(data).digest(), "big")
+
+
+def distance(a: int, b: int) -> int:
+    """XOR metric."""
+    return a ^ b
+
+
+class _KademliaNode(Node):
+    """One Kademlia server."""
+
+    def __init__(self, transport: Transport, address: str) -> None:
+        super().__init__(transport, address)
+        self.node_id = kad_id(address.encode())
+        # bucket i holds contacts whose distance has bit-length i+1.
+        self.buckets: list[list[str]] = [[] for _ in range(ID_BITS)]
+        self.storage: dict[int, Any] = {}
+        self.on("kad.ping", lambda src, _p: self._touch(src) or "pong")
+        self.on("kad.find_node", self._handle_find_node)
+        self.on("kad.find_value", self._handle_find_value)
+        self.on("kad.store", self._handle_store)
+
+    # -- routing table -----------------------------------------------------
+
+    def _bucket_index(self, other_id: int) -> int:
+        d = distance(self.node_id, other_id)
+        return d.bit_length() - 1 if d else 0
+
+    def _touch(self, address: str) -> None:
+        """Record a live contact (LRU within its bucket)."""
+        if address == self.address or address.startswith(("client", "dht-notify")):
+            return
+        try:
+            other = self.transport.node(address)
+            other_id = getattr(other, "node_id")
+        except Exception:
+            return
+        bucket = self.buckets[self._bucket_index(other_id)]
+        if address in bucket:
+            bucket.remove(address)
+        bucket.append(address)
+        if len(bucket) > K_BUCKET_SIZE:
+            bucket.pop(0)  # drop the least-recently seen
+
+    def known_contacts(self) -> list[str]:
+        """All contacts across buckets."""
+        return [address for bucket in self.buckets for address in bucket]
+
+    def closest_known(self, target_id: int, count: int) -> list[str]:
+        """The ``count`` known contacts closest to ``target_id`` (incl. self)."""
+        candidates = set(self.known_contacts())
+        candidates.add(self.address)
+        ordered = sorted(
+            candidates,
+            key=lambda address: distance(kad_id(address.encode()), target_id),
+        )
+        return ordered[:count]
+
+    # -- handlers ---------------------------------------------------------------
+
+    def _handle_find_node(self, src: str, target_id: int) -> list[str]:
+        self._touch(src)
+        return self.closest_known(target_id, K_BUCKET_SIZE)
+
+    def _handle_find_value(self, src: str, key_id: int) -> dict[str, Any]:
+        self._touch(src)
+        if key_id in self.storage:
+            return {"found": True, "value": self.storage[key_id], "closest": []}
+        return {"found": False, "value": None, "closest": self.closest_known(key_id, K_BUCKET_SIZE)}
+
+    def _handle_store(self, src: str, payload: dict) -> dict:
+        self._touch(src)
+        key_id = payload["key_id"]
+        value = payload["value"]
+        validator = getattr(self, "put_validator", None)
+        if validator is not None:
+            verdict = validator(key_id, self.storage.get(key_id), value)
+            if verdict is not None:
+                return {"ok": False, "reason": verdict}
+        self.storage[key_id] = value
+        if payload.get("notify"):
+            hook = getattr(self, "after_put", None)
+            if hook is not None:
+                hook(key_id, value)
+        return {"ok": True, "reason": None}
+
+
+class KademliaNetwork:
+    """A Kademlia deployment with the ChordRing-compatible surface."""
+
+    def __init__(self, transport: Transport, size: int, prefix: str = "kad") -> None:
+        if size < 1:
+            raise ValueError("network needs at least one node")
+        self.transport = transport
+        self.nodes: list[_KademliaNode] = [
+            _KademliaNode(transport, f"{prefix}-{i}") for i in range(size)
+        ]
+        # Bootstrap: every node learns the first node, then performs a
+        # self-lookup to populate its buckets (the standard join procedure).
+        seed = self.nodes[0]
+        for node in self.nodes[1:]:
+            node._touch(seed.address)
+            seed._touch(node.address)
+        for node in self.nodes:
+            self._iterative_find_node(node.address, node.node_id)
+
+    # -- iterative lookup ------------------------------------------------------
+
+    def _iterative_find_node(self, src: str, target_id: int) -> list[str]:
+        """Client-driven convergence toward the k closest nodes."""
+        start = self.transport.node(src) if src in self.transport.addresses() else self.nodes[0]
+        shortlist = getattr(start, "closest_known", self.nodes[0].closest_known)(
+            target_id, K_BUCKET_SIZE
+        )
+        if not shortlist:
+            shortlist = [self.nodes[0].address]
+        queried: set[str] = set()
+        while True:
+            candidates = [a for a in shortlist if a not in queried and self.transport.is_online(a)]
+            if not candidates:
+                break
+            progress = False
+            for address in candidates[:ALPHA]:
+                queried.add(address)
+                try:
+                    learned = self.transport.request(src, address, "kad.find_node", target_id)
+                except (NodeOffline, NetworkError):
+                    continue
+                for contact in learned:
+                    if contact not in shortlist:
+                        shortlist.append(contact)
+                        progress = True
+            shortlist.sort(key=lambda a: distance(kad_id(a.encode()), target_id))
+            shortlist = shortlist[: K_BUCKET_SIZE * 2]
+            if not progress and all(a in queried or not self.transport.is_online(a) for a in shortlist):
+                break
+        live = [a for a in shortlist if self.transport.is_online(a)]
+        return live[:K_BUCKET_SIZE]
+
+    # -- ChordRing-compatible API -------------------------------------------------
+
+    def put(self, key: bytes, value: Any, src: str = "client") -> dict:
+        """Store ``value`` on the k closest nodes to ``key``.
+
+        The validator verdict comes from the closest node (all nodes run the
+        same deterministic policy); only the closest node fires the
+        notification hook, so subscribers see each update exactly once.
+        """
+        key_id = kad_id(key)
+        closest = self._iterative_find_node(src, key_id)
+        if not closest:
+            return {"ok": False, "reason": "no live nodes"}
+        result: dict | None = None
+        for rank, address in enumerate(closest):
+            payload = {"key_id": key_id, "value": value, "notify": rank == 0}
+            try:
+                response = self.transport.request(src, address, "kad.store", payload)
+            except (NodeOffline, NetworkError):
+                continue
+            if result is None:
+                result = response
+            if not response["ok"]:
+                break  # deterministic policy: every node would refuse
+        return result if result is not None else {"ok": False, "reason": "store failed"}
+
+    def get(self, key: bytes, src: str = "client") -> Any:
+        """Iterative find_value for ``key``."""
+        key_id = kad_id(key)
+        for address in self._iterative_find_node(src, key_id):
+            try:
+                response = self.transport.request(src, address, "kad.find_value", key_id)
+            except (NodeOffline, NetworkError):
+                continue
+            if response["found"]:
+                return response["value"]
+        return None
+
+    def owner_of(self, key: bytes) -> _KademliaNode:
+        """The closest live node to ``key`` (primary storer)."""
+        closest = self._iterative_find_node(self.nodes[0].address, kad_id(key))
+        return self.transport.node(closest[0])  # type: ignore[return-value]

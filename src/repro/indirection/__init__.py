@@ -1,0 +1,13 @@
+"""i3-style anonymous indirection (paper Section 5.2, approach 3).
+
+The owner-anonymous WhoPay extension removes the owner's identity from the
+coin and replaces it with a *handle*: ``C = {h_CU, pk_CU}_skB``.  Messages
+for the coin's owner are sent to the handle; an Internet Indirection
+Infrastructure (i3, Stoica et al., SIGCOMM 2002) trigger forwards them to
+whatever node the owner registered — so the payee cannot tell whether it is
+talking to the owner or a random peer.
+"""
+
+from repro.indirection.i3 import I3Overlay, TriggerError
+
+__all__ = ["I3Overlay", "TriggerError"]

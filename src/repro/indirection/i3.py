@@ -1,0 +1,125 @@
+"""A minimal Internet Indirection Infrastructure overlay.
+
+i3's core abstraction: receivers insert a *trigger* ``(id, addr)`` into the
+overlay; senders send packets to ``id``; the overlay forwards to ``addr``.
+Sender and receiver never learn each other's addresses from the exchange —
+which is exactly the pseudonymity the owner-anonymous coin extension needs.
+
+Triggers are spread over the i3 servers by consistent hashing of the handle,
+so forwarding load distributes like the rest of the system.  Trigger
+insertion is authenticated with a handle-derived token: only the party that
+minted the handle (the coin owner, who derived it from the coin secret) can
+claim it — without this, anyone could hijack a coin's control channel.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any
+
+from repro.net.node import Node
+from repro.net.transport import NetworkError, NodeOffline, Transport
+
+
+class TriggerError(Exception):
+    """Trigger insertion/claim failure."""
+
+
+class _I3Server(Node):
+    """One overlay server holding a shard of the trigger table."""
+
+    def __init__(self, transport: Transport, address: str) -> None:
+        super().__init__(transport, address)
+        # handle -> (claim_token_hash, forward_address)
+        self.triggers: dict[bytes, tuple[bytes, str]] = {}
+        self.on("i3.insert", self._handle_insert)
+        self.on("i3.remove", self._handle_remove)
+        self.on("i3.send", self._handle_send)
+
+    def _handle_insert(self, src: str, payload: dict) -> dict:
+        handle: bytes = payload["handle"]
+        token: bytes = payload["token"]
+        expected = hashlib.sha256(b"i3-claim|" + handle).digest()
+        stored = self.triggers.get(handle)
+        if stored is not None and stored[0] != hashlib.sha256(token).digest():
+            return {"ok": False, "reason": "handle already claimed"}
+        if hashlib.sha256(b"i3-handle|" + token).digest() != handle:
+            return {"ok": False, "reason": "token does not derive the handle"}
+        del expected  # the handle itself is the commitment; token is its preimage
+        self.triggers[handle] = (hashlib.sha256(token).digest(), payload["forward_to"])
+        return {"ok": True, "reason": None}
+
+    def _handle_remove(self, src: str, payload: dict) -> dict:
+        handle: bytes = payload["handle"]
+        token: bytes = payload["token"]
+        stored = self.triggers.get(handle)
+        if stored is None:
+            return {"ok": True, "reason": None}
+        if stored[0] != hashlib.sha256(token).digest():
+            return {"ok": False, "reason": "not the trigger owner"}
+        del self.triggers[handle]
+        return {"ok": True, "reason": None}
+
+    def _handle_send(self, src: str, payload: dict) -> Any:
+        handle: bytes = payload["handle"]
+        stored = self.triggers.get(handle)
+        if stored is None:
+            raise NetworkError("no trigger for handle")
+        _token_hash, forward_to = stored
+        # Forward on behalf of the sender; the receiver sees the i3 server as
+        # the source, never the original sender's address.
+        return self.transport.request(self.address, forward_to, payload["kind"], payload["payload"])
+
+
+class I3Overlay:
+    """Client API for the indirection overlay."""
+
+    def __init__(self, transport: Transport, size: int = 4, prefix: str = "i3") -> None:
+        if size < 1:
+            raise ValueError("overlay needs at least one server")
+        self.transport = transport
+        self.servers = [_I3Server(transport, f"{prefix}-{i}") for i in range(size)]
+
+    @staticmethod
+    def mint_handle(secret_material: bytes) -> tuple[bytes, bytes]:
+        """Derive ``(handle, claim_token)`` from private material.
+
+        The token is the SHA-256 preimage of the handle, so publishing the
+        handle (inside a coin) commits to it while only the minter can later
+        claim the trigger.
+        """
+        token = hashlib.sha256(b"i3-token|" + secret_material).digest()
+        handle = hashlib.sha256(b"i3-handle|" + token).digest()
+        return handle, token
+
+    def _server_for(self, handle: bytes) -> _I3Server:
+        index = int.from_bytes(hashlib.sha1(handle).digest(), "big") % len(self.servers)
+        return self.servers[index]
+
+    def insert_trigger(self, handle: bytes, token: bytes, forward_to: str, src: str) -> None:
+        """Register ``forward_to`` as the receiver for ``handle``."""
+        server = self._server_for(handle)
+        result = self.transport.request(
+            src, server.address, "i3.insert", {"handle": handle, "token": token, "forward_to": forward_to}
+        )
+        if not result["ok"]:
+            raise TriggerError(result["reason"])
+
+    def remove_trigger(self, handle: bytes, token: bytes, src: str) -> None:
+        """Remove a trigger (owner only)."""
+        server = self._server_for(handle)
+        result = self.transport.request(src, server.address, "i3.remove", {"handle": handle, "token": token})
+        if not result["ok"]:
+            raise TriggerError(result["reason"])
+
+    def send(self, src: str, handle: bytes, kind: str, payload: Any) -> Any:
+        """Send a request to whoever holds the trigger for ``handle``.
+
+        Raises :class:`~repro.net.transport.NetworkError` if no trigger is
+        registered or the receiver is offline — which is how callers detect
+        "owner unreachable, fall back to the broker".
+        """
+        server = self._server_for(handle)
+        return self.transport.request(
+            src, server.address, "i3.send", {"handle": handle, "kind": kind, "payload": payload}
+        )

@@ -1,0 +1,22 @@
+"""Canonical message encoding and signing envelopes.
+
+Every protocol object in the reproduction — coins, bindings, transfer
+requests — must have exactly one byte representation so that "sign the
+binding" is well-defined.  :mod:`repro.messages.codec` provides that
+canonical encoding; :mod:`repro.messages.envelope` provides the single- and
+dual-signature wrappers the WhoPay protocols use (Section 4.2: holder
+operations are signed with both the coin key and the group key).
+"""
+
+from repro.messages.codec import CodecError, decode, encode
+from repro.messages.envelope import DualSignedMessage, SignedMessage, group_seal, seal
+
+__all__ = [
+    "CodecError",
+    "encode",
+    "decode",
+    "SignedMessage",
+    "DualSignedMessage",
+    "seal",
+    "group_seal",
+]

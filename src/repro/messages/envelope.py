@@ -1,0 +1,118 @@
+"""Signed message envelopes.
+
+WhoPay's protocols (Section 4.2) use two signing patterns:
+
+* ``{M}_sk`` — a single DSA signature (broker signing coins, owners signing
+  bindings, identity signatures during purchase/sync).
+  → :class:`SignedMessage`, built with :func:`seal`.
+* ``{{M}_skC}_gk`` — holder operations: the coin's secret key proves
+  holdership, the group key proves (anonymously) that the holder is a
+  legitimate user and lets the judge recover the identity on fraud.
+  → :class:`DualSignedMessage`, built with :func:`group_seal`.
+
+Payloads are codec values (see :mod:`repro.messages.codec`); the envelope
+stores the canonical encoding so signatures stay valid across re-serialization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.crypto.dsa import DsaSignature, dsa_sign, dsa_verify
+from repro.crypto.group_signature import GroupMemberKey, GroupPublicKey, GroupSignature, group_sign, group_verify
+from repro.crypto.keys import KeyPair, PublicKey
+from repro.messages.codec import decode, encode
+
+
+@dataclass(frozen=True)
+class SignedMessage:
+    """A payload plus one DSA signature by ``signer``."""
+
+    payload_bytes: bytes
+    signer: PublicKey
+    signature: DsaSignature
+
+    @property
+    def payload(self) -> Any:
+        """The decoded payload value."""
+        return decode(self.payload_bytes)
+
+    def verify(self) -> bool:
+        """True iff the signature matches the payload and claimed signer."""
+        return dsa_verify(self.signer, self.payload_bytes, self.signature)
+
+    def encode(self) -> bytes:
+        """Canonical encoding of the whole envelope (for nesting/transport)."""
+        return encode(
+            {
+                "payload": self.payload_bytes,
+                "signer_y": self.signer.y,
+                "sig_r": self.signature.r,
+                "sig_s": self.signature.s,
+            }
+        )
+
+
+@dataclass(frozen=True)
+class DualSignedMessage:
+    """A payload signed with a coin key and countersigned with a group key.
+
+    The group signature covers the *coin-signed envelope*, matching the
+    paper's ``{{pk_CW, C_V}_skCV}_gkV`` structure: tampering with either
+    layer invalidates the outer signature.
+
+    ``roster_version`` records which roster snapshot the signer used, so a
+    verifier who registered earlier/later can fetch exactly that snapshot
+    from the judge and verify.
+    """
+
+    inner: SignedMessage
+    group_signature: GroupSignature
+    roster_version: int = 0
+
+    @property
+    def payload(self) -> Any:
+        """The decoded payload value."""
+        return self.inner.payload
+
+    @property
+    def payload_bytes(self) -> bytes:
+        """Canonical bytes of the payload."""
+        return self.inner.payload_bytes
+
+    @property
+    def coin_signer(self) -> PublicKey:
+        """The coin public key whose holder signed the inner envelope."""
+        return self.inner.signer
+
+    def verify(self, gpk: GroupPublicKey) -> bool:
+        """Check both layers; pure predicate."""
+        if not self.inner.verify():
+            return False
+        return group_verify(gpk, self.inner.encode(), self.group_signature)
+
+
+def seal(keypair: KeyPair, payload: Any) -> SignedMessage:
+    """Encode ``payload`` and sign it with ``keypair``."""
+    payload_bytes = encode(payload)
+    return SignedMessage(
+        payload_bytes=payload_bytes,
+        signer=keypair.public,
+        signature=dsa_sign(keypair, payload_bytes),
+    )
+
+
+def group_seal(
+    coin_keypair: KeyPair,
+    member: GroupMemberKey,
+    gpk: GroupPublicKey,
+    payload: Any,
+) -> DualSignedMessage:
+    """Build the dual-signed holder envelope ``{{payload}_skC}_gk``."""
+    inner = seal(coin_keypair, payload)
+    return DualSignedMessage(
+        inner=inner,
+        group_signature=group_sign(gpk, member, inner.encode()),
+        roster_version=gpk.version,
+    )

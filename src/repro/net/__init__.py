@@ -1,0 +1,14 @@
+"""In-memory network substrate.
+
+The paper evaluates WhoPay in simulation; this package is the corresponding
+stand-in for a real network: a deterministic, instrumented, in-memory
+message-passing fabric.  It gives the protocol layer exactly what it needs —
+addressed nodes, request/response RPC, offline failures — while counting
+every message and byte per entity (the paper's "communication cost" metric,
+Figures 7, 9, 11).
+"""
+
+from repro.net.node import Node
+from repro.net.transport import NetworkError, NodeOffline, Transport, UnknownNode
+
+__all__ = ["Transport", "Node", "NetworkError", "NodeOffline", "UnknownNode"]

@@ -1,0 +1,56 @@
+"""Node base class: an addressed, handler-dispatching network endpoint."""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.net.transport import NetworkError, Transport
+
+Handler = Callable[[str, Any], Any]
+
+
+class Node:
+    """An endpoint on a :class:`~repro.net.transport.Transport`.
+
+    Subclasses (peers, the broker, DHT servers, i3 servers) register
+    handlers per message kind with :meth:`on`; ``handle`` dispatches.
+    The ``online`` flag models churn: while ``False`` the transport
+    refuses delivery, exactly like an unreachable host.
+    """
+
+    def __init__(self, transport: Transport, address: str) -> None:
+        self.transport = transport
+        self.address = address
+        self.online = True
+        self._handlers: dict[str, Handler] = {}
+        transport.register(self)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def go_offline(self) -> None:
+        """Leave the network (requests to this node will fail)."""
+        self.online = False
+
+    def go_online(self) -> None:
+        """Rejoin the network."""
+        self.online = True
+
+    # -- dispatch ----------------------------------------------------------
+
+    def on(self, kind: str, handler: Handler) -> None:
+        """Register ``handler`` for message ``kind`` (one handler per kind)."""
+        if kind in self._handlers:
+            raise ValueError(f"{self.address}: duplicate handler for {kind!r}")
+        self._handlers[kind] = handler
+
+    def handle(self, kind: str, src: str, payload: Any) -> Any:
+        """Dispatch an incoming request (called by the transport)."""
+        try:
+            handler = self._handlers[kind]
+        except KeyError:
+            raise NetworkError(f"{self.address}: no handler for message kind {kind!r}") from None
+        return handler(src, payload)
+
+    def request(self, dst: str, kind: str, payload: Any) -> Any:
+        """Convenience: send a request from this node."""
+        return self.transport.request(self.address, dst, kind, payload)

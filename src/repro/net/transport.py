@@ -1,0 +1,179 @@
+"""The instrumented in-memory transport.
+
+Synchronous request/response delivery between registered nodes, with:
+
+* per-entity message and byte counters (sent and received) — the
+  communication-cost measurements of Figures 7/9/11 come from counters with
+  exactly this shape;
+* an online/offline gate per node, so protocol code experiences peer churn
+  the same way it would over a real network (requests to offline peers fail
+  with :class:`NodeOffline`);
+* optional per-hop latency accounting against a virtual clock (the
+  transport does not sleep; it accumulates what *would* have been waited).
+
+Delivery is a direct function call into the destination node's handler, so
+tests are deterministic and stack traces span the whole protocol exchange.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Callable, TYPE_CHECKING
+
+from repro.messages.codec import encode
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.node import Node
+
+
+class NetworkError(Exception):
+    """Base class for transport-level failures."""
+
+
+class UnknownNode(NetworkError):
+    """The destination address is not registered."""
+
+
+class NodeOffline(NetworkError):
+    """The destination node exists but is currently offline."""
+
+
+class MessageDropped(NetworkError):
+    """The fault injector dropped this message (see Transport.set_loss)."""
+
+
+@dataclass
+class TrafficCounter:
+    """Messages/bytes sent and received by one entity."""
+
+    messages_sent: int = 0
+    messages_received: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+
+    @property
+    def messages_total(self) -> int:
+        """Sent plus received messages (the paper counts both sides)."""
+        return self.messages_sent + self.messages_received
+
+
+class Transport:
+    """The shared in-memory fabric all nodes attach to."""
+
+    def __init__(self, per_hop_latency: float = 0.0) -> None:
+        self._nodes: dict[str, "Node"] = {}
+        self.counters: dict[str, TrafficCounter] = defaultdict(TrafficCounter)
+        self.per_hop_latency = per_hop_latency
+        self.virtual_latency_accrued = 0.0
+        self.total_messages = 0
+        self._loss_rate = 0.0
+        self._loss_rng = None
+        self.messages_dropped = 0
+
+    # -- fault injection ------------------------------------------------------
+
+    def set_loss(self, rate: float, seed: int = 0) -> None:
+        """Drop each request with probability ``rate`` (deterministic RNG).
+
+        A dropped message surfaces to the sender as :class:`MessageDropped`
+        before the handler runs — the request-response model's analogue of
+        a lost packet.  Protocol robustness tests use this to verify that
+        no partial state survives a lost exchange.  ``rate=0`` disables.
+        """
+        import random as _random
+
+        if not 0.0 <= rate < 1.0:
+            raise ValueError("loss rate must be in [0, 1)")
+        self._loss_rate = rate
+        self._loss_rng = _random.Random(seed) if rate > 0 else None
+
+    # -- registration ------------------------------------------------------
+
+    def register(self, node: "Node") -> None:
+        """Attach ``node``; its address must be unique on this transport."""
+        if node.address in self._nodes:
+            raise ValueError(f"duplicate node address {node.address!r}")
+        self._nodes[node.address] = node
+
+    def unregister(self, address: str) -> None:
+        """Detach the node at ``address`` (no-op if absent)."""
+        self._nodes.pop(address, None)
+
+    def node(self, address: str) -> "Node":
+        """Look up a node by address."""
+        try:
+            return self._nodes[address]
+        except KeyError:
+            raise UnknownNode(address) from None
+
+    def addresses(self) -> list[str]:
+        """All registered addresses (stable order of registration)."""
+        return list(self._nodes)
+
+    def is_online(self, address: str) -> bool:
+        """True iff ``address`` is registered and its node is online."""
+        node = self._nodes.get(address)
+        return node is not None and node.online
+
+    # -- messaging ---------------------------------------------------------
+
+    def request(self, src: str, dst: str, kind: str, payload: Any) -> Any:
+        """Send a request from ``src`` to ``dst`` and return the response.
+
+        ``payload`` must be codec-encodable (its size is what the byte
+        counters record).  Raises :class:`UnknownNode` / :class:`NodeOffline`
+        on addressing failures; handler exceptions propagate to the caller,
+        mirroring an application-level error response.
+        """
+        node = self.node(dst)
+        if not node.online:
+            raise NodeOffline(dst)
+        if self._loss_rng is not None and self._loss_rng.random() < self._loss_rate:
+            self.messages_dropped += 1
+            raise MessageDropped(f"{src} -> {dst} ({kind})")
+        self._account(src, dst, payload)
+        response = node.handle(kind, src, payload)
+        self._account(dst, src, response)
+        return response
+
+    def _account(self, sender: str, receiver: str, payload: Any) -> None:
+        size = len(encode(self._measurable(payload)))
+        self.counters[sender].messages_sent += 1
+        self.counters[sender].bytes_sent += size
+        self.counters[receiver].messages_received += 1
+        self.counters[receiver].bytes_received += size
+        self.total_messages += 1
+        self.virtual_latency_accrued += self.per_hop_latency
+
+    @staticmethod
+    def _measurable(payload: Any) -> Any:
+        """Reduce a payload to something the codec can size.
+
+        Protocol objects expose ``encode()``; plain codec values pass
+        through; anything else is sized by its repr (never happens for real
+        protocol traffic, but keeps the counters total).
+        """
+        if payload is None or isinstance(payload, (int, str, bytes, bool)):
+            return payload
+        if hasattr(payload, "encode") and callable(payload.encode):
+            encoded = payload.encode()
+            if isinstance(encoded, bytes):
+                return encoded
+        if isinstance(payload, (list, tuple)):
+            return [Transport._measurable(item) for item in payload]
+        if isinstance(payload, dict):
+            return {k: Transport._measurable(v) for k, v in payload.items()}
+        return repr(payload)
+
+    # -- metrics -----------------------------------------------------------
+
+    def counter(self, address: str) -> TrafficCounter:
+        """The traffic counter for ``address`` (created on first use)."""
+        return self.counters[address]
+
+    def reset_counters(self) -> None:
+        """Zero all counters (between experiment phases)."""
+        self.counters.clear()
+        self.total_messages = 0
+        self.virtual_latency_accrued = 0.0

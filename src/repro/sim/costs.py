@@ -1,0 +1,200 @@
+"""Operation cost model (paper Tables 2 & 3 and Section 6.2).
+
+The paper converts operation counts into CPU and communication load:
+
+* **CPU** — each coarse operation decomposes into micro-operations (key pair
+  generations, signature generations/verifications, group signature
+  generations/verifications) whose *relative* costs are Table 3: keygen 1,
+  regular sig gen/verify 2, group sig gen/verify 4 (the paper's "wild guess"
+  that efficient group signatures cost twice DSA).
+* **Communication** — "the communication cost of each operation [is]
+  proportional to the number of messages sent/received".
+
+The micro-operation decomposition below is derived from the Section 4.2
+protocol descriptions.  The transfer row is pinned to the paper's own
+statement ("each transfer involves 1 key pair generation, 4 signature
+generations, 4 signature verifications, 1 group signature generation, and 1
+group signature verification" for the peers); the other rows follow the same
+derivation style.  Broker-side and peer-side costs are kept separate because
+the figures plot them separately (broker load: Figures 6/7; peer load and
+ratios: Figures 8/9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Table 3 — relative CPU cost of each micro-operation.
+MICRO_COST = {
+    "keygen": 1,
+    "sig": 2,  # regular signature generation
+    "ver": 2,  # regular signature verification
+    "gsig": 4,  # group signature generation
+    "gver": 4,  # group signature verification
+}
+
+
+@dataclass(frozen=True)
+class OpCost:
+    """Cost of one coarse operation, split by side.
+
+    ``peer_micro`` / ``broker_micro`` map micro-operation names to counts —
+    peer counts are aggregated over *all* peers participating in the
+    operation (payer + payee + owner), matching the paper's accounting.
+    ``peer_msgs`` / ``broker_msgs`` count message *endpoints* (a message
+    between two peers adds 2 to the peer side; a peer↔broker message adds 1
+    to each side).
+    """
+
+    peer_micro: dict[str, int]
+    broker_micro: dict[str, int]
+    peer_msgs: int
+    broker_msgs: int
+
+    @property
+    def peer_cpu(self) -> int:
+        """Weighted peer-side CPU cost (Table 3 units)."""
+        return sum(MICRO_COST[name] * count for name, count in self.peer_micro.items())
+
+    @property
+    def broker_cpu(self) -> int:
+        """Weighted broker-side CPU cost (Table 3 units)."""
+        return sum(MICRO_COST[name] * count for name, count in self.broker_micro.items())
+
+
+#: Per-operation cost table.  Derivations (Section 4.2 message flows):
+#:
+#: purchase         U↔B, 2 msgs.  U: coin keygen, sign request, verify coin.
+#:                  B: verify request, sign coin.
+#: issue            U↔V, 4 msgs (key+nonce, coin, proof+binding, ack).
+#:                  V: holder keygen, gsig on its messages, 3 verifies
+#:                  (coin, ownership proof, binding).  U: 3 sigs (coin send,
+#:                  proof, binding), 1 gver.
+#: transfer         V↔W offer, V↔U request, U↔W complete: 6 msgs.  Pinned to
+#:                  the paper's stated totals.
+#: deposit          W↔B, 2 msgs.  W: sig + gsig.  B: ver + gver + sig(receipt).
+#: renewal          W↔U, 2 msgs.  W: sig + gsig + verify new binding.
+#:                  U: ver + gver + sign new binding.
+#: downtime_transfer V↔W offer, V↔B request, V↔W relay: 6 msgs (2 at broker).
+#:                  Peers: keygen(W) + sig(V) + gsig(V) + 2 vers (V, W check
+#:                  the broker binding).  B: 2 vers (request + owner-signed
+#:                  proof or state compare) + gver + sig.
+#: downtime_renewal V↔B, 2 msgs.  V: sig + gsig + ver.  B: 2 vers + gver + sig.
+#: sync             U↔B challenge + response: 4 msgs.  U: sig + ver of the
+#:                  returned bindings.  B: ver + sig.
+#: check            one DHT read (2 msgs at the peer, none at the broker,
+#:                  DHT infrastructure excluded as in the paper): verify the
+#:                  published binding.
+#: lazy_sync        local adoption of the checked binding: one extra verify.
+OP_COSTS: dict[str, OpCost] = {
+    "purchase": OpCost(
+        peer_micro={"keygen": 1, "sig": 1, "ver": 1},
+        broker_micro={"ver": 1, "sig": 1},
+        peer_msgs=2,
+        broker_msgs=2,
+    ),
+    "issue": OpCost(
+        peer_micro={"keygen": 1, "sig": 3, "ver": 3, "gsig": 1, "gver": 1},
+        broker_micro={},
+        peer_msgs=8,
+        broker_msgs=0,
+    ),
+    "transfer": OpCost(
+        peer_micro={"keygen": 1, "sig": 4, "ver": 4, "gsig": 1, "gver": 1},
+        broker_micro={},
+        peer_msgs=12,
+        broker_msgs=0,
+    ),
+    "deposit": OpCost(
+        peer_micro={"sig": 1, "gsig": 1},
+        broker_micro={"ver": 1, "gver": 1, "sig": 1},
+        peer_msgs=2,
+        broker_msgs=2,
+    ),
+    "renewal": OpCost(
+        peer_micro={"sig": 2, "ver": 2, "gsig": 1, "gver": 1},
+        broker_micro={},
+        peer_msgs=4,
+        broker_msgs=0,
+    ),
+    "downtime_transfer": OpCost(
+        peer_micro={"keygen": 1, "sig": 1, "ver": 2, "gsig": 1},
+        broker_micro={"ver": 2, "gver": 1, "sig": 1},
+        peer_msgs=10,
+        broker_msgs=2,
+    ),
+    "downtime_renewal": OpCost(
+        peer_micro={"sig": 1, "ver": 1, "gsig": 1},
+        broker_micro={"ver": 2, "gver": 1, "sig": 1},
+        peer_msgs=2,
+        broker_msgs=2,
+    ),
+    "sync": OpCost(
+        peer_micro={"sig": 1, "ver": 1},
+        broker_micro={"ver": 1, "sig": 1},
+        peer_msgs=4,
+        broker_msgs=4,
+    ),
+    "check": OpCost(
+        peer_micro={"ver": 1},
+        broker_micro={},
+        peer_msgs=2,
+        broker_msgs=0,
+    ),
+    "lazy_sync": OpCost(
+        peer_micro={"ver": 1},
+        broker_micro={},
+        peer_msgs=0,
+        broker_msgs=0,
+    ),
+    # Real-time detection (Section 5.1), op-level model.  A publish is one
+    # access-controlled DHT put: O(log n) routing messages (modelled at 4
+    # endpoint-counts), signature validation at the storing node (attributed
+    # to the DHT infrastructure, not the peers, per the paper's trusted-
+    # service assumption), plus one push notification to the subscribed
+    # holder.  A read is the payee's verify-before-accept fetch: routing
+    # plus one signature verification by the reader.
+    "dht_publish": OpCost(
+        peer_micro={},
+        broker_micro={},
+        peer_msgs=6,  # 4 routing endpoints + 2 notification endpoints
+        broker_msgs=0,
+    ),
+    "dht_read": OpCost(
+        peer_micro={"ver": 1},
+        broker_micro={},
+        peer_msgs=4,
+        broker_msgs=0,
+    ),
+    # Layered offline transfer (Section 7): the base cost covers the new
+    # layer (holder keygen for the recipient, one signature, one group
+    # signature) and the direct payer->payee exchange; the payee's chain
+    # verification is depth-dependent and accounted dynamically by the
+    # simulator via SimMetrics.count_micro (one ver + one gver per existing
+    # layer).
+    "layered_transfer": OpCost(
+        peer_micro={"keygen": 1, "sig": 1, "gsig": 1, "ver": 1, "gver": 1},
+        broker_micro={},
+        peer_msgs=4,
+        broker_msgs=0,
+    ),
+}
+
+#: Operation types that appear in the broker-load figures (2, 3, 6, 7).
+BROKER_OPS = ("purchase", "deposit", "downtime_transfer", "downtime_renewal", "sync")
+
+#: Operation types that appear in the peer-load figures (4, 5).
+PEER_OPS = (
+    "purchase",
+    "issue",
+    "transfer",
+    "renewal",
+    "downtime_transfer",
+    "downtime_renewal",
+    "check",
+    "lazy_sync",
+    "sync",
+    "layered_transfer",
+    "dht_publish",
+    "dht_read",
+)

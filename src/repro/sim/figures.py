@@ -1,0 +1,149 @@
+"""One-call regeneration of every figure's data (paper Section 6.2).
+
+:func:`generate_all` runs the four Setup-A configurations and the four
+Setup-B configurations once each and derives the data series behind every
+figure (2–11), returning them as a dict and optionally writing one CSV per
+figure plus a combined plain-text report.  The CLI exposes this as
+``python -m repro figures``.
+
+This module is about *convenience packaging*; the per-figure shape
+assertions live in the benchmark suite, which remains the verification
+path.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Any
+
+from repro.analysis.tables import format_series_table
+from repro.sim.policies import POLICY_I, POLICY_III
+from repro.sim.runner import run_availability_sweep, run_scaling_sweep
+
+CONFIGS = (
+    ("I", "proactive"),
+    ("I", "lazy"),
+    ("III", "proactive"),
+    ("III", "lazy"),
+)
+
+_POLICIES = {"I": POLICY_I, "III": POLICY_III}
+
+#: Figure id -> (x key, [(series label, row key)], which sweep, which configs)
+_FIGURES: dict[str, dict[str, Any]] = {
+    "fig2": {
+        "title": "Broker Load: Policy I + Pro Sync",
+        "sweep": "A",
+        "config": ("I", "proactive"),
+        "series": [
+            ("purchases", "broker_purchase"),
+            ("downtime_transfers", "broker_downtime_transfer"),
+            ("downtime_renewals", "broker_downtime_renewal"),
+            ("syncs", "broker_sync"),
+        ],
+    },
+    "fig3": {
+        "title": "Broker Load: Policy I + Lazy Sync",
+        "sweep": "A",
+        "config": ("I", "lazy"),
+        "series": [
+            ("purchases", "broker_purchase"),
+            ("downtime_transfers", "broker_downtime_transfer"),
+            ("downtime_renewals", "broker_downtime_renewal"),
+        ],
+    },
+    "fig4": {
+        "title": "Average Peer Load: Policy I + Pro Sync",
+        "sweep": "A",
+        "config": ("I", "proactive"),
+        "series": [
+            ("purchases", "peer_avg_purchase"),
+            ("issues", "peer_avg_issue"),
+            ("transfers", "peer_avg_transfer"),
+            ("renewals", "peer_avg_renewal"),
+            ("downtime_transfers", "peer_avg_downtime_transfer"),
+            ("downtime_renewals", "peer_avg_downtime_renewal"),
+            ("syncs", "peer_avg_sync"),
+        ],
+    },
+    "fig5": {
+        "title": "Average Peer Load: Policy I + Lazy Sync",
+        "sweep": "A",
+        "config": ("I", "lazy"),
+        "series": [
+            ("purchases", "peer_avg_purchase"),
+            ("issues", "peer_avg_issue"),
+            ("transfers", "peer_avg_transfer"),
+            ("renewals", "peer_avg_renewal"),
+            ("downtime_transfers", "peer_avg_downtime_transfer"),
+            ("downtime_renewals", "peer_avg_downtime_renewal"),
+            ("checks", "peer_avg_check"),
+        ],
+    },
+    "fig6": {"title": "Broker CPU Load", "sweep": "A", "multi": "broker_cpu"},
+    "fig7": {"title": "Broker Communication Load", "sweep": "A", "multi": "broker_comm"},
+    "fig8": {"title": "Broker-Peer CPU Load Ratio", "sweep": "A", "multi": "cpu_ratio"},
+    "fig9": {"title": "Broker-Peer Communication Load Ratio", "sweep": "A", "multi": "comm_ratio"},
+    "fig10": {"title": "Broker CPU Load Scaling", "sweep": "B", "multi": "broker_cpu_share"},
+    "fig11": {"title": "Broker Communication Load Scaling", "sweep": "B", "multi": "broker_comm_share"},
+}
+
+
+def generate_all(small: bool = True, out_dir: str | Path | None = None) -> dict[str, dict[str, Any]]:
+    """Run the sweeps and derive every figure's series.
+
+    Returns ``{figure_id: {"title", "x_label", "x", series...}}``; when
+    ``out_dir`` is given, also writes ``<figure>.csv`` per figure and a
+    combined ``figures.txt`` report there.
+    """
+    sweeps_a = {
+        cfg: run_availability_sweep(_POLICIES[cfg[0]], cfg[1], small=small) for cfg in CONFIGS
+    }
+    sweeps_b = {
+        cfg: run_scaling_sweep(_POLICIES[cfg[0]], cfg[1], small=small) for cfg in CONFIGS
+    }
+
+    figures: dict[str, dict[str, Any]] = {}
+    for figure_id, spec in _FIGURES.items():
+        if spec["sweep"] == "A":
+            x_label = "mu_hours"
+            rows_by_config = sweeps_a
+        else:
+            x_label = "n_peers"
+            rows_by_config = sweeps_b
+        if "series" in spec:
+            rows = rows_by_config[spec["config"]]
+            x = [row[x_label] for row in rows]
+            series = {label: [row[key] for row in rows] for label, key in spec["series"]}
+        else:
+            key = spec["multi"]
+            reference = rows_by_config[CONFIGS[0]]
+            x = [row[x_label] for row in reference]
+            series = {
+                f"{policy}+{sync[:4]}": [row[key] for row in rows_by_config[(policy, sync)]]
+                for policy, sync in CONFIGS
+            }
+        figures[figure_id] = {"title": spec["title"], "x_label": x_label, "x": x, "series": series}
+
+    if out_dir is not None:
+        _write(figures, Path(out_dir))
+    return figures
+
+
+def _write(figures: dict[str, dict[str, Any]], out_dir: Path) -> None:
+    out_dir.mkdir(parents=True, exist_ok=True)
+    report_parts: list[str] = []
+    for figure_id, data in figures.items():
+        with open(out_dir / f"{figure_id}.csv", "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow([data["x_label"], *data["series"].keys()])
+            for i, x in enumerate(data["x"]):
+                writer.writerow([x, *(values[i] for values in data["series"].values())])
+        report_parts.append(
+            format_series_table(
+                data["x_label"], data["x"], data["series"],
+                title=f"{figure_id}: {data['title']}",
+            )
+        )
+    (out_dir / "figures.txt").write_text("\n\n".join(report_parts) + "\n")

@@ -1,0 +1,137 @@
+"""Payment-method preference policies (paper Section 6.1).
+
+Each policy is an ordered tuple of payment methods tried in turn for every
+actual payment event:
+
+* ``TRANSFER_ONLINE`` — transfer a held coin whose owner is online, via the
+  owner (the cheapest for the broker, the paper's universally-first choice).
+* ``TRANSFER_OFFLINE`` — transfer a held coin whose owner is offline, via
+  the broker (a downtime transfer).
+* ``ISSUE_EXISTING`` — issue a coin the payer owns and has not yet issued.
+* ``PURCHASE_ISSUE`` — buy a new coin from the broker, then issue it.
+* ``DEPOSIT_PURCHASE_ISSUE`` — deposit a held offline coin at the broker,
+  then purchase and issue a new one (policy III's way of converting an
+  offline coin into an online one: "doing this effectively moves the
+  ownership of the coins from an offline peer to an online peer").
+
+The paper details policies I and III and says II "covers the middle ground"
+without specifics; we define the two natural interleavings as II.a and II.b
+(recorded as an interpretation in DESIGN.md §1.8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+TRANSFER_ONLINE = "transfer_online"
+TRANSFER_OFFLINE = "transfer_offline"
+ISSUE_EXISTING = "issue_existing"
+PURCHASE_ISSUE = "purchase_issue"
+DEPOSIT_PURCHASE_ISSUE = "deposit_purchase_issue"
+#: Section 7's broker-free alternative for offline coins: append a signature
+#: layer instead of contacting the broker ("layered coins can be a
+#: lightweight alternative to transfer-via-broker when coin owners are
+#: offline"), bounded by the configured maximum layer count.
+LAYERED_OFFLINE = "layered_offline"
+
+ALL_METHODS = (
+    TRANSFER_ONLINE,
+    TRANSFER_OFFLINE,
+    ISSUE_EXISTING,
+    PURCHASE_ISSUE,
+    DEPOSIT_PURCHASE_ISSUE,
+    LAYERED_OFFLINE,
+)
+
+
+@dataclass(frozen=True)
+class Policy:
+    """A named payment-method preference order."""
+
+    name: str
+    preferences: tuple[str, ...]
+    description: str
+
+    def __post_init__(self) -> None:
+        for method in self.preferences:
+            if method not in ALL_METHODS:
+                raise ValueError(f"unknown payment method {method!r}")
+
+
+#: Policy I — user-centric: "each peer tries to get rid of coins received
+#: from other peers as quickly as possible", offline coins go via the broker.
+POLICY_I = Policy(
+    name="I",
+    preferences=(
+        TRANSFER_ONLINE,
+        TRANSFER_OFFLINE,
+        ISSUE_EXISTING,
+        PURCHASE_ISSUE,
+    ),
+    description="user-centric: spend held coins first, offline ones via the broker",
+)
+
+#: Policy II.a — middle ground, offline transfers before new purchases.
+POLICY_II_A = Policy(
+    name="II.a",
+    preferences=(
+        TRANSFER_ONLINE,
+        ISSUE_EXISTING,
+        TRANSFER_OFFLINE,
+        PURCHASE_ISSUE,
+    ),
+    description="middle ground: prefer issuing over bothering the broker, but "
+    "still move offline coins through the broker before buying new ones",
+)
+
+#: Policy II.b — middle ground, new purchases before offline transfers.
+POLICY_II_B = Policy(
+    name="II.b",
+    preferences=(
+        TRANSFER_ONLINE,
+        ISSUE_EXISTING,
+        PURCHASE_ISSUE,
+        TRANSFER_OFFLINE,
+    ),
+    description="middle ground: only touch offline coins when even purchasing "
+    "is impossible",
+)
+
+#: Policy III — broker-centric: "each peer tries to avoid dealing with the
+#: broker as much as possible"; offline coins are deposited and replaced.
+POLICY_III = Policy(
+    name="III",
+    preferences=(
+        TRANSFER_ONLINE,
+        ISSUE_EXISTING,
+        PURCHASE_ISSUE,
+        DEPOSIT_PURCHASE_ISSUE,
+    ),
+    description="broker-centric: avoid the broker; recycle offline coins by "
+    "deposit-then-purchase, moving ownership onto online peers",
+)
+
+#: Policy I with the Section 7 layered-coin fallback replacing downtime
+#: transfers: offline coins move by signature stacking, broker untouched.
+POLICY_I_LAYERED = Policy(
+    name="I.layered",
+    preferences=(
+        TRANSFER_ONLINE,
+        LAYERED_OFFLINE,
+        TRANSFER_OFFLINE,  # only once a coin hits the layer cap
+        ISSUE_EXISTING,
+        PURCHASE_ISSUE,
+    ),
+    description="user-centric with layered-coin offline transfers; the "
+    "broker handles an offline coin only after the layer cap is reached",
+)
+
+POLICIES = {p.name: p for p in (POLICY_I, POLICY_II_A, POLICY_II_B, POLICY_III, POLICY_I_LAYERED)}
+
+
+def policy_by_name(name: str) -> Policy:
+    """Look up a policy ("I", "II.a", "II.b", "III")."""
+    try:
+        return POLICIES[name]
+    except KeyError:
+        raise ValueError(f"unknown policy {name!r}; choose from {sorted(POLICIES)}") from None

@@ -1,0 +1,97 @@
+"""Sweep drivers producing the figures' data series (paper Section 6.2).
+
+Each function runs one family of simulations and returns a list of
+per-point result rows (plain dicts, ready for table printing or asserting);
+the figure benchmarks under ``benchmarks/`` are thin wrappers over these.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.clock import HOUR
+from repro.sim.config import SimConfig, setup_a_configs, setup_b_configs
+from repro.sim.policies import Policy
+from repro.sim.simulator import Simulation
+
+
+def run_one(config: SimConfig) -> dict[str, Any]:
+    """Run a single configuration and flatten its metrics into a row."""
+    result = Simulation(config).run()
+    metrics = result.metrics
+    row: dict[str, Any] = {
+        "mu_hours": config.mean_online / HOUR,
+        "nu_hours": config.mean_offline / HOUR,
+        "n_peers": config.n_peers,
+        "policy": config.policy.name,
+        "sync": config.sync_mode,
+        "availability": config.availability,
+        "payments_made": metrics.payments_made,
+        "broker_cpu": metrics.broker_cpu_load(),
+        "broker_comm": metrics.broker_comm_load(),
+        "cpu_ratio": metrics.cpu_load_ratio(),
+        "comm_ratio": metrics.comm_load_ratio(),
+        "broker_cpu_share": metrics.broker_cpu_share(),
+        "broker_comm_share": metrics.broker_comm_share(),
+    }
+    for op, count in metrics.broker_op_counts().items():
+        row[f"broker_{op}"] = count
+    for op, avg in metrics.peer_op_counts_avg().items():
+        row[f"peer_avg_{op}"] = avg
+    return row
+
+
+def run_replicated(config: SimConfig, seeds: tuple[int, ...]) -> dict[str, Any]:
+    """Run ``config`` under several seeds; report mean and spread per metric.
+
+    Research hygiene for anything you intend to quote: a single-seed number
+    carries simulation noise.  Returns the mean row plus, for each numeric
+    column, a ``<column>_spread`` entry (max − min across seeds, as a
+    fraction of the mean) so callers can judge stability.
+    """
+    if not seeds:
+        raise ValueError("need at least one seed")
+    from dataclasses import replace
+
+    rows = [run_one(replace(config, seed=seed)) for seed in seeds]
+    merged: dict[str, Any] = {}
+    for key, value in rows[0].items():
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            merged[key] = value
+            continue
+        values = [row[key] for row in rows]
+        mean = sum(values) / len(values)
+        merged[key] = mean
+        merged[f"{key}_spread"] = (max(values) - min(values)) / mean if mean else 0.0
+    merged["replications"] = len(seeds)
+    return merged
+
+
+def run_availability_sweep(
+    policy: Policy,
+    sync_mode: str,
+    small: bool = False,
+    mean_offline_hours: float = 2.0,
+) -> list[dict[str, Any]]:
+    """Setup A (Figures 2–9): sweep µ for one (policy, sync) configuration."""
+    return [
+        run_one(config)
+        for config in setup_a_configs(
+            policy=policy,
+            sync_mode=sync_mode,
+            mean_offline_hours=mean_offline_hours,
+            small=small,
+        )
+    ]
+
+
+def run_scaling_sweep(
+    policy: Policy,
+    sync_mode: str,
+    small: bool = False,
+) -> list[dict[str, Any]]:
+    """Setup B (Figures 10–11): sweep the system size at 50% availability."""
+    return [
+        run_one(config)
+        for config in setup_b_configs(policy=policy, sync_mode=sync_mode, small=small)
+    ]

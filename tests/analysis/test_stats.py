@@ -1,0 +1,110 @@
+"""Distribution-statistics tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.stats import gini, pearson, percentile, summarize, top_share
+
+
+class TestGini:
+    def test_perfect_equality(self):
+        assert gini([5, 5, 5, 5]) == pytest.approx(0.0)
+
+    def test_full_concentration(self):
+        # One holder of everything among n approaches (n-1)/n.
+        value = gini([0] * 9 + [100])
+        assert value == pytest.approx(0.9)
+
+    def test_empty_and_zero(self):
+        assert gini([]) == 0.0
+        assert gini([0, 0]) == 0.0
+
+    def test_scale_invariance(self):
+        assert gini([1, 2, 3]) == pytest.approx(gini([10, 20, 30]))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            gini([-1, 2])
+
+    @given(st.lists(st.integers(min_value=0, max_value=1000), min_size=1, max_size=50))
+    @settings(max_examples=100, deadline=None)
+    def test_bounds_property(self, values):
+        g = gini(values)
+        assert 0.0 <= g < 1.0
+
+
+class TestPearson:
+    def test_perfect_positive(self):
+        assert pearson([1, 2, 3], [10, 20, 30]) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        assert pearson([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_constant_series_is_zero(self):
+        assert pearson([1, 1, 1], [1, 2, 3]) == 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            pearson([1], [1, 2])
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            pearson([], [])
+
+    @given(st.lists(st.floats(min_value=-100, max_value=100), min_size=2, max_size=30))
+    @settings(max_examples=100, deadline=None)
+    def test_bounds_property(self, xs):
+        ys = [x * 2 + 1 for x in xs]
+        r = pearson(xs, ys)
+        assert -1.0 - 1e-9 <= r <= 1.0 + 1e-9
+
+
+class TestTopShare:
+    def test_uniform(self):
+        assert top_share([1] * 10, 0.1) == pytest.approx(0.1)
+
+    def test_concentrated(self):
+        assert top_share([100] + [0] * 9, 0.1) == pytest.approx(1.0)
+
+    def test_minimum_one_entry(self):
+        assert top_share([3, 1], 0.1) == pytest.approx(0.75)  # top 1 of 2
+
+    def test_zero_total(self):
+        assert top_share([0, 0], 0.5) == 0.0
+
+    def test_bad_fraction(self):
+        with pytest.raises(ValueError):
+            top_share([1], 0.0)
+        with pytest.raises(ValueError):
+            top_share([1], 1.5)
+
+
+class TestPercentileAndSummary:
+    def test_median(self):
+        assert percentile([1, 2, 3, 4, 5], 50) == 3
+
+    def test_interpolation(self):
+        assert percentile([0, 10], 25) == pytest.approx(2.5)
+
+    def test_extremes(self):
+        data = [7, 1, 9]
+        assert percentile(data, 0) == 1
+        assert percentile(data, 100) == 9
+
+    def test_single_value(self):
+        assert percentile([42], 73) == 42.0
+
+    def test_bad_inputs(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+    def test_summarize_shape(self):
+        summary = summarize([1, 2, 3, 4, 100])
+        assert summary["min"] == 1 and summary["max"] == 100
+        assert summary["p50"] == 3
+        assert summary["mean"] == pytest.approx(22.0)
+        assert 0 < summary["gini"] < 1
+        assert summary["top10_share"] == pytest.approx(100 / 110)

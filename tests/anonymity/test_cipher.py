@@ -1,0 +1,65 @@
+"""Cipher-layer tests (DH + authenticated stream cipher)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.anonymity.cipher import CipherError, derive_shared_key, open_box, seal_box
+from repro.crypto.keys import KeyPair, PublicKey
+from repro.crypto.params import PARAMS_TEST_512
+
+P = PARAMS_TEST_512
+
+
+class TestKeyAgreement:
+    def test_shared_key_agrees(self):
+        a, b = KeyPair.generate(P), KeyPair.generate(P)
+        assert derive_shared_key(a, b.public) == derive_shared_key(b, a.public)
+
+    def test_distinct_pairs_distinct_keys(self):
+        a, b, c = (KeyPair.generate(P) for _ in range(3))
+        assert derive_shared_key(a, b.public) != derive_shared_key(a, c.public)
+
+    def test_rejects_bad_public(self):
+        a = KeyPair.generate(P)
+        with pytest.raises(ValueError):
+            derive_shared_key(a, PublicKey(params=P, y=P.p - 1))
+
+    def test_key_length(self):
+        a, b = KeyPair.generate(P), KeyPair.generate(P)
+        assert len(derive_shared_key(a, b.public)) == 32
+
+
+class TestBox:
+    KEY = b"k" * 32
+    OTHER = b"x" * 32
+
+    def test_roundtrip(self):
+        box = seal_box(self.KEY, b"hello onion")
+        assert open_box(self.KEY, box) == b"hello onion"
+
+    def test_empty_plaintext(self):
+        assert open_box(self.KEY, seal_box(self.KEY, b"")) == b""
+
+    def test_wrong_key_rejected(self):
+        box = seal_box(self.KEY, b"secret")
+        with pytest.raises(CipherError):
+            open_box(self.OTHER, box)
+
+    def test_tampering_rejected(self):
+        box = bytearray(seal_box(self.KEY, b"secret"))
+        box[20] ^= 0x01
+        with pytest.raises(CipherError):
+            open_box(self.KEY, bytes(box))
+
+    def test_truncated_rejected(self):
+        with pytest.raises(CipherError):
+            open_box(self.KEY, b"short")
+
+    def test_nonces_randomize_ciphertexts(self):
+        assert seal_box(self.KEY, b"m") != seal_box(self.KEY, b"m")
+
+    @given(st.binary(max_size=5000))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, plaintext):
+        assert open_box(self.KEY, seal_box(self.KEY, plaintext)) == plaintext

@@ -1,0 +1,150 @@
+"""Onion-routing tests: delivery, layer peeling, who-sees-what."""
+
+import pytest
+
+from repro.anonymity.onion import OnionOverlay, anonymize_node
+from repro.crypto.params import PARAMS_TEST_512
+from repro.net.node import Node
+from repro.net.transport import NetworkError, Transport
+
+P = PARAMS_TEST_512
+
+
+@pytest.fixture()
+def rig():
+    transport = Transport()
+    overlay = OnionOverlay(transport, P, size=3)
+    server = Node(transport, "server")
+    seen_sources = []
+
+    def handle(src, payload):
+        seen_sources.append(src)
+        return {"echo": payload, "by": "server"}
+
+    server.on("app.echo", handle)
+    client = Node(transport, "client")
+    return transport, overlay, client, server, seen_sources
+
+
+class TestDelivery:
+    def test_request_through_circuit(self, rig):
+        _t, overlay, client, _server, _seen = rig
+        circuit = overlay.build_circuit()
+        response = overlay.send("client", circuit, "server", "app.echo", {"n": 7})
+        assert response == {"echo": {"n": 7}, "by": "server"}
+
+    def test_single_hop_circuit(self, rig):
+        _t, overlay, _client, _server, _seen = rig
+        circuit = overlay.build_circuit([overlay.relay_addresses()[0]])
+        assert overlay.send("client", circuit, "server", "app.echo", 1)["echo"] == 1
+
+    def test_every_relay_participates(self, rig):
+        _t, overlay, _client, _server, _seen = rig
+        circuit = overlay.build_circuit()
+        overlay.send("client", circuit, "server", "app.echo", 0)
+        assert [relay.relayed for relay in overlay.relays] == [1, 1, 1]
+
+    def test_unknown_relay_rejected(self, rig):
+        _t, overlay, _client, _server, _seen = rig
+        with pytest.raises(ValueError):
+            overlay.build_circuit(["not-a-relay"])
+
+    def test_empty_circuit_rejected(self, rig):
+        _t, overlay, _client, _server, _seen = rig
+        with pytest.raises(ValueError):
+            overlay.build_circuit([])
+
+
+class TestAnonymity:
+    def test_destination_sees_exit_relay_only(self, rig):
+        _t, overlay, _client, _server, seen = rig
+        circuit = overlay.build_circuit()
+        overlay.send("client", circuit, "server", "app.echo", None)
+        assert seen == [circuit.relays[-1]]  # exit relay, never the client
+
+    def test_no_relay_sees_both_ends(self, rig):
+        # Entry relay receives from the client but forwards to a relay;
+        # the exit receives from a relay.  Inspect actual traffic.
+        transport, overlay, _client, _server, _seen = rig
+        record = []
+        original = transport.request
+
+        def tap(src, dst, kind, payload):
+            record.append((src, dst))
+            return original(src, dst, kind, payload)
+
+        transport.request = tap
+        circuit = overlay.build_circuit()
+        overlay.send("client", circuit, "server", "app.echo", None)
+        for relay in circuit.relays:
+            sources = {src for src, dst in record if dst == relay}
+            destinations = {dst for src, dst in record if src == relay}
+            touches_client = "client" in sources or "client" in destinations
+            touches_server = "server" in sources or "server" in destinations
+            assert not (touches_client and touches_server), relay
+
+    def test_circuits_use_fresh_ephemerals(self, rig):
+        _t, overlay, _client, _server, _seen = rig
+        a = overlay.build_circuit()
+        b = overlay.build_circuit()
+        assert a.ephemeral_ys != b.ephemeral_ys
+        assert a.layer_keys != b.layer_keys
+
+    def test_relay_cannot_decrypt_inner_layers(self, rig):
+        # Peeling with the wrong hop's key fails authentication: layer
+        # contents are opaque beyond each relay's own layer.
+        from repro.anonymity.cipher import CipherError, open_box
+
+        _t, overlay, _client, _server, _seen = rig
+        circuit = overlay.build_circuit()
+        from repro.messages.codec import encode
+        from repro.anonymity.cipher import seal_box
+
+        inner = seal_box(circuit.layer_keys[1], b"middle layer")
+        with pytest.raises(CipherError):
+            open_box(circuit.layer_keys[0], inner)
+
+
+class TestWhoPayIntegration:
+    def test_anonymized_peer_hides_address_from_broker_and_payee(self):
+        from repro.core.network import WhoPayNetwork
+
+        net = WhoPayNetwork(params=P)
+        alice = net.add_peer("alice", balance=10)
+        bob = net.add_peer("bob")
+        overlay = OnionOverlay(net.transport, P, size=3)
+
+        observed = []
+        original = net.transport.request
+
+        def tap(src, dst, kind, payload):
+            if dst in ("broker", "bob") and kind.startswith("whopay."):
+                observed.append((src, dst, kind))
+            return original(src, dst, kind, payload)
+
+        net.transport.request = tap
+        circuit = anonymize_node(alice, overlay)
+        state = alice.purchase()
+        alice.issue("bob", state.coin_y)
+        # Every WhoPay request that reached the broker or the payee came
+        # from the exit relay, never from alice's own address.
+        assert observed, "tap saw no traffic"
+        for src, _dst, _kind in observed:
+            assert src == circuit.relays[-1]
+            assert src != "alice"
+        # And the protocol still worked end to end.
+        assert state.coin_y in bob.wallet
+
+    def test_anonymized_transfer_roundtrip(self):
+        from repro.core.network import WhoPayNetwork
+
+        net = WhoPayNetwork(params=P)
+        alice = net.add_peer("alice", balance=10)
+        bob = net.add_peer("bob")
+        carol = net.add_peer("carol")
+        overlay = OnionOverlay(net.transport, P, size=2)
+        state = alice.purchase()
+        alice.issue("bob", state.coin_y)
+        anonymize_node(bob, overlay)
+        bob.transfer("carol", state.coin_y)
+        assert state.coin_y in carol.wallet

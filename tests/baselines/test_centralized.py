@@ -1,0 +1,110 @@
+"""Centralized (Burk–Pfitzmann / Vo–Hohenberger style) baseline tests."""
+
+import pytest
+
+from repro.baselines.centralized import CentralizedBroker, CentralizedPeer
+from repro.core.clock import Clock
+from repro.core.errors import DoubleSpendDetected, InsufficientFunds, NotHolder
+from repro.core.judge import Judge
+from repro.crypto.params import PARAMS_TEST_512
+from repro.net.transport import Transport
+
+
+@pytest.fixture()
+def central():
+    transport = Transport()
+    clock = Clock()
+    judge = Judge(PARAMS_TEST_512)
+    broker = CentralizedBroker(transport, judge, PARAMS_TEST_512, clock)
+
+    def add(address, balance=0):
+        member = judge.register(address)
+        peer = CentralizedPeer(transport, address, PARAMS_TEST_512, judge, member, broker.address)
+        broker.open_account(address, peer.identity.public, balance)
+        return peer
+
+    a = add("a", balance=10)
+    b = add("b", balance=5)
+    c = add("c")
+    return transport, broker, judge, a, b, c
+
+
+class TestLifecycle:
+    def test_purchase_transfer_deposit(self, central):
+        _t, broker, _judge, a, b, c = central
+        coin_y = a.purchase(3)
+        a.transfer("b", coin_y)
+        b.transfer("c", coin_y)
+        assert c.deposit(coin_y) == 3
+        assert broker.counts == {"purchases": 1, "transfers": 2, "deposits": 1}
+
+    def test_insufficient_funds(self, central):
+        _t, _broker, _judge, _a, _b, c = central
+        with pytest.raises(InsufficientFunds):
+            c.purchase(1)
+
+    def test_nonholder_cannot_transfer(self, central):
+        _t, _broker, _judge, a, b, c = central
+        coin_y = a.purchase(1)
+        a.transfer("b", coin_y)
+        with pytest.raises(NotHolder):
+            c.transfer("a", coin_y)  # c never held it
+
+    def test_stale_holder_rejected(self, central):
+        import copy
+
+        _t, _broker, _judge, a, b, c = central
+        coin_y = a.purchase(1)
+        stale = copy.deepcopy(a.wallet[coin_y])
+        a.transfer("b", coin_y)
+        a.wallet[coin_y] = stale
+        with pytest.raises(NotHolder):
+            a.transfer("c", coin_y)
+
+    def test_double_deposit_detected(self, central):
+        import copy
+
+        _t, broker, _judge, a, _b, _c = central
+        coin_y = a.purchase(1)
+        held = copy.deepcopy(a.wallet[coin_y])
+        a.deposit(coin_y)
+        a.wallet[coin_y] = held
+        with pytest.raises(DoubleSpendDetected):
+            a.deposit(coin_y)
+        assert len(broker.fraud_events) == 1
+
+
+class TestCentralization:
+    def test_every_transfer_hits_the_broker(self, central):
+        # The property WhoPay removes: broker transfer count == payment count.
+        _t, broker, _judge, a, b, c = central
+        coin_y = a.purchase(1)
+        for _ in range(3):
+            a.transfer("b", coin_y)
+            b.transfer("a", coin_y)
+        assert broker.counts["transfers"] == 6
+
+    def test_fairness_via_judge(self, central):
+        _t, broker, judge, a, b, _c = central
+        coin_y = a.purchase(1)
+
+        captured = []
+        original = broker._handle_transfer
+
+        def spy(src, data):
+            captured.append(data)
+            return original(src, data)
+
+        broker._handlers["central.transfer"] = spy
+        a.transfer("b", coin_y)
+        from repro.core.protocol import decode_dual
+
+        envelope = decode_dual(captured[0], PARAMS_TEST_512)
+        assert judge.open(envelope.group_signature) == "a"
+
+    def test_broker_sees_pseudonyms_not_identities(self, central):
+        _t, broker, _judge, a, b, _c = central
+        coin_y = a.purchase(1)
+        a.transfer("b", coin_y)
+        bound_key = broker.bindings[coin_y]
+        assert bound_key not in (a.identity.public.y, b.identity.public.y)

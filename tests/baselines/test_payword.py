@@ -1,0 +1,91 @@
+"""PayWord credit-window tests (micropayment aggregation over WhoPay)."""
+
+import pytest
+
+from repro.baselines.payword import PaywordCreditWindow
+from repro.core.errors import ProtocolError
+
+
+@pytest.fixture()
+def window(funded_trio):
+    _net, alice, bob, _carol = funded_trio
+    return PaywordCreditWindow(alice, bob, chain_length=30, threshold=5), alice, bob
+
+
+class TestMicropayments:
+    def test_tokens_verify(self, window):
+        win, _alice, _bob = window
+        token = win.micropay()
+        assert token.index == 1
+        from repro.crypto.hashchain import verify_chain_link
+
+        assert verify_chain_link(win._commitment.payload["anchor"], token.index, token.link)
+
+    def test_aggregation_ratio(self, window):
+        win, _alice, _bob = window
+        for _ in range(12):
+            win.micropay()
+        # 12 micropayments -> 2 settled WhoPay payments (threshold 5).
+        assert win.micropayments_made == 12
+        assert win.whopay_payments_made == 2
+        assert win.unsettled_units == 2
+
+    def test_settlement_pays_through_whopay(self, window):
+        win, alice, bob = window
+        for _ in range(5):
+            win.micropay()
+        assert win.whopay_payments_made == 1
+        # The payee actually holds a coin now.
+        assert len(bob.wallet) == 1
+
+    def test_multi_unit_micropayment(self, window):
+        win, _alice, _bob = window
+        win.micropay(units=7)
+        assert win.whopay_payments_made == 1
+        assert win.unsettled_units == 2
+
+    def test_chain_exhaustion_reopens(self, window):
+        win, _alice, _bob = window
+        first_anchor = win._commitment.payload["anchor"]
+        for _ in range(30):
+            win.micropay()
+        # 30 units = chain fully spent and fully settled: a new chain opens.
+        assert win.whopay_payments_made == 6
+        assert win._chain.spent == 0
+        assert win._commitment.payload["anchor"] != first_anchor
+
+    def test_communication_savings(self, window):
+        # The aggregation argument, measured: micropayments move no protocol
+        # messages; only settlements do.
+        win, alice, bob = window
+        transport = alice.transport
+        before = transport.total_messages
+        for _ in range(4):  # below threshold: no settlement
+            win.micropay()
+        assert transport.total_messages == before
+        win.micropay()  # fifth unit triggers one WhoPay payment
+        assert transport.total_messages > before
+
+
+class TestValidation:
+    def test_bad_threshold_rejected(self, funded_trio):
+        _net, alice, bob, _carol = funded_trio
+        with pytest.raises(ValueError):
+            PaywordCreditWindow(alice, bob, chain_length=10, threshold=0)
+        with pytest.raises(ValueError):
+            PaywordCreditWindow(alice, bob, chain_length=10, threshold=11)
+
+    def test_replayed_token_rejected(self, window):
+        win, _alice, _bob = window
+        token = win.micropay()
+        with pytest.raises(ProtocolError):
+            win._receive(token)  # index did not advance
+
+    def test_forged_token_rejected(self, window):
+        from repro.baselines.payword import MicropaymentToken
+        from repro.core.errors import VerificationFailed
+
+        win, _alice, _bob = window
+        win.micropay()
+        with pytest.raises(VerificationFailed):
+            win._receive(MicropaymentToken(index=2, link=b"\x00" * 32))

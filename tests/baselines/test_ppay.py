@@ -1,0 +1,128 @@
+"""PPay baseline tests."""
+
+import pytest
+
+from repro.baselines.ppay import PPayBroker, PPayPeer
+from repro.core.clock import Clock
+from repro.core.errors import (
+    DoubleSpendDetected,
+    InsufficientFunds,
+    NotHolder,
+    ProtocolError,
+    VerificationFailed,
+)
+from repro.crypto.params import PARAMS_TEST_512
+from repro.net.transport import Transport
+
+
+@pytest.fixture()
+def ppay():
+    transport = Transport()
+    clock = Clock()
+    broker = PPayBroker(transport, PARAMS_TEST_512, clock)
+
+    peers = {}
+
+    def add(address, balance=0):
+        peer = PPayPeer(transport, address, PARAMS_TEST_512, clock, broker.address, broker.public_key)
+        broker.open_account(address, peer.identity.public, balance)
+        peers[address] = peer
+        for a in peers.values():
+            for b in peers.values():
+                a.identities.setdefault(b.address, b.identity.public)
+        return peer
+
+    u = add("u", balance=10)
+    v = add("v", balance=5)
+    w = add("w")
+    return transport, clock, broker, u, v, w
+
+
+class TestLifecycle:
+    def test_purchase_issue_transfer_deposit(self, ppay):
+        _t, _clock, broker, u, v, w = ppay
+        sn = u.purchase(2)
+        u.issue("v", sn)
+        assert sn in v.wallet
+        v.transfer("w", sn)
+        assert sn in w.wallet and sn not in v.wallet
+        assert w.deposit(sn) == 2
+        assert broker.balance("w") == 2
+
+    def test_renewal_via_owner(self, ppay):
+        _t, clock, _broker, u, v, _w = ppay
+        sn = u.purchase(1)
+        u.issue("v", sn)
+        seq_before = v.wallet[sn].seq
+        clock.advance(3600)
+        v.renew(sn)
+        assert v.wallet[sn].seq == seq_before + 1
+
+    def test_downtime_protocol(self, ppay):
+        _t, _clock, broker, u, v, w = ppay
+        sn = u.purchase(1)
+        u.issue("v", sn)
+        u.go_offline()
+        v.transfer_via_broker("w", sn)
+        assert sn in w.wallet and w.wallet[sn].via_broker
+        u.go_online()
+        assert u.sync_with_broker() == 1
+        w.transfer("v", sn)  # owner serves again post-sync
+        assert sn in v.wallet
+
+    def test_insufficient_funds(self, ppay):
+        _t, _clock, _broker, _u, _v, w = ppay
+        with pytest.raises(InsufficientFunds):
+            w.purchase(1)
+
+    def test_double_deposit_detected(self, ppay):
+        import copy
+
+        _t, _clock, broker, u, v, _w = ppay
+        sn = u.purchase(1)
+        u.issue("v", sn)
+        held = copy.deepcopy(v.wallet[sn])
+        v.deposit(sn)
+        v.wallet[sn] = held
+        with pytest.raises(DoubleSpendDetected):
+            v.deposit(sn)
+        assert len(broker.fraud_events) == 1
+
+    def test_stale_assignment_rejected(self, ppay):
+        import copy
+
+        _t, _clock, _broker, u, v, w = ppay
+        sn = u.purchase(1)
+        u.issue("v", sn)
+        stale = copy.deepcopy(v.wallet[sn])
+        v.transfer("w", sn)
+        v.wallet[sn] = stale
+        with pytest.raises((NotHolder, ProtocolError, VerificationFailed)):
+            v.transfer("w", sn)
+
+
+class TestAnonymityGap:
+    def test_payee_learns_payer_and_owner(self, ppay):
+        # PPay's defining weakness, asserted positively: identities flow in
+        # the clear.  (WhoPay's equivalent test asserts the *absence*.)
+        _t, _clock, _broker, u, v, w = ppay
+        sn = u.purchase(1)
+        u.issue("v", sn)
+        v.transfer("w", sn)
+        received = [e for e in w.transaction_log if e["event"] == "received"]
+        assert received and received[0]["owner"] == "u"
+
+    def test_owner_learns_payer_and_payee(self, ppay):
+        _t, _clock, _broker, u, v, w = ppay
+        sn = u.purchase(1)
+        u.issue("v", sn)
+        v.transfer("w", sn)
+        handled = [e for e in u.transaction_log if e["event"] == "handled_transfer"]
+        assert handled == [{"event": "handled_transfer", "sn": sn, "payer": "v", "payee": "w"}]
+
+    def test_coin_names_owner_in_the_clear(self, ppay):
+        _t, _clock, _broker, u, v, _w = ppay
+        sn = u.purchase(1)
+        u.issue("v", sn)
+        assert v.wallet[sn].owner == "u"
+        assert v.wallet[sn].assignment.payload["holder"] == "v"

@@ -1,0 +1,77 @@
+"""Batch purchase tests (Section 4.2's batching remark)."""
+
+import pytest
+
+from repro.core import protocol
+from repro.core.errors import InsufficientFunds, ProtocolError, VerificationFailed
+from repro.crypto.keys import KeyPair
+from repro.messages.envelope import seal
+
+
+class TestBatchPurchase:
+    def test_batch_mints_all_coins(self, network):
+        alice = network.add_peer("alice", balance=10)
+        states = alice.purchase_batch(count=4, value=2)
+        assert len(states) == 4
+        assert network.broker.balance("alice") == 2
+        for state in states:
+            assert state.coin_y in network.broker.valid_coins
+            assert state.coin.value == 2
+
+    def test_batch_is_one_broker_operation(self, network):
+        alice = network.add_peer("alice", balance=10)
+        alice.purchase_batch(count=5)
+        assert network.broker.counts.purchases == 1
+
+    def test_batch_amortizes_messages(self, network):
+        alice = network.add_peer("alice", balance=20)
+        network.transport.reset_counters()
+        alice.purchase_batch(count=10)
+        batched = network.transport.total_messages
+        network.transport.reset_counters()
+        for _ in range(10):
+            alice.purchase()
+        individual = network.transport.total_messages
+        assert batched == 2  # one request, one response
+        assert individual == 20
+
+    def test_batch_atomic_on_insufficient_funds(self, network):
+        alice = network.add_peer("alice", balance=3)
+        with pytest.raises(InsufficientFunds):
+            alice.purchase_batch(count=4, value=1)
+        # Nothing minted, nothing debited.
+        assert network.broker.balance("alice") == 3
+        assert not network.broker.valid_coins
+        assert not alice.owned
+
+    def test_batch_coins_are_spendable(self, network):
+        alice = network.add_peer("alice", balance=10)
+        bob = network.add_peer("bob")
+        states = alice.purchase_batch(count=2)
+        alice.issue("bob", states[0].coin_y)
+        alice.issue("bob", states[1].coin_y)
+        assert len(bob.wallet) == 2
+
+    def test_empty_batch_rejected(self, network):
+        alice = network.add_peer("alice", balance=10)
+        with pytest.raises(ValueError):
+            alice.purchase_batch(count=0)
+
+    def test_duplicate_keys_rejected(self, network):
+        alice = network.add_peer("alice", balance=10)
+        keypair = KeyPair.generate(network.params)
+        request = protocol.BatchPurchaseRequest(
+            coins=((keypair.public.y, 1), (keypair.public.y, 1)), account="alice"
+        )
+        signed = seal(alice.identity, request.to_payload())
+        with pytest.raises(ProtocolError):
+            alice.request(network.broker.address, protocol.PURCHASE_BATCH, signed.encode())
+
+    def test_wrong_identity_rejected(self, network):
+        alice = network.add_peer("alice", balance=10)
+        bob = network.add_peer("bob", balance=0)
+        keypair = KeyPair.generate(network.params)
+        request = protocol.BatchPurchaseRequest(coins=((keypair.public.y, 1),), account="alice")
+        signed = seal(bob.identity, request.to_payload())
+        with pytest.raises(VerificationFailed):
+            bob.request(network.broker.address, protocol.PURCHASE_BATCH, signed.encode())

@@ -1,0 +1,36 @@
+"""Clock tests."""
+
+import pytest
+
+from repro.core.clock import DAY, DEFAULT_RENEWAL_PERIOD, HOUR, Clock
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert Clock().now() == 0.0
+
+    def test_custom_start(self):
+        assert Clock(start=100.0).now() == 100.0
+
+    def test_advance(self):
+        clock = Clock()
+        assert clock.advance(5.0) == 5.0
+        assert clock.now() == 5.0
+
+    def test_advance_to(self):
+        clock = Clock()
+        clock.advance_to(42.0)
+        assert clock.now() == 42.0
+
+    def test_no_time_travel(self):
+        clock = Clock(start=10.0)
+        with pytest.raises(ValueError):
+            clock.advance(-1.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(5.0)
+
+    def test_paper_constants(self):
+        assert HOUR == 3600.0
+        assert DAY == 24 * HOUR
+        # Section 6.1: "We use a renewal period of 3 days".
+        assert DEFAULT_RENEWAL_PERIOD == 3 * DAY

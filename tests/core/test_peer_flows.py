@@ -1,0 +1,234 @@
+"""Peer protocol flows: issue, transfer, renewal, pay policies, lazy sync."""
+
+import pytest
+
+from repro.core.errors import (
+    CoinExpired,
+    NotHolder,
+    NotOwner,
+    ProtocolError,
+    UnknownCoin,
+    VerificationFailed,
+)
+
+
+class TestIssue:
+    def test_issue_moves_coin_to_payee(self, funded_trio):
+        _net, alice, bob, _carol = funded_trio
+        state = alice.purchase(value=2)
+        binding = alice.issue("bob", state.coin_y)
+        held = bob.wallet[state.coin_y]
+        assert held.value == 2
+        assert held.binding.holder_y == held.holder_keypair.public.y
+        assert binding.holder_y == held.holder_keypair.public.y
+        assert alice.owned[state.coin_y].issued
+
+    def test_cannot_issue_twice(self, funded_trio):
+        _net, alice, bob, carol = funded_trio
+        state = alice.purchase()
+        alice.issue("bob", state.coin_y)
+        with pytest.raises(ProtocolError):
+            alice.issue("carol", state.coin_y)
+
+    def test_cannot_issue_unowned_coin(self, funded_trio):
+        _net, alice, bob, _carol = funded_trio
+        state = alice.purchase()
+        with pytest.raises(NotOwner):
+            bob.issue("alice", state.coin_y)
+
+    def test_issue_with_no_coins_fails(self, funded_trio):
+        _net, _alice, _bob, carol = funded_trio
+        with pytest.raises(UnknownCoin):
+            carol.issue("bob")
+
+    def test_issue_auto_selects_unissued(self, funded_trio):
+        _net, alice, bob, _carol = funded_trio
+        state = alice.purchase()
+        alice.issue("bob")  # no coin_y argument
+        assert state.coin_y in bob.wallet
+
+
+class TestTransfer:
+    def test_transfer_chain(self, funded_trio):
+        _net, alice, bob, carol = funded_trio
+        state = alice.purchase()
+        b1 = alice.issue("bob", state.coin_y)
+        b2 = bob.transfer("carol", state.coin_y)
+        assert b2.seq == b1.seq + 1
+        assert state.coin_y in carol.wallet and state.coin_y not in bob.wallet
+        b3 = carol.transfer("bob", state.coin_y)
+        assert b3.seq == b2.seq + 1
+
+    def test_transfer_back_to_owner(self, funded_trio):
+        _net, alice, bob, _carol = funded_trio
+        state = alice.purchase()
+        alice.issue("bob", state.coin_y)
+        bob.transfer("alice", state.coin_y)
+        assert state.coin_y in alice.wallet  # owner now also holds it
+        # And the owner can spend it onward like any holder.
+        alice.transfer("bob", state.coin_y)
+        assert state.coin_y in bob.wallet
+
+    def test_cannot_transfer_unheld_coin(self, funded_trio):
+        _net, alice, bob, carol = funded_trio
+        state = alice.purchase()
+        alice.issue("bob", state.coin_y)
+        with pytest.raises(NotHolder):
+            carol.transfer("bob", state.coin_y)
+
+    def test_stale_holder_cannot_transfer_via_owner(self, funded_trio):
+        import copy
+
+        _net, alice, bob, carol = funded_trio
+        state = alice.purchase()
+        alice.issue("bob", state.coin_y)
+        stale = copy.deepcopy(bob.wallet[state.coin_y])
+        bob.transfer("carol", state.coin_y)
+        bob.wallet[state.coin_y] = stale
+        with pytest.raises(NotHolder):
+            bob.transfer("carol", state.coin_y)
+
+    def test_owner_records_relinquishments(self, funded_trio):
+        _net, alice, bob, carol = funded_trio
+        state = alice.purchase()
+        alice.issue("bob", state.coin_y)
+        bob.transfer("carol", state.coin_y)
+        carol.transfer("bob", state.coin_y)
+        assert len(alice.owned[state.coin_y].relinquishments) == 2
+
+    def test_counts_updated(self, funded_trio):
+        _net, alice, bob, carol = funded_trio
+        state = alice.purchase()
+        alice.issue("bob", state.coin_y)
+        bob.transfer("carol", state.coin_y)
+        assert alice.counts.purchases == 1
+        assert alice.counts.issues == 1
+        assert alice.counts.transfers_handled == 1
+        assert bob.counts.transfers_sent == 1
+        assert bob.counts.payments_received == 1
+        assert carol.counts.payments_received == 1
+
+
+class TestRenewal:
+    def test_renewal_via_owner(self, funded_trio):
+        net, alice, bob, _carol = funded_trio
+        state = alice.purchase()
+        b1 = alice.issue("bob", state.coin_y)
+        net.advance(3600)
+        b2 = bob.renew(state.coin_y)
+        assert not b2.via_broker
+        assert b2.seq == b1.seq + 1
+        assert b2.exp_date > b1.exp_date
+        assert alice.counts.renewals_handled == 1
+
+    def test_renew_due_coins(self, funded_trio):
+        net, alice, bob, _carol = funded_trio
+        state = alice.purchase()
+        alice.issue("bob", state.coin_y)
+        # Not yet inside the renewal window.
+        assert bob.renew_due_coins() == 0
+        net.advance(net.renewal_period * 0.8)
+        assert bob.renew_due_coins() == 1
+
+    def test_non_holder_cannot_renew(self, funded_trio):
+        _net, alice, bob, carol = funded_trio
+        state = alice.purchase()
+        alice.issue("bob", state.coin_y)
+        with pytest.raises(NotHolder):
+            carol.renew(state.coin_y)
+
+    def test_expired_coin_not_transferable(self, funded_trio):
+        net, alice, bob, _carol = funded_trio
+        state = alice.purchase()
+        alice.issue("bob", state.coin_y)
+        net.advance(net.renewal_period + 1)
+        with pytest.raises((CoinExpired, UnknownCoin)):
+            bob.transfer("carol", state.coin_y)
+
+
+class TestPayPolicies:
+    def test_pay_prefers_transfer(self, funded_trio):
+        _net, alice, bob, carol = funded_trio
+        state = alice.purchase()
+        alice.issue("bob", state.coin_y)
+        method = bob.pay("carol", ("transfer", "issue", "purchase_issue"))
+        assert method == "transfer"
+
+    def test_pay_falls_back_to_purchase_issue(self, funded_trio):
+        _net, alice, bob, _carol = funded_trio
+        method = alice.pay("bob", ("transfer", "issue", "purchase_issue"))
+        assert method == "purchase_issue"
+        assert alice.counts.purchases == 1 and alice.counts.issues == 1
+
+    def test_pay_uses_broker_when_owner_offline(self, funded_trio):
+        _net, alice, bob, carol = funded_trio
+        state = alice.purchase()
+        alice.issue("bob", state.coin_y)
+        alice.depart()
+        method = bob.pay("carol", ("transfer", "downtime_transfer", "issue"))
+        assert method == "downtime_transfer"
+        assert state.coin_y in carol.wallet
+
+    def test_pay_exhausted_raises(self, network):
+        alice = network.add_peer("alice", balance=0)
+        network.add_peer("bob")
+        with pytest.raises(ProtocolError):
+            alice.pay("bob", ("transfer", "issue"))
+
+    def test_unknown_method_rejected(self, funded_trio):
+        _net, alice, _bob, _carol = funded_trio
+        with pytest.raises(ValueError):
+            alice.pay("bob", ("teleport",))
+
+
+class TestLazySync:
+    @pytest.fixture()
+    def lazy_net(self):
+        from repro.core.network import WhoPayNetwork
+        from repro.crypto.params import PARAMS_TEST_512
+
+        net = WhoPayNetwork(params=PARAMS_TEST_512, sync_mode="lazy")
+        alice = net.add_peer("alice", balance=10)
+        bob = net.add_peer("bob")
+        carol = net.add_peer("carol")
+        return net, alice, bob, carol
+
+    def test_no_sync_on_rejoin(self, lazy_net):
+        net, alice, _bob, _carol = lazy_net
+        alice.purchase()
+        alice.depart()
+        alice.rejoin()
+        assert alice.counts.syncs == 0
+        assert net.broker.counts.syncs == 0
+
+    def test_check_on_first_served_request(self, lazy_net):
+        net, alice, bob, carol = lazy_net
+        state = alice.purchase()
+        alice.issue("bob", state.coin_y)
+        alice.depart()
+        bob.transfer_via_broker("carol", state.coin_y)
+        alice.rejoin()
+        carol.transfer("bob", state.coin_y)  # owner must check first
+        assert alice.counts.checks == 1
+        assert alice.counts.lazy_syncs == 1
+        assert net.broker.counts.binding_queries == 1
+
+    def test_check_without_changes_is_cheap(self, lazy_net):
+        _net, alice, bob, carol = lazy_net
+        state = alice.purchase()
+        alice.issue("bob", state.coin_y)
+        alice.depart()
+        alice.rejoin()  # nothing happened offline
+        bob.transfer("carol", state.coin_y)
+        assert alice.counts.checks == 1
+        assert alice.counts.lazy_syncs == 0  # nothing was stale
+
+    def test_no_repeat_check_until_next_downtime(self, lazy_net):
+        _net, alice, bob, carol = lazy_net
+        state = alice.purchase()
+        alice.issue("bob", state.coin_y)
+        alice.depart()
+        alice.rejoin()
+        bob.transfer("carol", state.coin_y)
+        carol.transfer("bob", state.coin_y)
+        assert alice.counts.checks == 1  # second transfer needs no check

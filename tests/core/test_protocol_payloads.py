@@ -1,0 +1,133 @@
+"""Direct tests of the protocol payload validators (`repro.core.protocol`)."""
+
+import pytest
+
+from repro.core.protocol import BatchPurchaseRequest, HolderOperation, PurchaseRequest
+
+
+class TestPurchaseRequest:
+    def test_roundtrip(self):
+        request = PurchaseRequest(coin_y=123, value=5, account="alice")
+        rebuilt = PurchaseRequest.from_payload(request.to_payload())
+        assert rebuilt == request
+
+    def test_anonymous_roundtrip(self):
+        request = PurchaseRequest(coin_y=1, value=1, account="a", anonymous=True, handle=b"h" * 32)
+        rebuilt = PurchaseRequest.from_payload(request.to_payload())
+        assert rebuilt.anonymous and rebuilt.handle == b"h" * 32
+
+    def test_rejects_wrong_kind(self):
+        with pytest.raises(ValueError, match="not a purchase"):
+            PurchaseRequest.from_payload({"kind": "other"})
+        with pytest.raises(ValueError):
+            PurchaseRequest.from_payload("not a dict")
+
+    def test_rejects_bad_types(self):
+        payload = PurchaseRequest(coin_y=1, value=1, account="a").to_payload()
+        payload["coin_y"] = "string"
+        with pytest.raises(ValueError, match="malformed"):
+            PurchaseRequest.from_payload(payload)
+
+    def test_rejects_nonpositive_value(self):
+        payload = PurchaseRequest(coin_y=1, value=1, account="a").to_payload()
+        payload["value"] = 0
+        with pytest.raises(ValueError, match="positive"):
+            PurchaseRequest.from_payload(payload)
+
+    def test_anonymous_requires_handle(self):
+        payload = PurchaseRequest(coin_y=1, value=1, account="a").to_payload()
+        payload["anonymous"] = True
+        payload["handle"] = None
+        with pytest.raises(ValueError, match="handle"):
+            PurchaseRequest.from_payload(payload)
+
+
+class TestBatchPurchaseRequest:
+    def test_roundtrip(self):
+        request = BatchPurchaseRequest(coins=((1, 2), (3, 4)), account="a")
+        payload = request.to_payload()
+        from repro.messages.codec import decode, encode
+
+        rebuilt = BatchPurchaseRequest.from_payload(decode(encode(payload)))
+        assert rebuilt.coins == ((1, 2), (3, 4))
+
+    def test_rejects_empty_batch(self):
+        from repro.messages.codec import decode, encode
+
+        payload = decode(encode({"kind": "whopay.batch_purchase_request", "coins": [], "account": "a"}))
+        with pytest.raises(ValueError, match="at least one"):
+            BatchPurchaseRequest.from_payload(payload)
+
+    def test_rejects_duplicates(self):
+        from repro.messages.codec import decode, encode
+
+        payload = decode(encode(
+            {"kind": "whopay.batch_purchase_request", "coins": [[1, 1], [1, 2]], "account": "a"}
+        ))
+        with pytest.raises(ValueError, match="duplicate"):
+            BatchPurchaseRequest.from_payload(payload)
+
+    def test_rejects_malformed_entries(self):
+        from repro.messages.codec import decode, encode
+
+        for bad_coins in ([[1]], [[1, 0]], [["x", 2]]):
+            payload = decode(encode(
+                {"kind": "whopay.batch_purchase_request", "coins": bad_coins, "account": "a"}
+            ))
+            with pytest.raises(ValueError):
+                BatchPurchaseRequest.from_payload(payload)
+
+
+class TestHolderOperation:
+    def base(self, **overrides):
+        fields = dict(
+            op="deposit",
+            coin_cert=b"cert",
+            proof_binding=b"binding",
+            proof_via_broker=False,
+            payout_to="account",
+        )
+        fields.update(overrides)
+        return HolderOperation(**fields)
+
+    def test_deposit_roundtrip(self):
+        operation = self.base()
+        rebuilt = HolderOperation.from_payload(operation.to_payload())
+        assert rebuilt == operation
+
+    def test_transfer_requires_new_holder(self):
+        payload = self.base().to_payload()
+        payload["op"] = "transfer"
+        payload["new_holder_y"] = None
+        with pytest.raises(ValueError, match="new holder"):
+            HolderOperation.from_payload(payload)
+
+    def test_deposit_requires_payout(self):
+        payload = self.base().to_payload()
+        payload["payout_to"] = None
+        with pytest.raises(ValueError, match="payout"):
+            HolderOperation.from_payload(payload)
+
+    def test_top_up_requires_delta_and_auth(self):
+        payload = self.base(op="renewal").to_payload()
+        payload["op"] = "top_up"
+        with pytest.raises(ValueError, match="delta"):
+            HolderOperation.from_payload(payload)
+        payload["delta"] = 3
+        with pytest.raises(ValueError, match="authorization"):
+            HolderOperation.from_payload(payload)
+        payload["funding_auth"] = b"auth"
+        rebuilt = HolderOperation.from_payload(payload)
+        assert rebuilt.delta == 3
+
+    def test_unknown_op_rejected(self):
+        payload = self.base().to_payload()
+        payload["op"] = "mint"
+        with pytest.raises(ValueError, match="unknown holder op"):
+            HolderOperation.from_payload(payload)
+
+    def test_renewal_needs_no_extras(self):
+        operation = self.base(op="renewal", payout_to=None)
+        rebuilt = HolderOperation.from_payload(operation.to_payload())
+        assert rebuilt.op == "renewal"
+        assert rebuilt.new_holder_y is None

@@ -1,0 +1,119 @@
+"""DSA signature tests (the paper's Table 2 operations)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.dsa import DsaSignature, dsa_generate, dsa_sign, dsa_verify
+from repro.crypto.keys import KeyPair, PublicKey
+from repro.crypto.params import PARAMS_TEST_512
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    return dsa_generate(PARAMS_TEST_512)
+
+
+class TestSignVerify:
+    def test_roundtrip(self, keypair):
+        sig = dsa_sign(keypair, b"hello world")
+        assert dsa_verify(keypair.public, b"hello world", sig)
+
+    def test_wrong_message_rejected(self, keypair):
+        sig = dsa_sign(keypair, b"hello world")
+        assert not dsa_verify(keypair.public, b"hello worle", sig)
+
+    def test_wrong_key_rejected(self, keypair):
+        other = dsa_generate(PARAMS_TEST_512)
+        sig = dsa_sign(keypair, b"msg")
+        assert not dsa_verify(other.public, b"msg", sig)
+
+    def test_empty_message(self, keypair):
+        sig = dsa_sign(keypair, b"")
+        assert dsa_verify(keypair.public, b"", sig)
+
+    def test_long_message(self, keypair):
+        msg = b"\xab" * 100_000
+        sig = dsa_sign(keypair, msg)
+        assert dsa_verify(keypair.public, msg, sig)
+
+    @given(st.binary(min_size=0, max_size=200))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_property(self, message):
+        keypair = KeyPair.from_secret(PARAMS_TEST_512, 123456789)
+        sig = dsa_sign(keypair, message)
+        assert dsa_verify(keypair.public, message, sig)
+
+
+class TestDeterministicNonce:
+    def test_same_message_same_signature(self, keypair):
+        # RFC 6979 style nonces make signing deterministic per (key, msg).
+        assert dsa_sign(keypair, b"m") == dsa_sign(keypair, b"m")
+
+    def test_different_messages_different_r(self, keypair):
+        a = dsa_sign(keypair, b"m1")
+        b = dsa_sign(keypair, b"m2")
+        assert a.r != b.r  # distinct nonces (overwhelming probability)
+
+
+class TestMalformedSignatures:
+    def test_zero_components_rejected(self, keypair):
+        sig = dsa_sign(keypair, b"m")
+        assert not dsa_verify(keypair.public, b"m", DsaSignature(r=0, s=sig.s))
+        assert not dsa_verify(keypair.public, b"m", DsaSignature(r=sig.r, s=0))
+
+    def test_out_of_range_components_rejected(self, keypair):
+        q = PARAMS_TEST_512.q
+        sig = dsa_sign(keypair, b"m")
+        assert not dsa_verify(keypair.public, b"m", DsaSignature(r=q, s=sig.s))
+        assert not dsa_verify(keypair.public, b"m", DsaSignature(r=sig.r, s=q + 1))
+
+    def test_tampered_signature_rejected(self, keypair):
+        sig = dsa_sign(keypair, b"m")
+        bad = DsaSignature(r=sig.r, s=(sig.s + 1) % PARAMS_TEST_512.q or 1)
+        assert not dsa_verify(keypair.public, b"m", bad)
+
+    def test_bogus_public_key_rejected(self, keypair):
+        sig = dsa_sign(keypair, b"m")
+        bogus = PublicKey(params=PARAMS_TEST_512, y=PARAMS_TEST_512.p - 1)
+        assert not dsa_verify(bogus, b"m", sig)
+
+    def test_signature_encoding_stable(self, keypair):
+        sig = dsa_sign(keypair, b"m")
+        assert sig.encode() == sig.encode()
+        other = dsa_sign(keypair, b"m2")
+        assert sig.encode() != other.encode()
+
+
+class TestKeyGeneration:
+    def test_public_matches_secret(self):
+        kp = dsa_generate(PARAMS_TEST_512)
+        params = kp.params
+        assert kp.public.y == pow(params.g, kp.x, params.p)
+
+    def test_distinct_keys(self):
+        assert dsa_generate(PARAMS_TEST_512).x != dsa_generate(PARAMS_TEST_512).x
+
+    def test_default_params_used_when_omitted(self):
+        kp = dsa_generate()
+        assert kp.params.p_bits == 1024  # the paper's benchmark size
+
+
+class TestCrossParameterSafety:
+    def test_signature_from_other_group_rejected(self):
+        from repro.crypto.params import PARAMS_1024_160
+
+        small = dsa_generate(PARAMS_TEST_512)
+        big = dsa_generate(PARAMS_1024_160)
+        sig = dsa_sign(small, b"m")
+        # Verifying a 512-group signature under a 1024-group key must fail
+        # cleanly, never crash or falsely accept.
+        assert not dsa_verify(big.public, b"m", sig)
+
+    def test_same_y_different_group_is_different_key(self):
+        from repro.crypto.params import PARAMS_1024_160
+
+        kp = dsa_generate(PARAMS_TEST_512)
+        sig = dsa_sign(kp, b"m")
+        foreign = PublicKey(params=PARAMS_1024_160, y=kp.public.y)
+        assert not dsa_verify(foreign, b"m", sig)

@@ -1,0 +1,58 @@
+"""ElGamal tests (the group-signature opening mechanism's cipher)."""
+
+import pytest
+
+from repro.crypto.elgamal import ElGamalCiphertext, elgamal_decrypt, elgamal_encrypt, elgamal_generate
+from repro.crypto.params import PARAMS_TEST_512
+
+
+@pytest.fixture(scope="module")
+def key():
+    return elgamal_generate(PARAMS_TEST_512)
+
+
+def element(exponent: int) -> int:
+    p, g = PARAMS_TEST_512.p, PARAMS_TEST_512.g
+    return pow(g, exponent, p)
+
+
+class TestEncryptDecrypt:
+    def test_roundtrip(self, key):
+        m = element(42)
+        assert elgamal_decrypt(key, elgamal_encrypt(key.public, m)) == m
+
+    def test_randomized_ciphertexts(self, key):
+        m = element(7)
+        a = elgamal_encrypt(key.public, m)
+        b = elgamal_encrypt(key.public, m)
+        assert (a.c1, a.c2) != (b.c1, b.c2)  # semantic security needs fresh r
+        assert elgamal_decrypt(key, a) == elgamal_decrypt(key, b) == m
+
+    def test_explicit_nonce_is_deterministic(self, key):
+        m = element(9)
+        a = elgamal_encrypt(key.public, m, nonce=12345)
+        b = elgamal_encrypt(key.public, m, nonce=12345)
+        assert (a.c1, a.c2) == (b.c1, b.c2)
+
+    def test_wrong_key_garbles(self, key):
+        other = elgamal_generate(PARAMS_TEST_512)
+        m = element(1000)
+        ct = elgamal_encrypt(key.public, m)
+        assert elgamal_decrypt(other, ct) != m
+
+    def test_rejects_non_subgroup_plaintext(self, key):
+        with pytest.raises(ValueError):
+            elgamal_encrypt(key.public, PARAMS_TEST_512.p - 1)
+
+    def test_multiplicative_homomorphism(self, key):
+        # Not used by WhoPay, but a strong correctness check of the algebra.
+        p = PARAMS_TEST_512.p
+        m1, m2 = element(3), element(5)
+        c1 = elgamal_encrypt(key.public, m1)
+        c2 = elgamal_encrypt(key.public, m2)
+        product = ElGamalCiphertext(c1=(c1.c1 * c2.c1) % p, c2=(c1.c2 * c2.c2) % p)
+        assert elgamal_decrypt(key, product) == (m1 * m2) % p
+
+    def test_ciphertext_encoding_stable(self, key):
+        ct = elgamal_encrypt(key.public, element(2), nonce=777)
+        assert ct.encode() == ct.encode()

@@ -1,0 +1,206 @@
+"""Group signature tests: anonymity, verifiability, openability (Section 3.2)."""
+
+import dataclasses
+
+import pytest
+
+from repro.crypto.group_signature import (
+    GroupManager,
+    GroupSignature,
+    GroupSignatureError,
+    group_sign,
+    group_verify,
+)
+from repro.crypto.params import PARAMS_TEST_512
+from repro.crypto.shamir import combine_shares
+
+
+@pytest.fixture(scope="module")
+def group():
+    manager = GroupManager(PARAMS_TEST_512)
+    members = {name: manager.register(name) for name in ("alice", "bob", "carol")}
+    return manager, members
+
+
+class TestSignVerify:
+    def test_every_member_can_sign(self, group):
+        manager, members = group
+        gpk = manager.public_key()
+        for name, key in members.items():
+            sig = group_sign(gpk, key, b"payment")
+            assert group_verify(gpk, b"payment", sig), name
+
+    def test_wrong_message_rejected(self, group):
+        manager, members = group
+        gpk = manager.public_key()
+        sig = group_sign(gpk, members["alice"], b"pay 5")
+        assert not group_verify(gpk, b"pay 6", sig)
+
+    def test_nonmember_cannot_sign(self, group):
+        manager, members = group
+        other = GroupManager(PARAMS_TEST_512)
+        outsider = other.register("mallory")
+        gpk = manager.public_key()
+        with pytest.raises(GroupSignatureError):
+            group_sign(gpk, outsider, b"m")
+
+    def test_signature_against_foreign_group_fails(self, group):
+        manager, members = group
+        other = GroupManager(PARAMS_TEST_512)
+        other.register("x")
+        sig = group_sign(manager.public_key(), members["bob"], b"m")
+        assert not group_verify(other.public_key(), b"m", sig)
+
+
+class TestAnonymity:
+    def test_signatures_unlinkable(self, group):
+        # Two signatures by the same member share no ciphertext or challenge
+        # components — a verifier cannot link them.
+        manager, members = group
+        gpk = manager.public_key()
+        a = group_sign(gpk, members["bob"], b"m")
+        b = group_sign(gpk, members["bob"], b"m")
+        assert a.ciphertext.c1 != b.ciphertext.c1
+        assert a.challenges != b.challenges
+
+    def test_verification_identical_across_signers(self, group):
+        # Verification gives a verifier no signer-dependent output: it is a
+        # boolean, and signatures from different members have identical shape.
+        manager, members = group
+        gpk = manager.public_key()
+        sigs = [group_sign(gpk, key, b"m") for key in members.values()]
+        for sig in sigs:
+            assert group_verify(gpk, b"m", sig)
+            assert len(sig.challenges) == manager.member_count()
+
+
+class TestOpening:
+    def test_judge_opens_correct_identity(self, group):
+        manager, members = group
+        gpk = manager.public_key()
+        for name, key in members.items():
+            sig = group_sign(gpk, key, b"fraudulent tx")
+            assert manager.open(sig) == name
+
+    def test_threshold_shares_reconstruct(self, group):
+        manager, _members = group
+        shares = manager.export_opening_shares(n=5, k=3)
+        secret = combine_shares(shares[:3], PARAMS_TEST_512.q)
+        assert secret == manager.opening_keypair.secret
+
+    def test_too_few_shares_fail(self, group):
+        manager, _members = group
+        shares = manager.export_opening_shares(n=5, k=3)
+        wrong = combine_shares(shares[:2], PARAMS_TEST_512.q)
+        assert wrong != manager.opening_keypair.secret
+
+
+class TestRosterVersioning:
+    def test_old_snapshot_still_verifies_old_signers(self):
+        manager = GroupManager(PARAMS_TEST_512)
+        alice = manager.register("alice")
+        gpk_v1 = manager.public_key()
+        sig = group_sign(gpk_v1, alice, b"m")
+        manager.register("bob")  # roster grows
+        # Verifying against the version the signer used still works.
+        assert group_verify(manager.public_key_at(1), b"m", sig)
+        # The new snapshot has a different roster hash, so it must not.
+        assert not group_verify(manager.public_key(), b"m", sig)
+
+    def test_public_key_at_bounds(self):
+        manager = GroupManager(PARAMS_TEST_512)
+        manager.register("a")
+        with pytest.raises(GroupSignatureError):
+            manager.public_key_at(5)
+        assert manager.public_key_at(0).roster == ()
+
+    def test_versions_carried_in_snapshots(self):
+        manager = GroupManager(PARAMS_TEST_512)
+        manager.register("a")
+        manager.register("b")
+        assert manager.public_key().version == 2
+        assert manager.public_key_at(1).version == 1
+
+
+class TestExpulsion:
+    def test_expel_shrinks_roster_and_bumps_version(self):
+        manager = GroupManager(PARAMS_TEST_512)
+        alice = manager.register("alice")
+        bob = manager.register("bob")
+        version = manager.expel("alice")
+        assert version == 3  # two registrations + one expulsion
+        gpk = manager.public_key()
+        assert gpk.roster == (bob.h,)
+        assert manager.member_count() == 1
+        assert manager.is_expelled("alice")
+
+    def test_expelled_cannot_sign_new_snapshot(self):
+        manager = GroupManager(PARAMS_TEST_512)
+        alice = manager.register("alice")
+        manager.register("bob")
+        manager.expel("alice")
+        with pytest.raises(GroupSignatureError):
+            group_sign(manager.public_key(), alice, b"m")
+
+    def test_old_signatures_still_open(self):
+        manager = GroupManager(PARAMS_TEST_512)
+        alice = manager.register("alice")
+        sig = group_sign(manager.public_key(), alice, b"evidence")
+        manager.expel("alice")
+        assert manager.open(sig) == "alice"
+
+    def test_expel_inactive_member_fails(self):
+        manager = GroupManager(PARAMS_TEST_512)
+        manager.register("alice")
+        with pytest.raises(GroupSignatureError):
+            manager.expel("ghost")
+        manager.expel("alice")
+        with pytest.raises(GroupSignatureError):
+            manager.expel("alice")
+
+    def test_register_after_expel(self):
+        manager = GroupManager(PARAMS_TEST_512)
+        manager.register("alice")
+        manager.expel("alice")
+        carol = manager.register("carol")
+        gpk = manager.public_key()
+        sig = group_sign(gpk, carol, b"m")
+        assert group_verify(gpk, b"m", sig)
+        assert manager.open(sig) == "carol"
+
+
+class TestTampering:
+    def test_tampered_challenge_rejected(self, group):
+        manager, members = group
+        gpk = manager.public_key()
+        sig = group_sign(gpk, members["carol"], b"m")
+        challenges = list(sig.challenges)
+        challenges[0] = (challenges[0] + 1) % PARAMS_TEST_512.q
+        bad = dataclasses.replace(sig, challenges=tuple(challenges))
+        assert not group_verify(gpk, b"m", bad)
+
+    def test_tampered_response_rejected(self, group):
+        manager, members = group
+        gpk = manager.public_key()
+        sig = group_sign(gpk, members["carol"], b"m")
+        responses = list(sig.responses_x)
+        responses[-1] = (responses[-1] + 1) % PARAMS_TEST_512.q
+        bad = dataclasses.replace(sig, responses_x=tuple(responses))
+        assert not group_verify(gpk, b"m", bad)
+
+    def test_truncated_transcript_rejected(self, group):
+        manager, members = group
+        gpk = manager.public_key()
+        sig = group_sign(gpk, members["alice"], b"m")
+        bad = dataclasses.replace(sig, challenges=sig.challenges[:-1])
+        assert not group_verify(gpk, b"m", bad)
+
+    def test_swapped_ciphertext_rejected(self, group):
+        # Re-encrypting a different member's key under the same proof must
+        # fail — otherwise a signer could frame someone else.
+        manager, members = group
+        gpk = manager.public_key()
+        sig_alice = group_sign(gpk, members["alice"], b"m")
+        sig_bob = group_sign(gpk, members["bob"], b"m")
+        franken = dataclasses.replace(sig_alice, ciphertext=sig_bob.ciphertext)
+        assert not group_verify(gpk, b"m", franken)

@@ -1,0 +1,93 @@
+"""PayWord hash-chain tests (Section 7 micropayment substrate)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.hashchain import HashChain, verify_chain_link
+
+
+class TestChainConstruction:
+    def test_anchor_is_depth_hashes_from_seed(self):
+        chain = HashChain(10, seed=b"\x00" * 32)
+        assert verify_chain_link(chain.anchor, 10, chain.link(10))
+
+    def test_deterministic_for_fixed_seed(self):
+        a = HashChain(5, seed=b"seed")
+        b = HashChain(5, seed=b"seed")
+        assert a.anchor == b.anchor
+
+    def test_random_seeds_differ(self):
+        assert HashChain(5).anchor != HashChain(5).anchor
+
+    def test_rejects_nonpositive_length(self):
+        with pytest.raises(ValueError):
+            HashChain(0)
+
+    def test_link_bounds(self):
+        chain = HashChain(3)
+        with pytest.raises(IndexError):
+            chain.link(4)
+        with pytest.raises(IndexError):
+            chain.link(-1)
+
+
+class TestSpending:
+    def test_incremental_payments(self):
+        chain = HashChain(10)
+        for expected in range(1, 11):
+            index, link = chain.pay()
+            assert index == expected
+            assert verify_chain_link(chain.anchor, index, link)
+
+    def test_multi_unit_payment(self):
+        chain = HashChain(10)
+        index, link = chain.pay(4)
+        assert index == 4
+        assert verify_chain_link(chain.anchor, 4, link)
+        assert chain.remaining == 6
+
+    def test_exhaustion(self):
+        chain = HashChain(2)
+        chain.pay(2)
+        with pytest.raises(ValueError):
+            chain.pay()
+
+    def test_rejects_zero_units(self):
+        with pytest.raises(ValueError):
+            HashChain(5).pay(0)
+
+
+class TestVerification:
+    def test_wrong_link_rejected(self):
+        chain = HashChain(5)
+        _index, link = chain.pay()
+        assert not verify_chain_link(chain.anchor, 2, link)
+
+    def test_forged_link_rejected(self):
+        chain = HashChain(5)
+        assert not verify_chain_link(chain.anchor, 1, b"\x00" * 32)
+
+    def test_negative_index_rejected(self):
+        chain = HashChain(5)
+        assert not verify_chain_link(chain.anchor, -1, chain.anchor)
+
+    def test_index_zero_verifies_anchor_itself(self):
+        chain = HashChain(5)
+        assert verify_chain_link(chain.anchor, 0, chain.anchor)
+
+    @given(st.integers(min_value=1, max_value=20))
+    @settings(max_examples=20, deadline=None)
+    def test_every_prefix_verifies(self, index):
+        chain = HashChain(20, seed=b"prop-seed")
+        assert verify_chain_link(chain.anchor, index, chain.link(index))
+
+    def test_later_link_proves_earlier_spend(self):
+        # Revealing w_k lets the payee derive and verify all w_j (j<k):
+        # tokens are cumulative, the payee needs only the latest.
+        chain = HashChain(10)
+        _i, w5 = chain.pay(5)
+        import hashlib
+
+        w4 = hashlib.sha256(w5).digest()
+        assert verify_chain_link(chain.anchor, 4, w4)

@@ -1,0 +1,53 @@
+"""KeyPair / PublicKey tests."""
+
+import pytest
+
+from repro.crypto.keys import KeyPair, PublicKey, fingerprint
+from repro.crypto.params import PARAMS_1024_160, PARAMS_TEST_512
+
+
+class TestKeyPair:
+    def test_generate_consistent(self):
+        kp = KeyPair.generate(PARAMS_TEST_512)
+        assert kp.public.y == pow(PARAMS_TEST_512.g, kp.x, PARAMS_TEST_512.p)
+
+    def test_from_secret_roundtrip(self):
+        kp = KeyPair.generate(PARAMS_TEST_512)
+        rebuilt = KeyPair.from_secret(PARAMS_TEST_512, kp.x)
+        assert rebuilt.public.y == kp.public.y
+
+    def test_from_secret_range_check(self):
+        with pytest.raises(ValueError):
+            KeyPair.from_secret(PARAMS_TEST_512, 0)
+        with pytest.raises(ValueError):
+            KeyPair.from_secret(PARAMS_TEST_512, PARAMS_TEST_512.q)
+
+
+class TestFingerprints:
+    def test_stable(self):
+        kp = KeyPair.generate(PARAMS_TEST_512)
+        assert kp.fingerprint() == kp.public.fingerprint()
+        assert fingerprint(kp) == fingerprint(kp.public)
+
+    def test_distinct_keys_distinct_prints(self):
+        a = KeyPair.generate(PARAMS_TEST_512)
+        b = KeyPair.generate(PARAMS_TEST_512)
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_group_is_part_of_identity(self):
+        # The same y value in different groups is a different key.
+        a = PublicKey(params=PARAMS_TEST_512, y=12345)
+        b = PublicKey(params=PARAMS_1024_160, y=12345)
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_fingerprint_length(self):
+        assert len(KeyPair.generate(PARAMS_TEST_512).fingerprint()) == 20
+
+
+class TestValidation:
+    def test_valid_key_passes(self):
+        KeyPair.generate(PARAMS_TEST_512).public.validate()
+
+    def test_invalid_key_fails(self):
+        with pytest.raises(ValueError):
+            PublicKey(params=PARAMS_TEST_512, y=PARAMS_TEST_512.p - 1).validate()

@@ -1,0 +1,85 @@
+"""Validation of the embedded Schnorr-group parameter sets."""
+
+import pytest
+
+from repro.crypto.params import (
+    PARAMS_1024_160,
+    PARAMS_2048_256,
+    PARAMS_TEST_512,
+    DlogParams,
+    default_params,
+    generate_params,
+)
+
+
+class TestEmbeddedParams:
+    def test_test_group_valid(self):
+        PARAMS_TEST_512.validate()
+
+    def test_1024_group_valid(self):
+        PARAMS_1024_160.validate()
+
+    def test_2048_group_valid(self):
+        PARAMS_2048_256.validate()
+
+    def test_sizes_match_names(self):
+        assert PARAMS_TEST_512.p_bits == 512 and PARAMS_TEST_512.q_bits == 160
+        assert PARAMS_1024_160.p_bits == 1024 and PARAMS_1024_160.q_bits == 160
+        assert PARAMS_2048_256.p_bits == 2048 and PARAMS_2048_256.q_bits == 256
+
+    def test_default_is_paper_size(self):
+        # The paper benchmarks DSA 1024-bit (Table 2); that is the default.
+        assert default_params() is PARAMS_1024_160
+
+    def test_generator_has_order_q(self):
+        for params in (PARAMS_TEST_512, PARAMS_1024_160):
+            assert pow(params.g, params.q, params.p) == 1
+            assert params.g != 1
+
+
+class TestDlogParamsApi:
+    def test_is_element_accepts_generator_powers(self):
+        params = PARAMS_TEST_512
+        x = params.random_exponent()
+        assert params.is_element(pow(params.g, x, params.p))
+
+    def test_is_element_rejects_outside_range(self):
+        params = PARAMS_TEST_512
+        assert not params.is_element(0)
+        assert not params.is_element(params.p)
+
+    def test_is_element_rejects_wrong_order(self):
+        params = PARAMS_TEST_512
+        # -1 mod p has order 2, not q (q is odd).
+        assert not params.is_element(params.p - 1)
+
+    def test_random_exponent_in_range(self):
+        params = PARAMS_TEST_512
+        for _ in range(50):
+            assert 1 <= params.random_exponent() < params.q
+
+    def test_encode_distinguishes_groups(self):
+        assert PARAMS_TEST_512.encode() != PARAMS_1024_160.encode()
+
+    def test_validate_rejects_bad_group(self):
+        bad = DlogParams(p=15, q=7, g=2, name="bogus")
+        with pytest.raises(ValueError):
+            bad.validate()
+
+    def test_validate_rejects_wrong_order_generator(self):
+        good = PARAMS_TEST_512
+        bad = DlogParams(p=good.p, q=good.q, g=good.p - 1, name="bad-gen")
+        with pytest.raises(ValueError):
+            bad.validate()
+
+
+class TestGeneration:
+    def test_generate_small_params(self):
+        params = generate_params(p_bits=256, q_bits=96, name="tiny")
+        params.validate()
+        assert params.p_bits == 256
+        assert params.q_bits == 96
+
+    def test_generate_rejects_inverted_sizes(self):
+        with pytest.raises(ValueError):
+            generate_params(p_bits=128, q_bits=256)

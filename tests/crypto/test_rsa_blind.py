@@ -1,0 +1,93 @@
+"""RSA and Chaum blind-signature tests."""
+
+import pytest
+
+from repro.crypto.blind import BlindingState, blind, sign_blinded, unblind, verify_unblinded
+from repro.crypto.rsa import (
+    PUBLIC_EXPONENT,
+    RsaPublicKey,
+    hash_to_modulus,
+    rsa_generate,
+    rsa_sign,
+    rsa_sign_raw,
+    rsa_verify,
+)
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    return rsa_generate(bits=512)
+
+
+class TestRsa:
+    def test_keypair_consistent(self, keypair):
+        assert keypair.p * keypair.q == keypair.public.n
+        assert keypair.public.e == PUBLIC_EXPONENT
+        assert (keypair.d * PUBLIC_EXPONENT) % ((keypair.p - 1) * (keypair.q - 1)) == 1
+
+    def test_modulus_size(self, keypair):
+        assert keypair.public.n.bit_length() == 512
+
+    def test_sign_verify(self, keypair):
+        signature = rsa_sign(keypair, b"hello")
+        assert rsa_verify(keypair.public, b"hello", signature)
+        assert not rsa_verify(keypair.public, b"hellp", signature)
+
+    def test_wrong_key_rejected(self, keypair):
+        other = rsa_generate(bits=512)
+        signature = rsa_sign(keypair, b"m")
+        assert not rsa_verify(other.public, b"m", signature)
+
+    def test_out_of_range_signature(self, keypair):
+        assert not rsa_verify(keypair.public, b"m", 0)
+        assert not rsa_verify(keypair.public, b"m", keypair.public.n)
+
+    def test_fdh_range(self, keypair):
+        for message in (b"", b"a", b"x" * 1000):
+            h = hash_to_modulus(message, keypair.public.n)
+            assert 1 <= h < keypair.public.n
+
+    def test_raw_signing_range_check(self, keypair):
+        with pytest.raises(ValueError):
+            rsa_sign_raw(keypair, 0)
+        with pytest.raises(ValueError):
+            rsa_sign_raw(keypair, keypair.public.n)
+
+    def test_tiny_modulus_rejected(self):
+        with pytest.raises(ValueError):
+            rsa_generate(bits=64)
+
+
+class TestBlindSignatures:
+    def test_blind_sign_unblind_verifies(self, keypair):
+        blinded, state = blind(keypair.public, b"coin-serial-123")
+        blind_signature = sign_blinded(keypair, blinded)
+        signature = unblind(keypair.public, state, blind_signature)
+        assert verify_unblinded(keypair.public, b"coin-serial-123", signature)
+        # The unblinded signature is a perfectly ordinary FDH signature.
+        assert rsa_verify(keypair.public, b"coin-serial-123", signature)
+
+    def test_signature_does_not_transfer_to_other_messages(self, keypair):
+        blinded, state = blind(keypair.public, b"m1")
+        signature = unblind(keypair.public, state, sign_blinded(keypair, blinded))
+        assert not verify_unblinded(keypair.public, b"m2", signature)
+
+    def test_unlinkability_blinded_values_independent(self, keypair):
+        # Two blindings of the SAME message are unrelated values — the
+        # mint's view carries no information about the message.
+        blinded_a, _ = blind(keypair.public, b"same-message")
+        blinded_b, _ = blind(keypair.public, b"same-message")
+        assert blinded_a != blinded_b
+        assert blinded_a != hash_to_modulus(b"same-message", keypair.public.n)
+
+    def test_wrong_blinding_state_fails(self, keypair):
+        blinded, state = blind(keypair.public, b"m")
+        blind_signature = sign_blinded(keypair, blinded)
+        bogus_state = BlindingState(message=b"m", r=state.r + 1)
+        signature = unblind(keypair.public, bogus_state, blind_signature)
+        assert not verify_unblinded(keypair.public, b"m", signature)
+
+    def test_mint_signature_required(self, keypair):
+        _blinded, state = blind(keypair.public, b"m")
+        forged = unblind(keypair.public, state, 12345)
+        assert not verify_unblinded(keypair.public, b"m", forged)

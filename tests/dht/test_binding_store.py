@@ -1,0 +1,126 @@
+"""Access-control tests for the public coin-binding store (Section 5.1)."""
+
+import pytest
+
+from repro.crypto.dsa import dsa_generate, dsa_sign
+from repro.crypto.params import PARAMS_TEST_512
+from repro.dht.binding_store import BindingRecord, BindingStore, WriteRejected
+from repro.dht.chord import ChordRing
+from repro.messages.codec import encode
+from repro.net.transport import Transport
+
+P = PARAMS_TEST_512
+
+
+@pytest.fixture()
+def store():
+    transport = Transport()
+    ring = ChordRing(transport, size=4)
+    broker = dsa_generate(P)
+    return BindingStore(ring, P, broker.public), broker
+
+
+def make_record(coin_keypair, seq, holder_y=111, signer=None, via_broker=False):
+    payload = encode(
+        {"coin_y": coin_keypair.public.y, "holder_y": holder_y, "seq": seq, "exp": 10_000}
+    )
+    signing_key = signer if signer is not None else coin_keypair
+    sig = dsa_sign(signing_key, payload)
+    return BindingRecord(
+        payload=payload,
+        signer_y=signing_key.public.y,
+        sig_r=sig.r,
+        sig_s=sig.s,
+        via_broker=via_broker,
+    )
+
+
+class TestAccessControl:
+    def test_owner_write_and_public_read(self, store):
+        binding_store, _broker = store
+        coin = dsa_generate(P)
+        binding_store.publish(make_record(coin, seq=1))
+        fetched = binding_store.fetch(coin.public.y)
+        assert fetched is not None and fetched.sequence() == 1
+
+    def test_broker_write_allowed(self, store):
+        binding_store, broker = store
+        coin = dsa_generate(P)
+        record = make_record(coin, seq=1, signer=broker, via_broker=True)
+        binding_store.publish(record)
+        assert binding_store.fetch(coin.public.y).via_broker
+
+    def test_third_party_write_rejected(self, store):
+        binding_store, _broker = store
+        coin = dsa_generate(P)
+        mallory = dsa_generate(P)
+        record = make_record(coin, seq=1, signer=mallory)
+        with pytest.raises(WriteRejected, match="not signed by the coin key"):
+            binding_store.publish(record)
+
+    def test_forged_broker_claim_rejected(self, store):
+        binding_store, _broker = store
+        coin = dsa_generate(P)
+        mallory = dsa_generate(P)
+        record = make_record(coin, seq=1, signer=mallory, via_broker=True)
+        with pytest.raises(WriteRejected, match="broker write"):
+            binding_store.publish(record)
+
+    def test_bad_signature_rejected(self, store):
+        binding_store, _broker = store
+        coin = dsa_generate(P)
+        record = make_record(coin, seq=1)
+        tampered = BindingRecord(
+            payload=record.payload,
+            signer_y=record.signer_y,
+            sig_r=record.sig_r,
+            sig_s=(record.sig_s + 1) % P.q or 1,
+            via_broker=False,
+        )
+        with pytest.raises(WriteRejected, match="bad signature"):
+            binding_store.publish(tampered)
+
+
+class TestRollbackProtection:
+    def test_stale_sequence_rejected(self, store):
+        binding_store, _broker = store
+        coin = dsa_generate(P)
+        binding_store.publish(make_record(coin, seq=5))
+        with pytest.raises(WriteRejected, match="stale"):
+            binding_store.publish(make_record(coin, seq=5))
+        with pytest.raises(WriteRejected, match="stale"):
+            binding_store.publish(make_record(coin, seq=4))
+
+    def test_monotonic_updates_accepted(self, store):
+        binding_store, _broker = store
+        coin = dsa_generate(P)
+        for seq in (1, 2, 7):
+            binding_store.publish(make_record(coin, seq=seq))
+        assert binding_store.fetch(coin.public.y).sequence() == 7
+
+    def test_even_broker_cannot_roll_back(self, store):
+        # The downtime rule lets the broker write, but monotonicity still
+        # applies — otherwise a compromised broker could resurrect holders.
+        binding_store, broker = store
+        coin = dsa_generate(P)
+        binding_store.publish(make_record(coin, seq=10))
+        with pytest.raises(WriteRejected, match="stale"):
+            binding_store.publish(make_record(coin, seq=3, signer=broker, via_broker=True))
+
+
+class TestFetch:
+    def test_missing_coin(self, store):
+        binding_store, _broker = store
+        coin = dsa_generate(P)
+        assert binding_store.fetch(coin.public.y) is None
+
+    def test_record_encoding_roundtrip(self, store):
+        _binding_store, _broker = store
+        coin = dsa_generate(P)
+        record = make_record(coin, seq=3)
+        assert BindingRecord.from_encoded(record.encode()) == record
+
+    def test_malformed_record_rejected(self, store):
+        binding_store, _broker = store
+        result = binding_store.ring.put(b"whopay-binding|junk", b"not-a-record")
+        assert not result["ok"]

@@ -1,0 +1,145 @@
+"""Kademlia tests + proof that the binding store is routing-agnostic."""
+
+import pytest
+
+from repro.crypto.dsa import dsa_generate, dsa_sign
+from repro.crypto.params import PARAMS_TEST_512
+from repro.dht.binding_store import BindingRecord, BindingStore, WriteRejected
+from repro.dht.kademlia import K_BUCKET_SIZE, KademliaNetwork, distance, kad_id
+from repro.dht.notify import NotificationHub
+from repro.messages.codec import encode
+from repro.net.node import Node
+from repro.net.transport import Transport
+
+P = PARAMS_TEST_512
+
+
+@pytest.fixture()
+def network():
+    transport = Transport()
+    return transport, KademliaNetwork(transport, size=10)
+
+
+class TestIdentifiers:
+    def test_xor_metric_axioms(self):
+        a, b, c = kad_id(b"a"), kad_id(b"b"), kad_id(b"c")
+        assert distance(a, a) == 0
+        assert distance(a, b) == distance(b, a)
+        # XOR triangle "inequality" (equality relation): d(a,c) <= d(a,b) ^ d(b,c) is
+        # not the axiom; the real one is d(a,c) = d(a,b) XOR of ids property:
+        assert distance(a, c) == distance(a, b) ^ distance(b, c)
+
+    def test_ids_are_160_bit(self):
+        assert kad_id(b"anything").bit_length() <= 160
+
+
+class TestPutGet:
+    def test_roundtrip(self, network):
+        _t, net = network
+        assert net.put(b"key", "value")["ok"]
+        assert net.get(b"key") == "value"
+
+    def test_missing_key(self, network):
+        _t, net = network
+        assert net.get(b"missing") is None
+
+    def test_overwrite(self, network):
+        _t, net = network
+        net.put(b"k", 1)
+        net.put(b"k", 2)
+        assert net.get(b"k") == 2
+
+    def test_many_keys_spread(self, network):
+        _t, net = network
+        for i in range(40):
+            assert net.put(str(i).encode(), i)["ok"]
+        for i in range(40):
+            assert net.get(str(i).encode()) == i
+        populated = [node for node in net.nodes if node.storage]
+        assert len(populated) >= 5  # load spreads across the id space
+
+    def test_replicated_on_k_closest(self, network):
+        _t, net = network
+        net.put(b"replicated", "v")
+        holders = [node for node in net.nodes if kad_id(b"replicated") in node.storage]
+        assert 2 <= len(holders) <= K_BUCKET_SIZE
+
+    def test_crash_tolerance(self, network):
+        _t, net = network
+        for i in range(20):
+            net.put(str(i).encode(), i)
+        net.owner_of(b"7").go_offline()
+        recovered = sum(1 for i in range(20) if net.get(str(i).encode()) == i)
+        assert recovered == 20  # k-fold replication absorbs a single crash
+
+
+class TestRoutingTable:
+    def test_buckets_populated_after_bootstrap(self, network):
+        _t, net = network
+        for node in net.nodes:
+            assert node.known_contacts(), node.address
+
+    def test_closest_known_ordering(self, network):
+        _t, net = network
+        node = net.nodes[0]
+        target = kad_id(b"target")
+        closest = node.closest_known(target, 5)
+        dists = [distance(kad_id(a.encode()), target) for a in closest]
+        assert dists == sorted(dists)
+
+    def test_bucket_size_bounded(self, network):
+        _t, net = network
+        for node in net.nodes:
+            for bucket in node.buckets:
+                assert len(bucket) <= K_BUCKET_SIZE
+
+
+class TestBindingStoreOverKademlia:
+    """The §5.1 infrastructure is DHT-agnostic: same policy layer, new fabric."""
+
+    @pytest.fixture()
+    def store(self):
+        transport = Transport()
+        net = KademliaNetwork(transport, size=6)
+        broker = dsa_generate(P)
+        return BindingStore(net, P, broker.public), broker, transport
+
+    def _record(self, coin, seq, signer=None, via_broker=False):
+        payload = encode({"coin_y": coin.public.y, "holder_y": 1, "seq": seq, "exp": 100})
+        key = signer if signer is not None else coin
+        sig = dsa_sign(key, payload)
+        return BindingRecord(
+            payload=payload, signer_y=key.public.y, sig_r=sig.r, sig_s=sig.s, via_broker=via_broker
+        )
+
+    def test_publish_and_fetch(self, store):
+        binding_store, _broker, _t = store
+        coin = dsa_generate(P)
+        binding_store.publish(self._record(coin, seq=1))
+        assert binding_store.fetch(coin.public.y).sequence() == 1
+
+    def test_access_control_enforced(self, store):
+        binding_store, _broker, _t = store
+        coin, mallory = dsa_generate(P), dsa_generate(P)
+        with pytest.raises(WriteRejected):
+            binding_store.publish(self._record(coin, seq=1, signer=mallory))
+
+    def test_rollback_protection_enforced(self, store):
+        binding_store, _broker, _t = store
+        coin = dsa_generate(P)
+        binding_store.publish(self._record(coin, seq=5))
+        with pytest.raises(WriteRejected):
+            binding_store.publish(self._record(coin, seq=4))
+
+    def test_notifications_fire_once_per_update(self, store):
+        binding_store, _broker, transport = store
+        hub = NotificationHub(binding_store)
+        received = []
+        watcher = Node(transport, "watcher")
+        watcher.on("binding.update", lambda src, v: received.append(v))
+        coin = dsa_generate(P)
+        hub.subscribe(coin.public.y, "watcher")
+        binding_store.publish(self._record(coin, seq=1))
+        binding_store.publish(self._record(coin, seq=2))
+        # Despite k-fold replication, exactly one notification per update.
+        assert len(received) == 2

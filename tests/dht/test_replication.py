@@ -1,0 +1,88 @@
+"""Replication tests: Chord survives crashes, not just graceful leaves."""
+
+import pytest
+
+from repro.dht.chord import ChordRing, key_to_id
+from repro.net.transport import Transport
+
+
+@pytest.fixture()
+def ring():
+    transport = Transport()
+    return ChordRing(transport, size=6)
+
+
+class TestReplication:
+    def test_put_places_replicas(self, ring):
+        assert ring.put(b"key", "value")["ok"]
+        holders = [node for node in ring.nodes if key_to_id(b"key") in node.storage]
+        # Owner + up to (replication - 1) successors.
+        assert 2 <= len(holders) <= 3
+
+    def test_crash_does_not_lose_data(self, ring):
+        keys = [str(i).encode() for i in range(20)]
+        for key in keys:
+            ring.put(key, key.decode())
+        victim = ring.owner_of(b"7")
+        victim.go_offline()  # crash: no graceful handoff
+        ring.stabilize_all(rounds=8)
+        ring.rebuild_fingers()
+        for key in keys:
+            assert ring.get(key) == key.decode(), key
+
+    def test_two_crashes(self, ring):
+        keys = [str(i).encode() for i in range(20)]
+        for key in keys:
+            ring.put(key, key.decode())
+        victims = {ring.owner_of(b"3").address, ring.owner_of(b"15").address}
+        for node in ring.nodes:
+            if node.address in victims:
+                node.go_offline()
+        ring.stabilize_all(rounds=10)
+        ring.rebuild_fingers()
+        recovered = sum(1 for key in keys if ring.get(key) == key.decode())
+        # With replication factor 3, two simultaneous crashes may only lose
+        # a key if both its replicas sat on the victims; with 6 nodes and
+        # adjacent-successor placement that is possible but must be rare.
+        assert recovered >= len(keys) - 2
+
+    def test_updates_propagate_to_replicas(self, ring):
+        ring.put(b"k", 1)
+        ring.put(b"k", 2)
+        holders = [node for node in ring.nodes if key_to_id(b"k") in node.storage]
+        assert all(node.storage[key_to_id(b"k")] == 2 for node in holders)
+
+    def test_crash_then_update_still_consistent(self, ring):
+        ring.put(b"k", 1)
+        owner = ring.owner_of(b"k")
+        owner.go_offline()
+        ring.stabilize_all(rounds=8)
+        ring.rebuild_fingers()
+        assert ring.get(b"k") == 1
+        ring.put(b"k", 2)
+        assert ring.get(b"k") == 2
+
+    def test_single_node_ring_has_no_replicas(self):
+        transport = Transport()
+        ring = ChordRing(transport, size=1)
+        ring.put(b"k", "v")
+        assert ring.get(b"k") == "v"
+
+
+class TestDetectionSurvivesCrash:
+    def test_binding_survives_dht_crash(self, detection_network):
+        net = detection_network
+        alice = net.add_peer("alice", balance=5)
+        bob = net.add_peer("bob")
+        carol = net.add_peer("carol")
+        state = alice.purchase()
+        alice.issue("bob", state.coin_y)
+        ring = net.detection.store.ring
+        owner_node = ring.owner_of(net.detection.store._coin_key_bytes(state.coin_y))
+        owner_node.go_offline()  # hard crash, no handoff
+        ring.stabilize_all(rounds=8)
+        ring.rebuild_fingers()
+        assert net.detection.fetch_binding("t", state.coin_y) is not None
+        # And the protocol keeps working (payee verification reads succeed).
+        bob.transfer("carol", state.coin_y)
+        assert state.coin_y in carol.wallet

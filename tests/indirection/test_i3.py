@@ -1,0 +1,107 @@
+"""i3 indirection overlay tests (Section 5.2, approach 3 substrate)."""
+
+import pytest
+
+from repro.indirection.i3 import I3Overlay, TriggerError
+from repro.net.node import Node
+from repro.net.transport import NetworkError, Transport
+
+
+@pytest.fixture()
+def overlay():
+    transport = Transport()
+    i3 = I3Overlay(transport, size=3)
+    return transport, i3
+
+
+def make_receiver(transport, address):
+    node = Node(transport, address)
+    node.on("ping", lambda src, payload: {"pong": payload, "seen_src": src})
+    return node
+
+
+class TestTriggers:
+    def test_mint_handle_deterministic(self):
+        h1, t1 = I3Overlay.mint_handle(b"secret")
+        h2, t2 = I3Overlay.mint_handle(b"secret")
+        assert (h1, t1) == (h2, t2)
+        h3, _ = I3Overlay.mint_handle(b"other")
+        assert h3 != h1
+
+    def test_insert_and_send(self, overlay):
+        transport, i3 = overlay
+        make_receiver(transport, "owner")
+        handle, token = I3Overlay.mint_handle(b"coin-secret")
+        i3.insert_trigger(handle, token, "owner", src="owner")
+        response = i3.send("payer", handle, "ping", 7)
+        assert response["pong"] == 7
+
+    def test_sender_address_hidden(self, overlay):
+        # The receiver sees the i3 server as the message source — the
+        # pseudonymity property the owner-anonymous extension relies on.
+        transport, i3 = overlay
+        make_receiver(transport, "owner")
+        handle, token = I3Overlay.mint_handle(b"s")
+        i3.insert_trigger(handle, token, "owner", src="owner")
+        response = i3.send("payer", handle, "ping", 1)
+        assert response["seen_src"].startswith("i3-")
+        assert response["seen_src"] != "payer"
+
+    def test_wrong_token_cannot_claim(self, overlay):
+        transport, i3 = overlay
+        handle, _token = I3Overlay.mint_handle(b"s")
+        with pytest.raises(TriggerError):
+            i3.insert_trigger(handle, b"wrong-token", "mallory", src="mallory")
+
+    def test_owner_can_reclaim_and_retarget(self, overlay):
+        transport, i3 = overlay
+        make_receiver(transport, "home-1")
+        make_receiver(transport, "home-2")
+        handle, token = I3Overlay.mint_handle(b"s")
+        i3.insert_trigger(handle, token, "home-1", src="home-1")
+        i3.insert_trigger(handle, token, "home-2", src="home-2")  # retarget
+        response = i3.send("payer", handle, "ping", 1)
+        # Delivered to home-2 now (the trigger moved with its owner).
+        assert response["pong"] == 1
+
+    def test_hijack_rejected(self, overlay):
+        transport, i3 = overlay
+        make_receiver(transport, "owner")
+        handle, token = I3Overlay.mint_handle(b"s")
+        i3.insert_trigger(handle, token, "owner", src="owner")
+        # Someone who knows only the (public) handle cannot steal it: any
+        # token they invent fails the preimage check.
+        with pytest.raises(TriggerError):
+            i3.insert_trigger(handle, b"guess", "mallory", src="mallory")
+
+    def test_remove_trigger(self, overlay):
+        transport, i3 = overlay
+        make_receiver(transport, "owner")
+        handle, token = I3Overlay.mint_handle(b"s")
+        i3.insert_trigger(handle, token, "owner", src="owner")
+        i3.remove_trigger(handle, token, src="owner")
+        with pytest.raises(NetworkError):
+            i3.send("payer", handle, "ping", 1)
+
+    def test_remove_requires_token(self, overlay):
+        transport, i3 = overlay
+        make_receiver(transport, "owner")
+        handle, token = I3Overlay.mint_handle(b"s")
+        i3.insert_trigger(handle, token, "owner", src="owner")
+        with pytest.raises(TriggerError):
+            i3.remove_trigger(handle, b"bad", src="mallory")
+
+    def test_send_without_trigger_fails(self, overlay):
+        _transport, i3 = overlay
+        handle, _token = I3Overlay.mint_handle(b"unregistered")
+        with pytest.raises(NetworkError):
+            i3.send("payer", handle, "ping", 1)
+
+    def test_offline_receiver_surfaces_as_failure(self, overlay):
+        transport, i3 = overlay
+        receiver = make_receiver(transport, "owner")
+        handle, token = I3Overlay.mint_handle(b"s")
+        i3.insert_trigger(handle, token, "owner", src="owner")
+        receiver.go_offline()
+        with pytest.raises(NetworkError):
+            i3.send("payer", handle, "ping", 1)

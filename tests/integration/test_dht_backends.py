@@ -1,0 +1,72 @@
+"""Detection runs identically over either DHT backend (Chord / Kademlia)."""
+
+import pytest
+
+from repro.core.coin import CoinBinding
+from repro.core.network import WhoPayNetwork
+from repro.crypto.params import PARAMS_TEST_512
+
+
+@pytest.fixture(params=["chord", "kademlia"])
+def net(request):
+    return WhoPayNetwork(
+        params=PARAMS_TEST_512,
+        enable_detection=True,
+        dht_size=5,
+        dht_backend=request.param,
+    )
+
+
+class TestBackendParity:
+    def test_full_lifecycle_with_detection(self, net):
+        alice = net.add_peer("alice", balance=10)
+        bob = net.add_peer("bob")
+        carol = net.add_peer("carol")
+        state = alice.purchase(value=2)
+        alice.issue("bob", state.coin_y)
+        assert net.detection.fetch_binding("t", state.coin_y) is not None
+        bob.transfer("carol", state.coin_y)
+        alice.depart()
+        carol.transfer_via_broker("bob", state.coin_y)
+        alice.rejoin()
+        assert bob.deposit(state.coin_y) == 2
+        assert net.detection.publishes >= 3
+
+    def test_real_time_alarm_on_both(self, net):
+        alice = net.add_peer("alice", balance=10)
+        bob = net.add_peer("bob")
+        dave = net.add_peer("dave")
+        state = alice.purchase()
+        alice.issue("bob", state.coin_y)
+        evil = CoinBinding.build(
+            state.coin_keypair,
+            coin_y=state.coin_y,
+            holder_y=dave.identity.public.y,
+            seq=alice.owned[state.coin_y].binding.seq + 1,
+            exp_date=net.clock.now() + 1000,
+        )
+        net.detection.publish_owner(alice, alice.owned[state.coin_y], evil)
+        assert len(bob.alarms) == 1
+
+    def test_rollback_rejected_on_both(self, net):
+        from repro.dht.binding_store import WriteRejected
+
+        alice = net.add_peer("alice", balance=10)
+        bob = net.add_peer("bob")
+        state = alice.purchase()
+        alice.issue("bob", state.coin_y)
+        bob.renew(state.coin_y)
+        stale = CoinBinding.build(
+            state.coin_keypair,
+            coin_y=state.coin_y,
+            holder_y=1,
+            seq=1,
+            exp_date=net.clock.now() + 1000,
+        )
+        with pytest.raises(WriteRejected):
+            net.detection.publish_owner(alice, alice.owned[state.coin_y], stale)
+
+
+def test_unknown_backend_rejected():
+    with pytest.raises(ValueError):
+        WhoPayNetwork(params=PARAMS_TEST_512, enable_detection=True, dht_backend="pastry")

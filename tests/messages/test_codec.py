@@ -1,0 +1,114 @@
+"""Canonical codec tests, including hypothesis round-trips."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.messages.codec import CodecError, decode, encode
+
+# Strategy over the codec's value domain (recursive).
+codec_values = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(1 << 256), max_value=1 << 256)
+    | st.binary(max_size=64)
+    | st.text(max_size=32),
+    lambda children: st.lists(children, max_size=4).map(tuple)
+    | st.dictionaries(st.text(max_size=8), children, max_size=4),
+    max_leaves=12,
+)
+
+
+class TestRoundTrip:
+    @given(codec_values)
+    @settings(max_examples=300, deadline=None)
+    def test_roundtrip_property(self, value):
+        assert decode(encode(value)) == _normalize(value)
+
+    def test_scalars(self):
+        for value in (None, True, False, 0, -1, 1 << 200, -(1 << 200), b"", b"\x00", "", "héllo"):
+            assert decode(encode(value)) == value
+
+    def test_containers(self):
+        value = {"a": (1, 2, (3,)), "b": {"nested": b"bytes"}, "c": None}
+        assert decode(encode(value)) == value
+
+    def test_lists_decode_as_tuples(self):
+        assert decode(encode([1, 2])) == (1, 2)
+
+
+class TestDeterminism:
+    def test_dict_key_order_irrelevant(self):
+        a = encode({"x": 1, "y": 2})
+        b = encode({"y": 2, "x": 1})
+        assert a == b
+
+    def test_bool_and_int_distinct(self):
+        assert encode(True) != encode(1)
+        assert encode(False) != encode(0)
+
+    def test_distinct_values_distinct_encodings(self):
+        samples = [None, True, False, 0, 1, -1, b"", b"\x00", "", "0", (0,), {}, {"": 0}]
+        encodings = [encode(v) for v in samples]
+        assert len(set(encodings)) == len(encodings)
+
+    def test_framing_injective(self):
+        # Concatenation attacks: (b"ab",) vs (b"a", b"b") must differ.
+        assert encode((b"ab",)) != encode((b"a", b"b"))
+
+
+class TestErrors:
+    def test_unencodable_type(self):
+        with pytest.raises(CodecError):
+            encode(3.14)
+        with pytest.raises(CodecError):
+            encode({1: "non-string key"})
+        with pytest.raises(CodecError):
+            encode(object())
+
+    def test_bad_magic(self):
+        with pytest.raises(CodecError):
+            decode(b"\x02i+\x00")
+
+    def test_truncated(self):
+        data = encode({"k": b"value"})
+        with pytest.raises(CodecError):
+            decode(data[:-3])
+
+    def test_trailing_garbage(self):
+        with pytest.raises(CodecError):
+            decode(encode(1) + b"x")
+
+    def test_unknown_tag(self):
+        with pytest.raises(CodecError):
+            decode(b"\x01z")
+
+    def test_non_canonical_dict_order_rejected(self):
+        # Hand-craft a dict with keys out of order; decode must refuse,
+        # otherwise two encodings of the same value would both be "valid".
+        good = encode({"a": 1, "b": 2})
+        swapped = bytearray(good)
+        ia, ib = good.index(b"a", 2), good.index(b"b", 2)
+        swapped[ia], swapped[ib] = swapped[ib], swapped[ia]
+        with pytest.raises(CodecError):
+            decode(bytes(swapped))
+
+    def test_invalid_utf8_rejected(self):
+        raw = b"\x01s" + (1).to_bytes(8, "big") + b"\xff"
+        with pytest.raises(CodecError):
+            decode(raw)
+
+    def test_empty_input(self):
+        with pytest.raises(CodecError):
+            decode(b"")
+
+
+def _normalize(value):
+    """Lists become tuples on decode; normalize expectations accordingly."""
+    if isinstance(value, list):
+        return tuple(_normalize(v) for v in value)
+    if isinstance(value, tuple):
+        return tuple(_normalize(v) for v in value)
+    if isinstance(value, dict):
+        return {k: _normalize(v) for k, v in value.items()}
+    return value

@@ -1,0 +1,50 @@
+"""Direct Node base-class tests."""
+
+import pytest
+
+from repro.net.node import Node
+from repro.net.transport import NetworkError, Transport
+
+
+class TestNode:
+    def test_registers_on_construction(self):
+        transport = Transport()
+        node = Node(transport, "n1")
+        assert transport.node("n1") is node
+        assert node.online
+
+    def test_lifecycle_toggles(self):
+        transport = Transport()
+        node = Node(transport, "n1")
+        node.go_offline()
+        assert not node.online and not transport.is_online("n1")
+        node.go_online()
+        assert node.online
+
+    def test_request_convenience(self):
+        transport = Transport()
+        a = Node(transport, "a")
+        b = Node(transport, "b")
+        b.on("double", lambda src, x: x * 2)
+        assert a.request("b", "double", 21) == 42
+        assert transport.counter("a").messages_sent == 1
+
+    def test_dispatch_unknown_kind(self):
+        transport = Transport()
+        a = Node(transport, "a")
+        with pytest.raises(NetworkError, match="no handler"):
+            a.handle("nope", "x", None)
+
+    def test_handler_receives_source(self):
+        transport = Transport()
+        a = Node(transport, "a")
+        b = Node(transport, "b")
+        b.on("who", lambda src, _p: src)
+        assert a.request("b", "who", None) == "a"
+
+    def test_self_request_allowed(self):
+        # Protocol code relies on this (owner renewing its own held coin).
+        transport = Transport()
+        a = Node(transport, "a")
+        a.on("ping", lambda src, p: ("pong", src))
+        assert a.request("a", "ping", None) == ("pong", "a")

@@ -1,0 +1,116 @@
+"""Transport tests: delivery, failure modes, traffic accounting."""
+
+import pytest
+
+from repro.net.node import Node
+from repro.net.transport import NetworkError, NodeOffline, Transport, UnknownNode
+
+
+def make_echo(transport, address):
+    node = Node(transport, address)
+    node.on("echo", lambda src, payload: {"from": src, "payload": payload})
+    return node
+
+
+class TestDelivery:
+    def test_request_response(self):
+        t = Transport()
+        make_echo(t, "a")
+        make_echo(t, "b")
+        response = t.request("a", "b", "echo", 42)
+        assert response == {"from": "a", "payload": 42}
+
+    def test_unknown_destination(self):
+        t = Transport()
+        make_echo(t, "a")
+        with pytest.raises(UnknownNode):
+            t.request("a", "ghost", "echo", None)
+
+    def test_offline_destination(self):
+        t = Transport()
+        make_echo(t, "a")
+        b = make_echo(t, "b")
+        b.go_offline()
+        with pytest.raises(NodeOffline):
+            t.request("a", "b", "echo", None)
+        b.go_online()
+        assert t.request("a", "b", "echo", 1)["payload"] == 1
+
+    def test_missing_handler(self):
+        t = Transport()
+        make_echo(t, "a")
+        make_echo(t, "b")
+        with pytest.raises(NetworkError):
+            t.request("a", "b", "nope", None)
+
+    def test_duplicate_address_rejected(self):
+        t = Transport()
+        make_echo(t, "a")
+        with pytest.raises(ValueError):
+            make_echo(t, "a")
+
+    def test_duplicate_handler_rejected(self):
+        t = Transport()
+        node = make_echo(t, "a")
+        with pytest.raises(ValueError):
+            node.on("echo", lambda s, p: None)
+
+    def test_handler_exception_propagates(self):
+        t = Transport()
+        node = Node(t, "x")
+        node.on("boom", lambda s, p: (_ for _ in ()).throw(RuntimeError("bang")))
+        make_echo(t, "caller")
+        with pytest.raises(RuntimeError):
+            t.request("caller", "x", "boom", None)
+
+
+class TestAccounting:
+    def test_message_counts(self):
+        t = Transport()
+        make_echo(t, "a")
+        make_echo(t, "b")
+        t.request("a", "b", "echo", "hi")
+        assert t.counter("a").messages_sent == 1
+        assert t.counter("a").messages_received == 1  # the response
+        assert t.counter("b").messages_sent == 1
+        assert t.counter("b").messages_received == 1
+        assert t.total_messages == 2  # request + response
+
+    def test_byte_counts_positive(self):
+        t = Transport()
+        make_echo(t, "a")
+        make_echo(t, "b")
+        t.request("a", "b", "echo", b"x" * 100)
+        assert t.counter("a").bytes_sent >= 100
+
+    def test_reset(self):
+        t = Transport()
+        make_echo(t, "a")
+        make_echo(t, "b")
+        t.request("a", "b", "echo", 1)
+        t.reset_counters()
+        assert t.total_messages == 0
+        assert t.counter("a").messages_sent == 0
+
+    def test_latency_accrual(self):
+        t = Transport(per_hop_latency=0.05)
+        make_echo(t, "a")
+        make_echo(t, "b")
+        t.request("a", "b", "echo", 1)
+        assert t.virtual_latency_accrued == pytest.approx(0.1)
+
+    def test_is_online(self):
+        t = Transport()
+        node = make_echo(t, "a")
+        assert t.is_online("a")
+        node.go_offline()
+        assert not t.is_online("a")
+        assert not t.is_online("missing")
+
+    def test_addresses_listing(self):
+        t = Transport()
+        make_echo(t, "a")
+        make_echo(t, "b")
+        assert t.addresses() == ["a", "b"]
+        t.unregister("a")
+        assert t.addresses() == ["b"]

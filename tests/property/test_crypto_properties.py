@@ -1,0 +1,112 @@
+"""Property-based tests over the crypto substrate (hypothesis)."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.dsa import dsa_sign, dsa_verify
+from repro.crypto.group_signature import GroupManager, group_sign, group_verify
+from repro.crypto.keys import KeyPair
+from repro.crypto.params import PARAMS_TEST_512
+from repro.crypto.schnorr import schnorr_prove, schnorr_verify
+from repro.messages.codec import encode
+from repro.messages.envelope import group_seal, seal
+
+P = PARAMS_TEST_512
+
+# Deterministic keys so hypothesis shrinks stay meaningful and fast.
+exponents = st.integers(min_value=1, max_value=int(P.q) - 1)
+
+
+class TestDsaProperties:
+    @given(exponents, st.binary(max_size=100))
+    @settings(max_examples=40, deadline=None)
+    def test_sign_verify_roundtrip(self, x, message):
+        keypair = KeyPair.from_secret(P, x)
+        assert dsa_verify(keypair.public, message, dsa_sign(keypair, message))
+
+    @given(exponents, st.binary(max_size=60), st.binary(max_size=60))
+    @settings(max_examples=40, deadline=None)
+    def test_cross_message_rejection(self, x, m1, m2):
+        if m1 == m2:
+            return
+        keypair = KeyPair.from_secret(P, x)
+        assert not dsa_verify(keypair.public, m2, dsa_sign(keypair, m1))
+
+    @given(exponents, exponents, st.binary(max_size=60))
+    @settings(max_examples=30, deadline=None)
+    def test_cross_key_rejection(self, x1, x2, message):
+        if x1 == x2:
+            return
+        a = KeyPair.from_secret(P, x1)
+        b = KeyPair.from_secret(P, x2)
+        assert not dsa_verify(b.public, message, dsa_sign(a, message))
+
+
+class TestSchnorrProperties:
+    @given(exponents, st.binary(max_size=60))
+    @settings(max_examples=40, deadline=None)
+    def test_prove_verify_roundtrip(self, x, context):
+        keypair = KeyPair.from_secret(P, x)
+        assert schnorr_verify(keypair.public, schnorr_prove(keypair, context), context)
+
+    @given(exponents, st.binary(max_size=40), st.binary(max_size=40))
+    @settings(max_examples=30, deadline=None)
+    def test_context_binding(self, x, c1, c2):
+        if c1 == c2:
+            return
+        keypair = KeyPair.from_secret(P, x)
+        assert not schnorr_verify(keypair.public, schnorr_prove(keypair, c1), c2)
+
+
+class TestGroupSignatureProperties:
+    @given(
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=0, max_value=4),
+        st.binary(max_size=60),
+    )
+    @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_any_member_roundtrip_and_open(self, roster_size, signer_index, message):
+        signer_index %= roster_size
+        manager = GroupManager(P)
+        members = [manager.register(f"member-{i}") for i in range(roster_size)]
+        gpk = manager.public_key()
+        signature = group_sign(gpk, members[signer_index], message)
+        assert group_verify(gpk, message, signature)
+        assert manager.open(signature) == f"member-{signer_index}"
+
+
+class TestEnvelopeProperties:
+    payloads = st.recursive(
+        st.none() | st.booleans() | st.integers(min_value=-(1 << 64), max_value=1 << 64)
+        | st.binary(max_size=24) | st.text(max_size=16),
+        lambda children: st.lists(children, max_size=3).map(tuple)
+        | st.dictionaries(st.text(max_size=6), children, max_size=3),
+        max_leaves=8,
+    )
+
+    @given(exponents, payloads)
+    @settings(max_examples=40, deadline=None)
+    def test_signed_envelope_wire_roundtrip(self, x, payload):
+        from repro.core.protocol import decode_signed
+
+        keypair = KeyPair.from_secret(P, x)
+        message = seal(keypair, payload)
+        rebuilt = decode_signed(message.encode(), P)
+        assert rebuilt.verify()
+        assert rebuilt.payload_bytes == message.payload_bytes
+        assert rebuilt.signer.y == keypair.public.y
+
+    @given(exponents, payloads)
+    @settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_dual_envelope_wire_roundtrip(self, x, payload):
+        from repro.core.protocol import decode_dual, encode_dual
+
+        manager = GroupManager(P)
+        member = manager.register("m")
+        gpk = manager.public_key()
+        keypair = KeyPair.from_secret(P, x)
+        dual = group_seal(keypair, member, gpk, payload)
+        rebuilt = decode_dual(encode_dual(dual), P)
+        assert rebuilt.verify(gpk)
+        assert rebuilt.roster_version == 1
+        assert manager.open(rebuilt.group_signature) == "m"

@@ -1,0 +1,89 @@
+"""Fuzz-style robustness: malformed inputs must fail cleanly, never crash.
+
+Protocol endpoints face attacker-controlled bytes; every decoder and
+verifier must convert garbage into a typed error (or a False verdict),
+never an unhandled exception class or a hang.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import protocol
+from repro.core.errors import ProtocolError
+from repro.crypto.params import PARAMS_TEST_512
+from repro.messages.codec import CodecError, decode, encode
+
+P = PARAMS_TEST_512
+
+
+class TestCodecFuzz:
+    @given(st.binary(max_size=300))
+    @settings(max_examples=300, deadline=None)
+    def test_decode_never_crashes(self, data):
+        try:
+            value = decode(data)
+        except CodecError:
+            return
+        # If it decoded, it must re-encode to the same bytes (canonicity).
+        assert encode(value) == data
+
+    @given(st.binary(min_size=1, max_size=200), st.integers(min_value=0, max_value=199))
+    @settings(max_examples=200, deadline=None)
+    def test_bit_flips_never_crash(self, data, position):
+        blob = encode({"k": data})
+        mutated = bytearray(blob)
+        mutated[position % len(blob)] ^= 0xFF
+        try:
+            decode(bytes(mutated))
+        except CodecError:
+            pass  # the only acceptable failure mode
+
+
+class TestEnvelopeFuzz:
+    @given(st.binary(max_size=200))
+    @settings(max_examples=100, deadline=None)
+    def test_decode_signed_fails_typed(self, data):
+        with pytest.raises((CodecError, KeyError, TypeError, ValueError)):
+            message = protocol.decode_signed(data, P)
+            # Decoding random bytes into a valid envelope is effectively
+            # impossible; if it ever happens, it must at least not verify.
+            assert not message.verify()
+
+    @given(st.binary(max_size=200))
+    @settings(max_examples=100, deadline=None)
+    def test_decode_dual_fails_typed(self, data):
+        with pytest.raises((CodecError, KeyError, TypeError, ValueError)):
+            protocol.decode_dual(data, P)
+
+
+class TestBrokerEndpointFuzz:
+    @given(st.binary(max_size=150))
+    @settings(max_examples=25, deadline=None)
+    def test_purchase_endpoint_rejects_garbage(self, data):
+        from repro.core.network import WhoPayNetwork
+
+        net = WhoPayNetwork(params=P)
+        net.add_peer("alice", balance=5)
+        with pytest.raises(Exception) as exc_info:
+            net.transport.request("alice", "broker", protocol.PURCHASE, data)
+        # Typed protocol failure, not an arbitrary internal crash.
+        assert isinstance(
+            exc_info.value, (ProtocolError, CodecError, ValueError, KeyError, TypeError)
+        )
+        assert not net.broker.valid_coins  # nothing was minted
+
+    @given(st.binary(max_size=150))
+    @settings(max_examples=25, deadline=None)
+    def test_deposit_endpoint_rejects_garbage(self, data):
+        from repro.core.network import WhoPayNetwork
+
+        net = WhoPayNetwork(params=P)
+        net.add_peer("alice", balance=5)
+        before = net.broker.balance("alice")
+        with pytest.raises(Exception) as exc_info:
+            net.transport.request("alice", "broker", protocol.DEPOSIT, data)
+        assert isinstance(
+            exc_info.value, (ProtocolError, CodecError, ValueError, KeyError, TypeError)
+        )
+        assert net.broker.balance("alice") == before  # nothing credited

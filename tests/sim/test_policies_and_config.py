@@ -1,0 +1,92 @@
+"""Policy-definition and configuration-preset tests (Table 1)."""
+
+import pytest
+
+from repro.core.clock import DAY, HOUR
+from repro.sim import policies as pol
+from repro.sim.config import (
+    FULL_MU_SWEEP_HOURS,
+    FULL_SIZE_SWEEP,
+    SimConfig,
+    setup_a_configs,
+    setup_b_configs,
+)
+from repro.sim.policies import POLICY_I, POLICY_II_A, POLICY_II_B, POLICY_III, Policy, policy_by_name
+
+
+class TestPolicies:
+    def test_policy_i_order_matches_paper(self):
+        # Section 6.1's literal preference list for policy I.
+        assert POLICY_I.preferences == (
+            pol.TRANSFER_ONLINE,
+            pol.TRANSFER_OFFLINE,
+            pol.ISSUE_EXISTING,
+            pol.PURCHASE_ISSUE,
+        )
+
+    def test_policy_iii_order_matches_paper(self):
+        assert POLICY_III.preferences == (
+            pol.TRANSFER_ONLINE,
+            pol.ISSUE_EXISTING,
+            pol.PURCHASE_ISSUE,
+            pol.DEPOSIT_PURCHASE_ISSUE,
+        )
+
+    def test_all_policies_start_with_transfer_online(self):
+        for policy in (POLICY_I, POLICY_II_A, POLICY_II_B, POLICY_III):
+            assert policy.preferences[0] == pol.TRANSFER_ONLINE
+
+    def test_lookup_by_name(self):
+        assert policy_by_name("I") is POLICY_I
+        assert policy_by_name("II.a") is POLICY_II_A
+        with pytest.raises(ValueError):
+            policy_by_name("IV")
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            Policy(name="bad", preferences=("barter",), description="")
+
+
+class TestTable1Presets:
+    def test_setup_a_defaults_match_table1(self):
+        configs = setup_a_configs()
+        assert len(configs) == len(FULL_MU_SWEEP_HOURS)
+        for config, mu in zip(configs, FULL_MU_SWEEP_HOURS):
+            assert config.n_peers == 1000
+            assert config.duration == 10 * DAY
+            assert config.renewal_period == 3 * DAY
+            assert config.mean_online == mu * HOUR
+            assert config.mean_offline == 2 * HOUR  # median downtime
+            assert config.payment_interval == 5 * 60
+
+    def test_setup_a_downtime_families(self):
+        # Table 1: ν ∈ {1, 2, 4} hours.
+        for nu in (1.0, 2.0, 4.0):
+            configs = setup_a_configs(mean_offline_hours=nu)
+            assert all(c.mean_offline == nu * HOUR for c in configs)
+
+    def test_setup_a_mu_span_matches_table1(self):
+        # "µ from 15 mins to 32 hrs".
+        assert FULL_MU_SWEEP_HOURS[0] == 0.25
+        assert FULL_MU_SWEEP_HOURS[-1] == 32.0
+
+    def test_setup_b_matches_table1(self):
+        configs = setup_b_configs()
+        assert [c.n_peers for c in configs] == list(FULL_SIZE_SWEEP)
+        assert FULL_SIZE_SWEEP[0] == 100 and FULL_SIZE_SWEEP[-1] == 1000
+        for config in configs:
+            assert config.mean_online == config.mean_offline == 2 * HOUR
+            assert config.availability == pytest.approx(0.5)
+
+    def test_small_presets_preserve_ratios(self):
+        full = setup_a_configs()[0]
+        small = setup_a_configs(small=True)[0]
+        assert small.n_peers < full.n_peers
+        assert small.duration / small.renewal_period == pytest.approx(
+            full.duration / full.renewal_period
+        )
+        assert small.payment_interval == full.payment_interval
+
+    def test_policy_and_sync_propagate(self):
+        configs = setup_a_configs(policy=POLICY_III, sync_mode="lazy")
+        assert all(c.policy is POLICY_III and c.sync_mode == "lazy" for c in configs)
