@@ -31,6 +31,10 @@ from repro.sim.policies import policy_by_name
 from repro.sim.runner import run_availability_sweep, run_scaling_sweep
 
 FULL_SCALE = os.environ.get("WHOPAY_FULL", "") == "1"
+#: Opt-in process-pool fan-out of sweep points (``WHOPAY_PARALLEL=1``).
+#: Rows are bit-identical to the sequential runner's (each point carries its
+#: own seed); only wall-clock changes, so cached artifacts stay comparable.
+PARALLEL = os.environ.get("WHOPAY_PARALLEL", "") == "1"
 OUT_DIR = Path(__file__).parent / "out"
 
 
@@ -38,7 +42,7 @@ OUT_DIR = Path(__file__).parent / "out"
 def availability_sweep(policy_name: str, sync_mode: str) -> tuple:
     """Cached Setup-A sweep for one configuration."""
     rows = run_availability_sweep(
-        policy_by_name(policy_name), sync_mode, small=not FULL_SCALE
+        policy_by_name(policy_name), sync_mode, small=not FULL_SCALE, parallel=PARALLEL
     )
     return tuple(tuple(sorted(row.items())) for row in rows)
 
@@ -46,7 +50,9 @@ def availability_sweep(policy_name: str, sync_mode: str) -> tuple:
 @lru_cache(maxsize=None)
 def scaling_sweep(policy_name: str, sync_mode: str) -> tuple:
     """Cached Setup-B sweep for one configuration."""
-    rows = run_scaling_sweep(policy_by_name(policy_name), sync_mode, small=not FULL_SCALE)
+    rows = run_scaling_sweep(
+        policy_by_name(policy_name), sync_mode, small=not FULL_SCALE, parallel=PARALLEL
+    )
     return tuple(tuple(sorted(row.items())) for row in rows)
 
 

@@ -3,19 +3,42 @@
 Not a paper artifact — engineering instrumentation for the library itself.
 Runs at the 512-bit test size so the whole suite stays fast; Table 2's bench
 covers the paper-size 1024-bit DSA numbers.
+
+Two entry points:
+
+* ``pytest benchmarks/bench_crypto_ops.py --benchmark-only`` — pytest-benchmark
+  timings for each primitive (including the roster-16 group operations and
+  the batch verifier).
+* ``python benchmarks/bench_crypto_ops.py [--quick]`` — compares the
+  accelerated hot paths (fixed-base tables, multi-exp, batch verification;
+  see DESIGN.md §1.1) against in-file replicas of the pre-acceleration
+  implementations and writes machine-readable speedups to
+  ``benchmarks/out/BENCH_crypto.json``.  ``--quick`` restricts to the
+  512-bit group with fewer repetitions (the CI smoke configuration).
 """
+
+import json
+import statistics
+import time
 
 import pytest
 
-from repro.crypto.dsa import dsa_generate, dsa_sign, dsa_verify
+from _common import OUT_DIR
+
+from repro.crypto import fastexp, primitives
+from repro.crypto.dsa import dsa_batch_verify, dsa_generate, dsa_sign, dsa_verify
 from repro.crypto.elgamal import elgamal_decrypt, elgamal_encrypt, elgamal_generate
-from repro.crypto.group_signature import GroupManager, group_sign, group_verify
+from repro.crypto.group_signature import GroupManager, _challenge_hash, group_sign, group_verify
 from repro.crypto.hashchain import HashChain, verify_chain_link
-from repro.crypto.params import PARAMS_TEST_512
-from repro.crypto.schnorr import schnorr_prove, schnorr_verify
+from repro.crypto.params import PARAMS_1024_160, PARAMS_TEST_512
+from repro.crypto.schnorr import schnorr_batch_verify, schnorr_prove, schnorr_verify
 from repro.crypto.shamir import combine_shares, split_secret
 
 P = PARAMS_TEST_512
+
+#: Batch size for the batch-verification benches (a plausible sync/deposit
+#: burst at the broker).
+BATCH = 32
 
 
 @pytest.fixture(scope="module")
@@ -27,6 +50,13 @@ def keypair():
 def group():
     manager = GroupManager(P)
     members = [manager.register(f"m{i}") for i in range(8)]
+    return manager, members, manager.public_key()
+
+
+@pytest.fixture(scope="module")
+def group16():
+    manager = GroupManager(P)
+    members = [manager.register(f"m{i}") for i in range(16)]
     return manager, members, manager.public_key()
 
 
@@ -43,6 +73,14 @@ def test_bench_dsa_verify(benchmark, keypair):
     assert benchmark(dsa_verify, keypair.public, b"message", signature)
 
 
+def test_bench_dsa_batch_verify(benchmark, keypair):
+    items = [
+        (keypair.public, msg, dsa_sign(keypair, msg))
+        for msg in (b"message-%d" % i for i in range(BATCH))
+    ]
+    assert benchmark(dsa_batch_verify, items)
+
+
 def test_bench_schnorr_prove(benchmark, keypair):
     benchmark(schnorr_prove, keypair, b"context")
 
@@ -50,6 +88,14 @@ def test_bench_schnorr_prove(benchmark, keypair):
 def test_bench_schnorr_verify(benchmark, keypair):
     proof = schnorr_prove(keypair, b"context")
     assert benchmark(schnorr_verify, keypair.public, proof, b"context")
+
+
+def test_bench_schnorr_batch_verify(benchmark, keypair):
+    items = [
+        (keypair.public, schnorr_prove(keypair, ctx), ctx)
+        for ctx in (b"context-%d" % i for i in range(BATCH))
+    ]
+    assert benchmark(schnorr_batch_verify, items)
 
 
 def test_bench_elgamal_roundtrip(benchmark):
@@ -69,6 +115,17 @@ def test_bench_group_sign(benchmark, group):
 
 def test_bench_group_verify(benchmark, group):
     _manager, members, gpk = group
+    signature = group_sign(gpk, members[0], b"message")
+    assert benchmark(group_verify, gpk, b"message", signature)
+
+
+def test_bench_group_sign_roster16(benchmark, group16):
+    _manager, members, gpk = group16
+    benchmark(group_sign, gpk, members[0], b"message")
+
+
+def test_bench_group_verify_roster16(benchmark, group16):
+    _manager, members, gpk = group16
     signature = group_sign(gpk, members[0], b"message")
     assert benchmark(group_verify, gpk, b"message", signature)
 
@@ -95,3 +152,177 @@ def test_bench_hashchain_verify(benchmark):
     chain = HashChain(100)
     index, link = chain.pay(50)
     assert benchmark(verify_chain_link, chain.anchor, index, link)
+
+
+# ---------------------------------------------------------------------------
+# Accelerated vs pre-acceleration baselines (``__main__`` mode)
+# ---------------------------------------------------------------------------
+#
+# The baselines below are line-for-line replicas of the implementations this
+# repo shipped before the fastexp layer landed: plain ``pow`` everywhere, a
+# full subgroup check per verification, and per-clause modular inversions in
+# the group verifier.  They exist only to measure the acceleration honestly
+# against the real before-state, not an artificial strawman.
+
+
+def baseline_dsa_verify(public, message, signature) -> bool:
+    """Pre-acceleration ``dsa_verify``: naked pows, uncached subgroup check."""
+    params = public.params
+    r, s = signature.r, signature.s
+    if not (0 < r < params.q and 0 < s < params.q):
+        return False
+    if not (0 < public.y < params.p and pow(public.y, params.q, params.p) == 1):
+        return False
+    digest = primitives.hash_to_int(message, modulus=params.q)
+    w = primitives.modinv(s, params.q)
+    u1 = (digest * w) % params.q
+    u2 = (r * w) % params.q
+    v = (pow(params.g, u1, params.p) * pow(public.y, u2, params.p)) % params.p % params.q
+    return v == r
+
+
+def baseline_group_verify(gpk, message, signature) -> bool:
+    """Pre-acceleration ``group_verify``: per-clause pows and inversions."""
+    params = gpk.params
+    p, q, g = params.p, params.q, params.g
+    y = gpk.opening_key.y
+    n = len(gpk.roster)
+    if not (len(signature.challenges) == len(signature.responses_r) == len(signature.responses_x) == n):
+        return False
+    c1, c2 = signature.ciphertext.c1, signature.ciphertext.c2
+    if not (0 < c1 < p and 0 < c2 < p):
+        return False
+    c1_inv = primitives.modinv(c1, p)
+    c2_inv = primitives.modinv(c2, p)
+    commitments = []
+    for j, h_j in enumerate(gpk.roster):
+        c_j = signature.challenges[j]
+        s_r = signature.responses_r[j]
+        s_x = signature.responses_x[j]
+        if not (0 <= c_j < q and 0 <= s_r < q and 0 <= s_x < q):
+            return False
+        ratio_inv = (h_j * c2_inv) % p
+        t1 = (pow(g, s_r, p) * pow(c1_inv, c_j, p)) % p
+        t2 = (pow(y, s_r, p) * pow(ratio_inv, c_j, p)) % p
+        t3 = (pow(g, s_x, p) * pow(primitives.modinv(h_j, p), c_j, p)) % p
+        commitments.append((t1, t2, t3))
+    total = _challenge_hash(gpk, signature.ciphertext, commitments, message)
+    return sum(signature.challenges) % q == total
+
+
+def _time_us(fn, repeat: int) -> float:
+    """Median wall-clock time of ``fn()`` in microseconds."""
+    samples = []
+    for _ in range(repeat):
+        start = time.perf_counter()
+        fn()
+        samples.append((time.perf_counter() - start) * 1e6)
+    return statistics.median(samples)
+
+
+def _compare(name, baseline, accelerated, repeat, results) -> None:
+    """Time both implementations and record the speedup."""
+    assert baseline() and accelerated(), f"{name}: implementations disagree"
+    base_us = _time_us(baseline, repeat)
+    accel_us = _time_us(accelerated, repeat)
+    results[name] = {
+        "baseline_us": round(base_us, 2),
+        "accelerated_us": round(accel_us, 2),
+        "speedup": round(base_us / accel_us, 3) if accel_us else None,
+    }
+    print(f"  {name:<42} {base_us:>10.1f}us -> {accel_us:>8.1f}us   {base_us / accel_us:5.2f}x")
+
+
+def run_comparison(quick: bool = False) -> dict:
+    """Benchmark accelerated hot paths against the pre-acceleration replicas."""
+    fastexp.clear_caches()
+    param_sets = [("512_160", PARAMS_TEST_512)]
+    if not quick:
+        param_sets.append(("1024_160", PARAMS_1024_160))
+    repeat = 10 if quick else 30
+    report: dict = {"quick": quick, "repeat": repeat, "groups": {}}
+
+    for label, params in param_sets:
+        print(f"[{label}]")
+        results: dict = {}
+        keypair = dsa_generate(params)
+        message = b"bench message"
+        signature = dsa_sign(keypair, message)
+        # Warm the promotion cache the way steady-state protocol traffic
+        # would: the broker sees each signer key repeatedly.
+        for _ in range(fastexp.PROMOTE_AFTER + 1):
+            dsa_verify(keypair.public, message, signature)
+        _compare(
+            "dsa_verify",
+            lambda: baseline_dsa_verify(keypair.public, message, signature),
+            lambda: dsa_verify(keypair.public, message, signature),
+            repeat,
+            results,
+        )
+
+        items = [
+            (keypair.public, msg, dsa_sign(keypair, msg))
+            for msg in (b"batch-%d" % i for i in range(BATCH))
+        ]
+        _compare(
+            f"dsa_verify_batch{BATCH}",
+            lambda: all(baseline_dsa_verify(pk, m, sig) for pk, m, sig in items),
+            lambda: dsa_batch_verify(items),
+            max(3, repeat // 3),
+            results,
+        )
+
+        manager = GroupManager(params)
+        members = [manager.register(f"m{i}") for i in range(16)]
+        gpk = manager.public_key()
+        gsig = group_sign(gpk, members[0], message)
+        group_verify(gpk, message, gsig)  # warm roster/opening tables
+        _compare(
+            "group_verify_roster16",
+            lambda: baseline_group_verify(gpk, message, gsig),
+            lambda: group_verify(gpk, message, gsig),
+            max(3, repeat // 3),
+            results,
+        )
+        report["groups"][label] = results
+
+    return report
+
+
+def main() -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="CI smoke: 512-bit group only, fewer reps"
+    )
+    parser.add_argument(
+        "--out", default=str(OUT_DIR / "BENCH_crypto.json"), help="JSON report path"
+    )
+    args = parser.parse_args()
+
+    report = run_comparison(quick=args.quick)
+    OUT_DIR.mkdir(exist_ok=True)
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2)
+    print(f"wrote {args.out}")
+
+    # Acceptance floors (ISSUE / DESIGN §1.1): 1.8x on DSA verification,
+    # 2x on group verification at roster 16.
+    ok = True
+    for label, results in report["groups"].items():
+        if results["dsa_verify"]["speedup"] < 1.8:
+            print(f"FAIL {label}: dsa_verify speedup {results['dsa_verify']['speedup']} < 1.8")
+            ok = False
+        if results["group_verify_roster16"]["speedup"] < 2.0:
+            print(
+                f"FAIL {label}: group_verify_roster16 speedup "
+                f"{results['group_verify_roster16']['speedup']} < 2.0"
+            )
+            ok = False
+    print("speedup floors met" if ok else "speedup floors NOT met")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -43,6 +43,11 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--sync", choices=("proactive", "lazy"), default="proactive")
     sweep.add_argument("--nu", type=float, default=2.0, help="mean offline hours (Setup A)")
     sweep.add_argument("--full", action="store_true", help="paper scale (1000 peers, 10 days)")
+    sweep.add_argument(
+        "--parallel",
+        action="store_true",
+        help="fan sweep points over a process pool (identical rows, less wall-clock)",
+    )
 
     single = sub.add_parser("run", help="run one simulation configuration")
     single.add_argument("--peers", type=int, default=150)
@@ -72,11 +77,15 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     policy = policy_by_name(args.policy)
     if args.setup == "A":
         rows = run_availability_sweep(
-            policy, args.sync, small=not args.full, mean_offline_hours=args.nu
+            policy,
+            args.sync,
+            small=not args.full,
+            mean_offline_hours=args.nu,
+            parallel=args.parallel,
         )
         x_label, x_values = "mu_hours", [r["mu_hours"] for r in rows]
     else:
-        rows = run_scaling_sweep(policy, args.sync, small=not args.full)
+        rows = run_scaling_sweep(policy, args.sync, small=not args.full, parallel=args.parallel)
         x_label, x_values = "n_peers", [r["n_peers"] for r in rows]
     print(format_series_table(
         x_label,

@@ -39,6 +39,7 @@ from repro.core.errors import (
     VerificationFailed,
 )
 from repro.core.judge import Judge
+from repro.crypto.dsa import DsaSignature, dsa_batch_verify
 from repro.crypto.keys import KeyPair, PublicKey
 from repro.crypto.params import DlogParams
 from repro.messages.envelope import DualSignedMessage
@@ -217,12 +218,20 @@ class Broker(Node):
                 "group signature predates the latest expulsion (revoked snapshot)"
             )
         gpk = self._gpk_at(envelope.roster_version)
-        if not envelope.verify(gpk):
+        if not envelope.verify_group(gpk):
             raise VerificationFailed("holder envelope signatures invalid")
+        # The request's DSA signatures (inner holder envelope, coin cert,
+        # proof binding) are collected here and checked together with one
+        # randomized batch verification at the end, after every structural
+        # check has picked its precise error.
+        dsa_batch: list[tuple[PublicKey, bytes, DsaSignature]] = [
+            (envelope.coin_signer, envelope.inner.payload_bytes, envelope.inner.signature)
+        ]
 
         coin = Coin(cert=protocol.decode_signed(operation.coin_cert, self.params))
-        if not coin.verify(self.public_key):
+        if coin.cert.signer.y != self.public_key.y or not coin.verify_unsigned():
             raise VerificationFailed("coin certificate invalid")
+        dsa_batch.append((coin.cert.signer, coin.cert.payload_bytes, coin.cert.signature))
         if coin.coin_y not in self.valid_coins:
             raise UnknownCoin(f"coin {coin.coin_y:#x} is not in circulation")
         if coin.coin_y in self.deposited:
@@ -248,8 +257,11 @@ class Broker(Node):
                 raise NotHolder("proof binding does not match broker state")
         else:
             coin_key = coin.coin_public_key(self.params)
-            if not proof.verify(coin_key, self.public_key):
+            if not proof.verify_unsigned(coin_key, self.public_key):
                 raise VerificationFailed("proof binding signature invalid")
+            dsa_batch.append(
+                (proof.signed.signer, proof.signed.payload_bytes, proof.signed.signature)
+            )
             if stored is not None and proof.seq < stored.seq:
                 raise NotHolder("proof binding is stale (older than broker state)")
         # Holdership: the inner envelope must be signed by the bound holder key.
@@ -257,6 +269,13 @@ class Broker(Node):
             raise NotHolder("request not signed with the bound holder key")
         if self.clock.now() > proof.exp_date:
             raise CoinExpired(f"coin {coin.coin_y:#x} expired")
+        if not dsa_batch_verify(dsa_batch):
+            # Re-check individually for a precise error message.
+            if not envelope.inner.verify():
+                raise VerificationFailed("holder envelope signatures invalid")
+            if not coin.cert.verify():
+                raise VerificationFailed("coin certificate invalid")
+            raise VerificationFailed("proof binding signature invalid")
         return operation, envelope, coin, proof
 
     def _record_downtime_binding(self, coin: Coin, binding: CoinBinding) -> None:

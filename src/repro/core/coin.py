@@ -102,12 +102,12 @@ class Coin:
         """The coin's public key as a verification key."""
         return PublicKey(params=params, y=self.coin_y)
 
-    def verify(self, broker_key: PublicKey) -> bool:
-        """Check the broker's signature and payload shape; pure predicate."""
-        if self.cert.signer.y != broker_key.y:
-            return False
-        if not self.cert.verify():
-            return False
+    def verify_unsigned(self) -> bool:
+        """Payload-shape check alone (no signature); pure predicate.
+
+        Used by callers that fold the certificate signature into a
+        randomized DSA batch with a request's other signatures.
+        """
         payload = self.payload
         return (
             isinstance(payload, dict)
@@ -116,6 +116,14 @@ class Coin:
             and isinstance(payload.get("value"), int)
             and payload["value"] > 0
         )
+
+    def verify(self, broker_key: PublicKey) -> bool:
+        """Check the broker's signature and payload shape; pure predicate."""
+        if self.cert.signer.y != broker_key.y:
+            return False
+        if not self.cert.verify():
+            return False
+        return self.verify_unsigned()
 
     def encode(self) -> bytes:
         """Canonical bytes (for nesting in other payloads)."""
@@ -178,12 +186,16 @@ class CoinBinding:
         """Expiry timestamp; the coin must be renewed before it."""
         return float(self.payload["exp_date"])
 
-    def verify(self, coin_key: PublicKey, broker_key: PublicKey) -> bool:
-        """Check the signature against the appropriate signer; pure predicate."""
+    def verify_unsigned(self, coin_key: PublicKey, broker_key: PublicKey) -> bool:
+        """Every check except the signature itself; pure predicate.
+
+        Split out so callers holding *many* bindings from the same signer
+        (the sync protocol) can do the structural checks per binding and
+        hand all the signatures to one randomized batch verification
+        (:func:`repro.crypto.dsa.dsa_batch_verify`).
+        """
         expected = broker_key if self.via_broker else coin_key
         if self.signed.signer.y != expected.y:
-            return False
-        if not self.signed.verify():
             return False
         payload = self.payload
         return (
@@ -193,6 +205,10 @@ class CoinBinding:
             and isinstance(payload.get("holder_y"), int)
             and isinstance(payload.get("seq"), int)
         )
+
+    def verify(self, coin_key: PublicKey, broker_key: PublicKey) -> bool:
+        """Check the signature against the appropriate signer; pure predicate."""
+        return self.verify_unsigned(coin_key, broker_key) and self.signed.verify()
 
     def encode(self) -> bytes:
         """Canonical bytes."""

@@ -55,6 +55,7 @@ class DetectionService:
             sig_r=signed.signature.r,
             sig_s=signed.signature.s,
             via_broker=binding.via_broker,
+            sig_c=signed.signature.commit,
         )
 
     def publish_owner(self, peer: "Peer", state: OwnedCoinState, binding: CoinBinding) -> None:
@@ -95,7 +96,7 @@ class DetectionService:
         signed = SignedMessage(
             payload_bytes=record.payload,
             signer=PublicKey(params=self.params, y=record.signer_y),
-            signature=DsaSignature(r=record.sig_r, s=record.sig_s),
+            signature=DsaSignature(r=record.sig_r, s=record.sig_s, commit=record.sig_c),
         )
         return CoinBinding(signed=signed, via_broker=record.via_broker)
 

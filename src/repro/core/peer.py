@@ -38,6 +38,7 @@ from repro.core.errors import (
     VerificationFailed,
 )
 from repro.core.judge import Judge
+from repro.crypto.dsa import dsa_batch_verify
 from repro.crypto.group_signature import GroupMemberKey
 from repro.crypto.keys import KeyPair, PublicKey
 from repro.crypto.params import DlogParams
@@ -226,12 +227,18 @@ class Peer(Node):
                 state.dirty = True
 
     def sync_with_broker(self) -> int:
-        """Proactive synchronization; returns how many bindings were updated."""
+        """Proactive synchronization; returns how many bindings were updated.
+
+        Every returned binding is signed by the same key (the broker's), so
+        the signatures are checked with one randomized batch verification;
+        only a failing batch falls back to per-binding checks to surface the
+        precise offender.
+        """
         nonce = self.request(self.broker_address, protocol.SYNC_CHALLENGE, None)
         signed = seal(self.identity, {"kind": "whopay.sync", "nonce": nonce})
         updates = self.request(self.broker_address, protocol.SYNC, signed.encode())
         self.counts.syncs += 1
-        applied = 0
+        accepted: list[tuple[OwnedCoinState, CoinBinding]] = []
         for coin_y, binding_bytes in updates:
             state = self.owned.get(coin_y)
             if state is None:
@@ -239,8 +246,20 @@ class Peer(Node):
             binding = CoinBinding(
                 signed=protocol.decode_signed(binding_bytes, self.params), via_broker=True
             )
-            if not binding.verify(state.coin_keypair.public, self.broker_key):
+            if not binding.verify_unsigned(state.coin_keypair.public, self.broker_key):
                 raise VerificationFailed("broker sync returned an invalid binding")
+            accepted.append((state, binding))
+        batch = [
+            (binding.signed.signer, binding.signed.payload_bytes, binding.signed.signature)
+            for _, binding in accepted
+        ]
+        if not dsa_batch_verify(batch):
+            for _, binding in accepted:
+                if not binding.signed.verify():
+                    raise VerificationFailed("broker sync returned an invalid binding")
+            raise VerificationFailed("broker sync batch verification failed")
+        applied = 0
+        for state, binding in accepted:
             if state.binding is None or binding.seq > state.binding.seq:
                 state.binding = binding
                 applied += 1

@@ -66,7 +66,11 @@ def decode_signed(data: bytes, params: DlogParams) -> SignedMessage:
     return SignedMessage(
         payload_bytes=fields["payload"],
         signer=PublicKey(params=params, y=fields["signer_y"]),
-        signature=DsaSignature(r=fields["sig_r"], s=fields["sig_s"]),
+        # ``sig_c`` (the batch-verification hint) is optional: envelopes
+        # sealed by older peers simply verify one at a time.
+        signature=DsaSignature(
+            r=fields["sig_r"], s=fields["sig_s"], commit=fields.get("sig_c")
+        ),
     )
 
 

@@ -14,7 +14,16 @@ code: it has not been audited, makes no side-channel guarantees, and must not
 be used to protect real value.
 """
 
-from repro.crypto.dsa import DsaKeyPair, DsaSignature, dsa_generate, dsa_sign, dsa_verify
+from repro.crypto import fastexp
+from repro.crypto.dsa import (
+    DsaKeyPair,
+    DsaSignature,
+    dsa_batch_verify,
+    dsa_digest,
+    dsa_generate,
+    dsa_sign,
+    dsa_verify,
+)
 from repro.crypto.elgamal import ElGamalCiphertext, ElGamalKeyPair, elgamal_decrypt, elgamal_encrypt, elgamal_generate
 from repro.crypto.group_signature import (
     GroupManager,
@@ -27,7 +36,7 @@ from repro.crypto.group_signature import (
 from repro.crypto.hashchain import HashChain, verify_chain_link
 from repro.crypto.keys import KeyPair, PublicKey, fingerprint
 from repro.crypto.params import DlogParams, PARAMS_1024_160, PARAMS_2048_256, PARAMS_TEST_512, default_params
-from repro.crypto.schnorr import SchnorrProof, schnorr_prove, schnorr_verify
+from repro.crypto.schnorr import SchnorrProof, schnorr_batch_verify, schnorr_prove, schnorr_verify
 from repro.crypto.shamir import combine_shares, split_secret
 
 __all__ = [
@@ -36,8 +45,11 @@ __all__ = [
     "PARAMS_2048_256",
     "PARAMS_TEST_512",
     "default_params",
+    "fastexp",
     "DsaKeyPair",
     "DsaSignature",
+    "dsa_batch_verify",
+    "dsa_digest",
     "dsa_generate",
     "dsa_sign",
     "dsa_verify",
@@ -58,6 +70,7 @@ __all__ = [
     "PublicKey",
     "fingerprint",
     "SchnorrProof",
+    "schnorr_batch_verify",
     "schnorr_prove",
     "schnorr_verify",
     "split_secret",

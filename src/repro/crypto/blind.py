@@ -19,7 +19,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from repro.crypto import primitives
+from repro.crypto import fastexp, primitives
 from repro.crypto.rsa import RsaKeyPair, RsaPublicKey, hash_to_modulus, rsa_sign_raw, rsa_verify
 
 
@@ -38,7 +38,10 @@ def blind(public: RsaPublicKey, message: bytes) -> tuple[int, BlindingState]:
         r = primitives.rand_range(2, n - 1)
         if math.gcd(r, n) == 1:
             break
-    blinded = (hash_to_modulus(message, n) * pow(r, public.e, n)) % n
+    # fastexp defers to native pow for the one-shot base; the call is routed
+    # through the layer so blinding shares its instrumentation and any
+    # future residue caching with the rest of the substrate.
+    blinded = (hash_to_modulus(message, n) * fastexp.mod_pow(r, public.e, n)) % n
     return blinded, BlindingState(message=message, r=r)
 
 

@@ -8,29 +8,61 @@ Nonces are derived deterministically from the secret key and message (an
 RFC 6979 flavoured HMAC construction) so that signing is safe against nonce
 reuse and reproducible under test, while remaining indistinguishable from
 random-nonce DSA to verifiers.
+
+Performance engineering (DESIGN.md §1.1, "Performance engineering"):
+
+* Verification computes ``g**u1 * y**u2`` as one simultaneous
+  multi-exponentiation (:func:`repro.crypto.fastexp.multi_exp`); the
+  generator always hits its fixed-base table and recurrent signer keys are
+  auto-promoted to tables of their own.
+* Signatures carry an optional ``commit`` hint — the full ``R = g**k mod p``
+  whose reduction ``R mod q`` is ``r``.  Individual verification ignores it;
+  :func:`dsa_batch_verify` uses it to verify many signatures with one
+  randomized linear combination (small-exponent test à la Naccache et al.).
+* :func:`dsa_digest` exposes the per-message digest so callers that sign
+  *and* verify the same message (or verify in batches) hash it only once.
 """
 
 from __future__ import annotations
 
 import hashlib
 import hmac
+import secrets
 from dataclasses import dataclass
+from typing import Iterable, Sequence
 
-from repro.crypto import primitives
+from repro.crypto import fastexp, primitives
 from repro.crypto.keys import KeyPair, PublicKey
 from repro.crypto.params import DlogParams, default_params
+
+#: Bit width of the per-item randomizers in the batch small-exponent test.
+#: A forged batch member survives with probability ~2**-BATCH_RANDOMIZER_BITS.
+BATCH_RANDOMIZER_BITS = 64
 
 
 @dataclass(frozen=True)
 class DsaSignature:
-    """A DSA signature pair ``(r, s)``, both in ``[1, q)``."""
+    """A DSA signature pair ``(r, s)``, both in ``[1, q)``.
+
+    ``commit`` is the full nonce commitment ``R = g**k mod p`` (so that
+    ``r == R mod q``).  It is a *verification accelerator*, not part of the
+    signature's security: honest signers attach it, verifiers never trust it
+    beyond the randomized batch test, and individual verification ignores it
+    entirely.  Signatures without it (e.g. minted by an older peer) remain
+    fully valid — batch verification just falls back to per-signature
+    checking for them.
+    """
 
     r: int
     s: int
+    commit: int | None = None
 
     def encode(self) -> bytes:
         """Stable byte encoding (used when signatures are nested in messages)."""
-        return primitives.int_to_bytes(self.r) + b"|" + primitives.int_to_bytes(self.s)
+        parts = primitives.int_to_bytes(self.r) + b"|" + primitives.int_to_bytes(self.s)
+        if self.commit is not None:
+            parts += b"|" + primitives.int_to_bytes(self.commit)
+        return parts
 
 
 class DsaKeyPair(KeyPair):
@@ -42,32 +74,52 @@ def dsa_generate(params: DlogParams | None = None) -> KeyPair:
     return KeyPair.generate(params or default_params())
 
 
+def dsa_digest(params: DlogParams, message: bytes) -> int:
+    """The per-message digest both signing and verification consume.
+
+    Hoisted out so protocol code that signs and immediately verifies (or
+    batch-verifies) the same payload hashes it exactly once.
+    """
+    return primitives.hash_to_int(message, modulus=params.q)
+
+
 def _derive_nonce(params: DlogParams, x: int, digest: int) -> int:
     """Deterministic nonce in ``[1, q)`` from the key and message digest.
 
     A simplified RFC 6979: HMAC-SHA256 keyed by the secret exponent over the
-    message digest, extended in counter mode until a value below ``q`` is
-    found.  Distinct messages yield independent-looking nonces; the same
-    message always yields the same signature (handy for tests).
+    message digest, in counter mode.  Candidate nonces follow RFC 6979's
+    ``bits2int`` + retry-on-overflow rule: take the leftmost ``qlen`` bits of
+    the MAC output and *reject* (rather than reduce) candidates outside
+    ``[1, q)``.  A plain ``% q`` reduction is detectably biased once ``q``
+    approaches the MAC width — at 256-bit ``q`` (the 2048/256 group) roughly
+    half the nonce range would be twice as likely as the other half.
     """
     key = primitives.int_to_bytes(x).rjust(32, b"\x00")
     msg = primitives.int_to_bytes(digest).rjust(32, b"\x00")
+    qlen = params.q.bit_length()
+    shift = max(0, 256 - qlen)
     counter = 0
     while True:
         mac = hmac.new(key, msg + counter.to_bytes(4, "big"), hashlib.sha256).digest()
-        k = int.from_bytes(mac, "big") % params.q
-        if 0 < k:
+        k = int.from_bytes(mac, "big") >> shift
+        if 0 < k < params.q:
             return k
         counter += 1
 
 
-def dsa_sign(keypair: KeyPair, message: bytes) -> DsaSignature:
-    """Sign ``message`` (Table 2 row 2: "DSA signature generation")."""
+def dsa_sign(keypair: KeyPair, message: bytes, digest: int | None = None) -> DsaSignature:
+    """Sign ``message`` (Table 2 row 2: "DSA signature generation").
+
+    ``digest`` may be precomputed with :func:`dsa_digest`; otherwise it is
+    derived here.
+    """
     params = keypair.params
-    digest = primitives.hash_to_int(message, modulus=params.q)
+    if digest is None:
+        digest = dsa_digest(params, message)
     while True:
         k = _derive_nonce(params, keypair.x, digest)
-        r = pow(params.g, k, params.p) % params.q
+        commit = params.pow_g(k)
+        r = commit % params.q
         if r == 0:
             digest = (digest + 1) % params.q  # vanishingly unlikely; re-derive
             continue
@@ -76,14 +128,17 @@ def dsa_sign(keypair: KeyPair, message: bytes) -> DsaSignature:
         if s == 0:
             digest = (digest + 1) % params.q
             continue
-        return DsaSignature(r=r, s=s)
+        return DsaSignature(r=r, s=s, commit=commit)
 
 
-def dsa_verify(public: PublicKey, message: bytes, signature: DsaSignature) -> bool:
+def dsa_verify(
+    public: PublicKey, message: bytes, signature: DsaSignature, digest: int | None = None
+) -> bool:
     """Verify a signature (Table 2 row 3: "DSA signature verification").
 
     Returns ``False`` (never raises) on any malformed input, so protocol code
-    can treat verification as a pure predicate.
+    can treat verification as a pure predicate.  ``signature.commit`` plays
+    no role here — only the randomized batch test uses it.
     """
     params = public.params
     r, s = signature.r, signature.s
@@ -91,9 +146,93 @@ def dsa_verify(public: PublicKey, message: bytes, signature: DsaSignature) -> bo
         return False
     if not params.is_element(public.y):
         return False
-    digest = primitives.hash_to_int(message, modulus=params.q)
+    if digest is None:
+        digest = dsa_digest(params, message)
     w = primitives.modinv(s, params.q)
     u1 = (digest * w) % params.q
     u2 = (r * w) % params.q
-    v = (pow(params.g, u1, params.p) * pow(public.y, u2, params.p)) % params.p % params.q
-    return v == r
+    v = fastexp.multi_exp(((params.g, u1), (public.y, u2)), params.p, order=params.q)
+    return v % params.q == r
+
+
+def dsa_batch_verify(
+    items: Sequence[tuple[PublicKey, bytes, DsaSignature]],
+    digests: Iterable[int] | None = None,
+) -> bool:
+    """Verify many ``(public, message, signature)`` triples at once.
+
+    Randomized linear-combination ("small exponent") batch test: with
+    per-item random 64-bit multipliers ``l_i``, a single check
+
+        (prod R_i**l_i  /  (g**sum(l_i*u1_i) * prod y_i**(l_i*u2_i)))**cofactor == 1
+
+    replaces one double-exponentiation per signature.  Raising to the group
+    cofactor projects away any small-order component an adversary might
+    smuggle into a ``commit`` hint, so soundness rests only on the subgroup
+    components — a batch containing even one forged signature passes with
+    probability at most ~2**-64.  Signatures lacking ``commit`` (or with
+    ``commit mod q != r``) are verified individually, as are mixed-group
+    batches, so the function always agrees with per-item :func:`dsa_verify`
+    on honestly generated signatures.
+
+    Pure predicate: ``True`` iff *every* item verifies.  Callers needing to
+    identify the offender re-check individually after a ``False``.
+    """
+    items = list(items)
+    if not items:
+        return True
+    digest_list = list(digests) if digests is not None else [None] * len(items)
+    if len(digest_list) != len(items):
+        raise ValueError("digests, when given, must match items 1:1")
+
+    params = items[0][0].params
+    if any(public.params != params for public, _, _ in items):
+        return all(
+            dsa_verify(public, message, signature, digest=digest)
+            for (public, message, signature), digest in zip(items, digest_list)
+        )
+
+    p, q, g = params.p, params.q, params.g
+    leftover: list[int] = []  # indices that need individual verification
+    commit_product = 1
+    g_exponent = 0
+    y_exponents: dict[int, int] = {}  # signer y -> accumulated exponent mod q
+    for index, ((public, message, signature), digest) in enumerate(zip(items, digest_list)):
+        r, s, commit = signature.r, signature.s, signature.commit
+        if not (0 < r < q and 0 < s < q):
+            return False
+        if not params.is_element(public.y):
+            return False
+        if commit is None or not 0 < commit < p or commit % q != r:
+            # No (or inconsistent) hint: cannot join the combination.  An
+            # inconsistent hint on an otherwise valid signature must not
+            # reject it — the hint is untrusted metadata.
+            leftover.append(index)
+            continue
+        if digest is None:
+            digest = dsa_digest(params, message)
+        w = primitives.modinv(s, q)
+        u1 = (digest * w) % q
+        u2 = (r * w) % q
+        multiplier = secrets.randbits(BATCH_RANDOMIZER_BITS) | 1
+        commit_product = (commit_product * pow(commit, multiplier, p)) % p
+        g_exponent = (g_exponent + multiplier * u1) % q
+        y = public.y
+        y_exponents[y] = (y_exponents.get(y, 0) + multiplier * u2) % q
+
+    if y_exponents or g_exponent or commit_product != 1:
+        expected = fastexp.multi_exp(
+            [(g, g_exponent)] + list(y_exponents.items()), p, order=q
+        )
+        # Compare up to the cofactor subgroup: commit hints are adversarial,
+        # so their order-dividing-cofactor components must be projected away
+        # before the equality means anything.
+        ratio = (commit_product * primitives.modinv(expected, p)) % p
+        if pow(ratio, params.cofactor, p) != 1:
+            return False
+
+    for index in leftover:
+        public, message, signature = items[index]
+        if not dsa_verify(public, message, signature, digest=digest_list[index]):
+            return False
+    return True

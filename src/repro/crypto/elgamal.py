@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.crypto import primitives
+from repro.crypto import fastexp, primitives
 from repro.crypto.keys import KeyPair, PublicKey
 from repro.crypto.params import DlogParams, default_params
 
@@ -64,8 +64,10 @@ def elgamal_encrypt(public: PublicKey, element: int, nonce: int | None = None) -
     if not params.is_element(element):
         raise ValueError("ElGamal plaintext must be a subgroup element")
     r = params.random_exponent() if nonce is None else nonce
-    c1 = pow(params.g, r, params.p)
-    c2 = (element * pow(public.y, r, params.p)) % params.p
+    c1 = params.pow_g(r)
+    # The encryption key is long-lived (the judge's opening key outlives the
+    # whole system), so it auto-promotes to a fixed-base table.
+    c2 = (element * fastexp.mod_pow(public.y, r, params.p, order=params.q)) % params.p
     return ElGamalCiphertext(c1=c1, c2=c2)
 
 

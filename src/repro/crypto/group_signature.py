@@ -39,7 +39,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.crypto import primitives
+from repro.crypto import fastexp, primitives
 from repro.crypto.elgamal import ElGamalCiphertext, ElGamalKeyPair, elgamal_generate
 from repro.crypto.keys import KeyPair, PublicKey
 from repro.crypto.params import DlogParams, default_params
@@ -124,6 +124,11 @@ class GroupManager:
     def __init__(self, params: DlogParams | None = None) -> None:
         self.params = params or default_params()
         self._opening = elgamal_generate(self.params)
+        # The opening key is exponentiated in every clause of every signature
+        # for the lifetime of the group: precompute its fixed-base table now.
+        fastexp.precompute(
+            self._opening.public.y, self.params.p, self.params.q_bits, order=self.params.q
+        )
         self._registry: dict[int, str] = {}  # h -> identity
         # Snapshot history: version v is _snapshots[v].  Every registration
         # and every expulsion appends a snapshot, so old signatures remain
@@ -170,6 +175,8 @@ class GroupManager:
         member = KeyPair.generate(self.params)
         if member.public.y in self._registry:  # astronomically unlikely
             raise GroupSignatureError("membership key collision")
+        # Roster keys are exponentiated on every sign/verify from now on.
+        fastexp.precompute(member.public.y, self.params.p, self.params.q_bits, order=self.params.q)
         self._registry[member.public.y] = identity
         self._snapshots.append(self._snapshots[-1] + (member.public.y,))
         return GroupMemberKey(params=self.params, x=member.x, h=member.public.y)
@@ -237,12 +244,41 @@ def _challenge_hash(
     return primitives.hash_to_int(*parts, modulus=gpk.params.q)
 
 
+#: Build per-signature fixed-base tables for the ciphertext elements once
+#: the roster reaches this size (below it, table construction outweighs the
+#: lookups it saves).
+_EPHEMERAL_TABLE_MIN_ROSTER = 6
+
+
+def _ciphertext_tables(
+    params: DlogParams, c1: int, c2: int, n: int
+) -> dict[int, fastexp.FixedBaseTable]:
+    """Ephemeral fixed-base tables for ``c1``/``c2``, used ``n`` times each.
+
+    Every clause of the OR-proof exponentiates both ciphertext halves, so a
+    roster of ``n`` members amortizes the one-off table build ``n`` times.
+    """
+    if n < _EPHEMERAL_TABLE_MIN_ROSTER:
+        return {}
+    return {
+        base: fastexp.FixedBaseTable(
+            base, params.p, params.q_bits, window=fastexp.EPHEMERAL_WINDOW, order=params.q
+        )
+        for base in {c1, c2}
+    }
+
+
 def group_sign(gpk: GroupPublicKey, member: GroupMemberKey, message: bytes) -> GroupSignature:
     """Sign ``message`` anonymously on behalf of the group.
 
     The signer must appear in ``gpk.roster``; signing against a stale roster
     snapshot that predates the member's registration raises
     :class:`GroupSignatureError`.
+
+    All clause equations are computed inversion-free: every base here is an
+    order-``q`` element by construction, so ``base**-c == base**(q-c)`` and
+    each commitment becomes one simultaneous multi-exponentiation over
+    cached (``g``, ``y``, roster) and per-signature (``c1``, ``c2``) tables.
     """
     params = gpk.params
     p, q, g = params.p, params.q, params.g
@@ -253,8 +289,8 @@ def group_sign(gpk: GroupPublicKey, member: GroupMemberKey, message: bytes) -> G
 
     # ElGamal-encrypt the signer's membership key, keeping the nonce for the proof.
     r = params.random_exponent()
-    c1 = pow(g, r, p)
-    c2 = (member.h * pow(y, r, p)) % p
+    c1 = params.pow_g(r)
+    c2 = (member.h * fastexp.mod_pow(y, r, p, order=q)) % p
     ciphertext = ElGamalCiphertext(c1=c1, c2=c2)
 
     n = len(gpk.roster)
@@ -263,7 +299,7 @@ def group_sign(gpk: GroupPublicKey, member: GroupMemberKey, message: bytes) -> G
     responses_x: list[int] = [0] * n
     commitments: list[tuple[int, int, int]] = [(0, 0, 0)] * n
 
-    c1_inv = primitives.modinv(c1, p)
+    tables = _ciphertext_tables(params, c1, c2, n)
     # Simulate every non-signer clause with a random challenge.
     for j, h_j in enumerate(gpk.roster):
         if j == idx:
@@ -271,10 +307,12 @@ def group_sign(gpk: GroupPublicKey, member: GroupMemberKey, message: bytes) -> G
         c_j = primitives.randbelow(q)
         s_r = primitives.randbelow(q)
         s_x = primitives.randbelow(q)
-        ratio = (c2 * primitives.modinv(h_j, p)) % p  # c2 / h_j
-        t1 = (pow(g, s_r, p) * pow(c1_inv, c_j, p)) % p
-        t2 = (pow(y, s_r, p) * pow(primitives.modinv(ratio, p), c_j, p)) % p
-        t3 = (pow(g, s_x, p) * pow(primitives.modinv(h_j, p), c_j, p)) % p
+        # t1 = g**s_r * c1**-c_j ; t2 = y**s_r * (c2/h_j)**-c_j ; t3 = g**s_x * h_j**-c_j
+        t1 = fastexp.multi_exp(((g, s_r), (c1, q - c_j)), p, order=q, tables=tables)
+        t2 = fastexp.multi_exp(
+            ((y, s_r), (h_j, c_j), (c2, q - c_j)), p, order=q, tables=tables
+        )
+        t3 = fastexp.multi_exp(((g, s_x), (h_j, q - c_j)), p, order=q)
         challenges[j] = c_j
         responses_r[j] = s_r
         responses_x[j] = s_x
@@ -283,7 +321,11 @@ def group_sign(gpk: GroupPublicKey, member: GroupMemberKey, message: bytes) -> G
     # Honest commitment for the signer's clause.
     a = params.random_exponent()
     b = params.random_exponent()
-    commitments[idx] = (pow(g, a, p), pow(y, a, p), pow(g, b, p))
+    commitments[idx] = (
+        params.pow_g(a),
+        fastexp.mod_pow(y, a, p, order=q),
+        params.pow_g(b),
+    )
 
     total = _challenge_hash(gpk, ciphertext, commitments, message)
     c_idx = (total - sum(challenges)) % q
@@ -303,6 +345,13 @@ def group_verify(gpk: GroupPublicKey, message: bytes, signature: GroupSignature)
     """Verify a group signature against the roster in ``gpk``.
 
     Pure predicate: returns ``False`` on any malformed input.
+
+    Both ciphertext halves must be order-``q`` subgroup elements.  Honest
+    signers always produce such ciphertexts; the explicit check (absent from
+    the original verifier) rejects malformed ones outright *and* licenses
+    the inversion-free ``base**-c == base**(q-c)`` rewriting that turns
+    every clause into table lookups.  Roster keys and the opening key are
+    trusted verifier inputs (they come from the judge), exactly as before.
     """
     params = gpk.params
     p, q, g = params.p, params.q, params.g
@@ -311,15 +360,10 @@ def group_verify(gpk: GroupPublicKey, message: bytes, signature: GroupSignature)
     if not (len(signature.challenges) == len(signature.responses_r) == len(signature.responses_x) == n):
         return False
     c1, c2 = signature.ciphertext.c1, signature.ciphertext.c2
-    if not (0 < c1 < p and 0 < c2 < p):
+    if not (params.is_element(c1) and params.is_element(c2)):
         return False
 
-    try:
-        c1_inv = primitives.modinv(c1, p)
-        c2_inv = primitives.modinv(c2, p)
-    except ValueError:
-        return False
-
+    tables = _ciphertext_tables(params, c1, c2, n)
     commitments: list[tuple[int, int, int]] = []
     for j, h_j in enumerate(gpk.roster):
         c_j = signature.challenges[j]
@@ -327,10 +371,12 @@ def group_verify(gpk: GroupPublicKey, message: bytes, signature: GroupSignature)
         s_x = signature.responses_x[j]
         if not (0 <= c_j < q and 0 <= s_r < q and 0 <= s_x < q):
             return False
-        ratio_inv = (h_j * c2_inv) % p  # (c2 / h_j)^-1
-        t1 = (pow(g, s_r, p) * pow(c1_inv, c_j, p)) % p
-        t2 = (pow(y, s_r, p) * pow(ratio_inv, c_j, p)) % p
-        t3 = (pow(g, s_x, p) * pow(primitives.modinv(h_j, p), c_j, p)) % p
+        # t1 = g**s_r * c1**-c_j ; t2 = y**s_r * (c2/h_j)**-c_j ; t3 = g**s_x * h_j**-c_j
+        t1 = fastexp.multi_exp(((g, s_r), (c1, q - c_j)), p, order=q, tables=tables)
+        t2 = fastexp.multi_exp(
+            ((y, s_r), (h_j, c_j), (c2, q - c_j)), p, order=q, tables=tables
+        )
+        t3 = fastexp.multi_exp(((g, s_x), (h_j, q - c_j)), p, order=q)
         commitments.append((t1, t2, t3))
 
     total = _challenge_hash(gpk, signature.ciphertext, commitments, message)

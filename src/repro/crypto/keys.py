@@ -52,7 +52,7 @@ class KeyPair:
     def generate(cls, params: DlogParams) -> "KeyPair":
         """Mint a fresh key pair in ``params``."""
         x = params.random_exponent()
-        y = pow(params.g, x, params.p)
+        y = params.pow_g(x)
         return cls(params=params, x=x, public=PublicKey(params=params, y=y))
 
     @classmethod
@@ -60,7 +60,7 @@ class KeyPair:
         """Rebuild a key pair from a stored secret exponent."""
         if not 0 < x < params.q:
             raise ValueError("secret exponent out of range")
-        y = pow(params.g, x, params.p)
+        y = params.pow_g(x)
         return cls(params=params, x=x, public=PublicKey(params=params, y=y))
 
     def fingerprint(self) -> bytes:

@@ -8,6 +8,7 @@ hash-to-integer mapping used by Fiat–Shamir style constructions.
 from __future__ import annotations
 
 import hashlib
+import hmac
 import secrets
 
 # Small primes used to cheaply reject composites before Miller-Rabin.
@@ -131,6 +132,4 @@ def bytes_to_int(data: bytes) -> int:
 
 def constant_time_eq(a: bytes, b: bytes) -> bool:
     """Constant-time byte-string comparison (wraps :mod:`hmac`)."""
-    import hmac
-
     return hmac.compare_digest(a, b)

@@ -43,6 +43,19 @@ class RsaKeyPair:
     p: int
     q: int
 
+    def _sign_value(self, value: int) -> int:
+        """``value ** d mod n`` via the CRT (Garner) — ~3-4x a plain ``pow``.
+
+        Both half-size exponentiations use half-size exponents *and*
+        half-size moduli, which is where the speedup comes from; the mint's
+        blind-signing throughput rides on this.
+        """
+        p, q, n = self.p, self.q, self.public.n
+        mp = pow(value % p, self.d % (p - 1), p)
+        mq = pow(value % q, self.d % (q - 1), q)
+        h = (primitives.modinv(q % p, p) * (mp - mq)) % p
+        return (mq + q * h) % n
+
 
 def rsa_generate(bits: int = 1024) -> RsaKeyPair:
     """Generate an RSA key pair with a ``bits``-sized modulus.
@@ -75,7 +88,7 @@ def hash_to_modulus(message: bytes, n: int) -> int:
 
 def rsa_sign(keypair: RsaKeyPair, message: bytes) -> int:
     """FDH-RSA signature on ``message``."""
-    return pow(hash_to_modulus(message, keypair.public.n), keypair.d, keypair.public.n)
+    return keypair._sign_value(hash_to_modulus(message, keypair.public.n))
 
 
 def rsa_verify(public: RsaPublicKey, message: bytes, signature: int) -> bool:
@@ -96,4 +109,4 @@ def rsa_sign_raw(keypair: RsaKeyPair, value: int) -> int:
     """
     if not 0 < value < keypair.public.n:
         raise ValueError("value out of modulus range")
-    return pow(value, keypair.d, keypair.public.n)
+    return keypair._sign_value(value)

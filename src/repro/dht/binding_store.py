@@ -47,6 +47,10 @@ class BindingRecord:
     sig_r: int
     sig_s: int
     via_broker: bool
+    #: Optional batch-verification hint (``g**k mod p``); untrusted metadata,
+    #: but it must round-trip so a fetched binding stays byte-identical to
+    #: the one the owner handed out (the payee compares encodings).
+    sig_c: int | None = None
 
     def encode(self) -> bytes:
         """Canonical encoding (transport sizing, storage)."""
@@ -56,6 +60,7 @@ class BindingRecord:
                 "signer_y": self.signer_y,
                 "sig_r": self.sig_r,
                 "sig_s": self.sig_s,
+                "sig_c": self.sig_c,
                 "via_broker": self.via_broker,
             }
         )
@@ -70,6 +75,7 @@ class BindingRecord:
             sig_r=fields["sig_r"],
             sig_s=fields["sig_s"],
             via_broker=fields["via_broker"],
+            sig_c=fields.get("sig_c"),
         )
 
     def binding(self) -> dict[str, Any]:

@@ -43,13 +43,21 @@ class SignedMessage:
         return dsa_verify(self.signer, self.payload_bytes, self.signature)
 
     def encode(self) -> bytes:
-        """Canonical encoding of the whole envelope (for nesting/transport)."""
+        """Canonical encoding of the whole envelope (for nesting/transport).
+
+        ``sig_c`` is the signature's nonce-commitment hint (``g**k mod p``);
+        it travels with the envelope so downstream verifiers can use the
+        randomized batch test (:func:`repro.crypto.dsa.dsa_batch_verify`)
+        instead of per-envelope verification.  It is untrusted metadata:
+        dropping or corrupting it can never turn an invalid signature valid.
+        """
         return encode(
             {
                 "payload": self.payload_bytes,
                 "signer_y": self.signer.y,
                 "sig_r": self.signature.r,
                 "sig_s": self.signature.s,
+                "sig_c": self.signature.commit,
             }
         )
 
@@ -90,6 +98,15 @@ class DualSignedMessage:
         """Check both layers; pure predicate."""
         if not self.inner.verify():
             return False
+        return self.verify_group(gpk)
+
+    def verify_group(self, gpk: GroupPublicKey) -> bool:
+        """Check only the group-signature layer; pure predicate.
+
+        For callers (the broker) that fold the inner DSA signature into a
+        randomized batch (:func:`repro.crypto.dsa.dsa_batch_verify`) with
+        the other DSA signatures of the same request.
+        """
         return group_verify(gpk, self.inner.encode(), self.group_signature)
 
 

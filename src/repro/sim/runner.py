@@ -3,11 +3,21 @@
 Each function runs one family of simulations and returns a list of
 per-point result rows (plain dicts, ready for table printing or asserting);
 the figure benchmarks under ``benchmarks/`` are thin wrappers over these.
+
+Sweep points are independent simulations, so the drivers can fan them out
+over a process pool (:func:`run_sweep_parallel`).  Determinism is preserved:
+every point carries its own seed inside its :class:`SimConfig`, workers
+share no state, and results are returned in submission order — the parallel
+path produces bit-identical rows to the sequential one.
 """
 
 from __future__ import annotations
 
-from typing import Any
+import atexit
+import math
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Iterable, Sequence
 
 from repro.core.clock import HOUR
 from repro.sim.config import SimConfig, setup_a_configs, setup_b_configs
@@ -41,30 +51,128 @@ def run_one(config: SimConfig) -> dict[str, Any]:
     return row
 
 
-def run_replicated(config: SimConfig, seeds: tuple[int, ...]) -> dict[str, Any]:
+# -- process-pool plumbing ----------------------------------------------------
+#
+# One executor is created lazily and reused across sweeps (worker startup —
+# interpreter fork + module imports — would otherwise dominate short sweeps).
+# Simulations are CPU-bound pure Python, so processes, not threads.
+
+_executor: ProcessPoolExecutor | None = None
+_executor_workers: int = 0
+
+
+def default_workers() -> int:
+    """Worker count: ``WHOPAY_WORKERS`` env override, else the CPU count."""
+    env = os.environ.get("WHOPAY_WORKERS")
+    if env:
+        return max(1, int(env))
+    return os.cpu_count() or 1
+
+
+def _pool(max_workers: int) -> ProcessPoolExecutor:
+    """Return the shared executor, (re)building it if the size changed."""
+    global _executor, _executor_workers
+    if _executor is None or _executor_workers != max_workers:
+        if _executor is not None:
+            _executor.shutdown(wait=False, cancel_futures=True)
+        _executor = ProcessPoolExecutor(max_workers=max_workers)
+        _executor_workers = max_workers
+    return _executor
+
+
+def shutdown_pool() -> None:
+    """Tear down the shared executor (idempotent; registered at exit)."""
+    global _executor, _executor_workers
+    if _executor is not None:
+        _executor.shutdown(wait=False, cancel_futures=True)
+        _executor = None
+        _executor_workers = 0
+
+
+atexit.register(shutdown_pool)
+
+
+def run_sweep_parallel(
+    configs: Iterable[SimConfig],
+    max_workers: int | None = None,
+) -> list[dict[str, Any]]:
+    """Run independent sweep points on a process pool, preserving order.
+
+    Returns exactly what ``[run_one(c) for c in configs]`` would: each point
+    is seeded by its config and workers share no state, so rows are
+    bit-identical to the sequential runner's.  With one config (or one
+    worker available and one config) the pool is skipped entirely.
+    """
+    configs = list(configs)
+    if not configs:
+        return []
+    workers = min(max_workers or default_workers(), len(configs))
+    if workers <= 1 and len(configs) == 1:
+        return [run_one(configs[0])]
+    # ``map`` yields in submission order regardless of completion order.
+    return list(_pool(workers).map(run_one, configs))
+
+
+def _run_points(configs: Iterable[SimConfig], parallel: bool) -> list[dict[str, Any]]:
+    if parallel:
+        return run_sweep_parallel(configs)
+    return [run_one(config) for config in configs]
+
+
+# -- replication --------------------------------------------------------------
+
+
+def _spread(values: Sequence[float], mean: float) -> float | None:
+    """Relative spread (max − min)/|mean|, or the explicit degenerate cases.
+
+    * any non-finite value → ``None`` (spread is meaningless);
+    * all values equal → ``0.0`` (stable, even when the mean is zero);
+    * zero mean with unequal values → ``None`` (no scale to normalize by).
+    """
+    if any(not math.isfinite(v) for v in values):
+        return None
+    lo, hi = min(values), max(values)
+    if hi == lo:
+        return 0.0
+    if mean == 0 or not math.isfinite(mean):
+        return None
+    return (hi - lo) / abs(mean)
+
+
+def run_replicated(
+    config: SimConfig,
+    seeds: tuple[int, ...],
+    parallel: bool = False,
+) -> dict[str, Any]:
     """Run ``config`` under several seeds; report mean and spread per metric.
 
     Research hygiene for anything you intend to quote: a single-seed number
     carries simulation noise.  Returns the mean row plus, for each numeric
     column, a ``<column>_spread`` entry (max − min across seeds, as a
-    fraction of the mean) so callers can judge stability.
+    fraction of the mean; ``None`` when the column has no meaningful scale —
+    see :func:`_spread`) so callers can judge stability.  ``parallel`` fans
+    the seeds out over the shared sweep process pool.
     """
     if not seeds:
         raise ValueError("need at least one seed")
     from dataclasses import replace
 
-    rows = [run_one(replace(config, seed=seed)) for seed in seeds]
+    rows = _run_points((replace(config, seed=seed) for seed in seeds), parallel)
     merged: dict[str, Any] = {}
     for key, value in rows[0].items():
         if isinstance(value, bool) or not isinstance(value, (int, float)):
             merged[key] = value
             continue
         values = [row[key] for row in rows]
-        mean = sum(values) / len(values)
+        finite = [v for v in values if math.isfinite(v)]
+        mean = sum(finite) / len(finite) if finite else math.nan
         merged[key] = mean
-        merged[f"{key}_spread"] = (max(values) - min(values)) / mean if mean else 0.0
+        merged[f"{key}_spread"] = _spread(values, mean)
     merged["replications"] = len(seeds)
     return merged
+
+
+# -- sweep families -----------------------------------------------------------
 
 
 def run_availability_sweep(
@@ -72,26 +180,28 @@ def run_availability_sweep(
     sync_mode: str,
     small: bool = False,
     mean_offline_hours: float = 2.0,
+    parallel: bool = False,
 ) -> list[dict[str, Any]]:
     """Setup A (Figures 2–9): sweep µ for one (policy, sync) configuration."""
-    return [
-        run_one(config)
-        for config in setup_a_configs(
+    return _run_points(
+        setup_a_configs(
             policy=policy,
             sync_mode=sync_mode,
             mean_offline_hours=mean_offline_hours,
             small=small,
-        )
-    ]
+        ),
+        parallel,
+    )
 
 
 def run_scaling_sweep(
     policy: Policy,
     sync_mode: str,
     small: bool = False,
+    parallel: bool = False,
 ) -> list[dict[str, Any]]:
     """Setup B (Figures 10–11): sweep the system size at 50% availability."""
-    return [
-        run_one(config)
-        for config in setup_b_configs(policy=policy, sync_mode=sync_mode, small=small)
-    ]
+    return _run_points(
+        setup_b_configs(policy=policy, sync_mode=sync_mode, small=small),
+        parallel,
+    )

@@ -1,0 +1,146 @@
+"""Tests for the fixed-base / multi-exponentiation accelerator.
+
+Everything here checks *agreement with native ``pow``* — the accelerator is
+a pure performance layer and must be bit-for-bit equivalent on every input.
+"""
+
+import secrets
+
+import pytest
+
+from repro.crypto import fastexp
+from repro.crypto.params import PARAMS_1024_160, PARAMS_TEST_512
+
+P = PARAMS_TEST_512
+
+
+@pytest.fixture(autouse=True)
+def _fresh_caches():
+    fastexp.clear_caches()
+    yield
+    fastexp.clear_caches()
+
+
+class TestFixedBaseTable:
+    def test_matches_native_pow(self):
+        table = fastexp.FixedBaseTable(P.g, P.p, P.q.bit_length())
+        for _ in range(20):
+            e = secrets.randbelow(P.q)
+            assert table.pow(e) == pow(P.g, e, P.p)
+
+    def test_edge_exponents(self):
+        table = fastexp.FixedBaseTable(P.g, P.p, P.q.bit_length())
+        for e in (0, 1, 2, P.q - 1, P.q):
+            assert table.pow(e) == pow(P.g, e, P.p)
+
+    def test_order_reduction(self):
+        table = fastexp.FixedBaseTable(P.g, P.p, P.q.bit_length(), order=P.q)
+        e = secrets.randbelow(P.q)
+        # g has order q, so exponents reduce mod q.
+        assert table.pow(e + P.q) == pow(P.g, e, P.p)
+        assert table.pow(2 * P.q) == 1
+
+    def test_overflow_falls_back(self):
+        # Exponent wider than the table was built for: still correct.
+        table = fastexp.FixedBaseTable(P.g, P.p, 16)
+        e = secrets.randbelow(P.q)
+        assert table.pow(e) == pow(P.g, e, P.p)
+
+    def test_window_sizes_agree(self):
+        e = secrets.randbelow(P.q)
+        for window in (1, 2, 4, 5, 8):
+            table = fastexp.FixedBaseTable(P.g, P.p, P.q.bit_length(), window=window)
+            assert table.pow(e) == pow(P.g, e, P.p)
+
+
+class TestModPow:
+    def test_matches_native(self):
+        base = pow(P.g, 12345, P.p)
+        for _ in range(10):
+            e = secrets.randbelow(P.q)
+            assert fastexp.mod_pow(base, e, P.p, order=P.q) == pow(base, e, P.p)
+
+    def test_promotion_after_repeated_use(self):
+        base = pow(P.g, 999, P.p)
+        e = secrets.randbelow(P.q)
+        for _ in range(fastexp.PROMOTE_AFTER + 1):
+            assert fastexp.mod_pow(base, e, P.p, order=P.q) == pow(base, e, P.p)
+        # A table now exists and keeps agreeing with pow.
+        assert fastexp.fixed_base(base, P.p) is not None
+        e2 = secrets.randbelow(P.q)
+        assert fastexp.mod_pow(base, e2, P.p, order=P.q) == pow(base, e2, P.p)
+
+
+class TestMultiExp:
+    def _native(self, pairs, modulus):
+        out = 1
+        for base, exp in pairs:
+            out = (out * pow(base, exp, modulus)) % modulus
+        return out
+
+    def test_pairs_match_native(self):
+        for count in (1, 2, 3, 5):
+            pairs = [
+                (pow(P.g, secrets.randbelow(P.q), P.p), secrets.randbelow(P.q))
+                for _ in range(count)
+            ]
+            assert fastexp.multi_exp(pairs, P.p, order=P.q) == self._native(pairs, P.p)
+
+    def test_zero_exponents(self):
+        pairs = [(P.g, 0), (pow(P.g, 7, P.p), 0)]
+        assert fastexp.multi_exp(pairs, P.p, order=P.q) == 1
+
+    def test_empty(self):
+        assert fastexp.multi_exp([], P.p) == 1
+
+    def test_with_cached_table(self):
+        fastexp.precompute(P.g, P.p, P.q.bit_length(), order=P.q)
+        y = pow(P.g, 4242, P.p)
+        pairs = [(P.g, secrets.randbelow(P.q)), (y, secrets.randbelow(P.q))]
+        assert fastexp.multi_exp(pairs, P.p, order=P.q) == self._native(pairs, P.p)
+
+    def test_with_ephemeral_tables(self):
+        c1 = pow(P.g, 31337, P.p)
+        tables = {
+            c1: fastexp.FixedBaseTable(
+                c1, P.p, P.q.bit_length(), window=fastexp.EPHEMERAL_WINDOW, order=P.q
+            )
+        }
+        pairs = [(P.g, secrets.randbelow(P.q)), (c1, secrets.randbelow(P.q))]
+        assert fastexp.multi_exp(pairs, P.p, order=P.q, tables=tables) == self._native(
+            pairs, P.p
+        )
+
+
+class TestMembership:
+    def test_agrees_with_definition(self):
+        member = pow(P.g, 123, P.p)
+        assert fastexp.is_member(member, P.q, P.p)
+        assert fastexp.is_member(member, P.q, P.p)  # memoized path
+        non_member = 2
+        while pow(non_member, P.q, P.p) == 1:  # pragma: no cover
+            non_member += 1
+        assert not fastexp.is_member(non_member, P.q, P.p)
+
+    def test_tabled_nonmember_is_still_rejected(self):
+        # Regression guard: a base with an order-reduced cached table must
+        # not shortcut the membership test (x**(q mod q) == 1 for anything).
+        non_member = 2
+        while pow(non_member, P.q, P.p) == 1:  # pragma: no cover
+            non_member += 1
+        fastexp.precompute(non_member, P.p, P.q.bit_length(), order=P.q)
+        assert not fastexp.is_member(non_member, P.q, P.p)
+
+
+class TestCaches:
+    def test_clear_caches(self):
+        fastexp.precompute(P.g, P.p, P.q.bit_length(), order=P.q)
+        assert fastexp.fixed_base(P.g, P.p) is not None
+        fastexp.clear_caches()
+        assert fastexp.fixed_base(P.g, P.p) is None
+
+    def test_distinct_moduli_do_not_collide(self):
+        fastexp.precompute(P.g, P.p, P.q.bit_length(), order=P.q)
+        q2, p2, g2 = PARAMS_1024_160.q, PARAMS_1024_160.p, PARAMS_1024_160.g
+        e = secrets.randbelow(q2)
+        assert fastexp.mod_pow(g2, e, p2, order=q2) == pow(g2, e, p2)

@@ -1,0 +1,89 @@
+"""Parallel sweep runner: determinism and replication semantics.
+
+The contract (DESIGN.md §1.1): the process-pool path must produce
+*bit-identical* rows to the sequential runner for the same configs/seeds —
+parallelism may only change wall-clock, never results.
+"""
+
+import math
+from dataclasses import replace
+
+import pytest
+
+from repro.core.clock import DAY, HOUR
+from repro.sim import runner
+from repro.sim.config import SimConfig
+from repro.sim.runner import (
+    _spread,
+    run_one,
+    run_replicated,
+    run_sweep_parallel,
+    shutdown_pool,
+)
+
+TINY = SimConfig(
+    n_peers=15,
+    duration=0.4 * DAY,
+    renewal_period=0.15 * DAY,
+    mean_online=2 * HOUR,
+    mean_offline=2 * HOUR,
+)
+
+
+@pytest.fixture(autouse=True, scope="module")
+def _teardown_pool():
+    yield
+    shutdown_pool()
+
+
+class TestParallelDeterminism:
+    def test_bit_identical_to_sequential(self):
+        configs = [replace(TINY, seed=s) for s in (7, 8, 9)]
+        sequential = [run_one(c) for c in configs]
+        parallel = run_sweep_parallel(configs, max_workers=2)
+        assert parallel == sequential
+
+    def test_order_preserved(self):
+        configs = [replace(TINY, seed=s, n_peers=10 + s) for s in (1, 2, 3)]
+        rows = run_sweep_parallel(configs, max_workers=2)
+        assert [row["n_peers"] for row in rows] == [11, 12, 13]
+
+    def test_empty_and_single(self):
+        assert run_sweep_parallel([]) == []
+        rows = run_sweep_parallel([replace(TINY, seed=4)], max_workers=1)
+        assert rows == [run_one(replace(TINY, seed=4))]
+
+    def test_pool_reuse(self):
+        configs = [replace(TINY, seed=s) for s in (5, 6)]
+        first = run_sweep_parallel(configs, max_workers=2)
+        again = run_sweep_parallel(configs, max_workers=2)
+        assert first == again
+        assert runner._executor is not None
+
+
+class TestReplicatedSpread:
+    def test_parallel_matches_sequential(self):
+        seeds = (11, 12, 13)
+        assert run_replicated(TINY, seeds, parallel=True) == run_replicated(TINY, seeds)
+
+    def test_requires_seeds(self):
+        with pytest.raises(ValueError):
+            run_replicated(TINY, ())
+
+    def test_spread_cases(self):
+        assert _spread([3.0, 3.0, 3.0], 3.0) == 0.0
+        assert _spread([0.0, 0.0], 0.0) == 0.0  # equal values, zero mean
+        assert _spread([2.0, 4.0], 3.0) == pytest.approx(2.0 / 3.0)
+        assert _spread([-1.0, 1.0], 0.0) is None  # zero mean, no scale
+        assert _spread([1.0, math.nan], 1.0) is None
+        assert _spread([1.0, math.inf], 1.0) is None
+
+    def test_replicated_rows_carry_spreads(self):
+        merged = run_replicated(TINY, (21, 22))
+        assert merged["replications"] == 2
+        assert "broker_cpu_spread" in merged
+        spread = merged["broker_cpu_spread"]
+        assert spread is None or spread >= 0.0
+        # Non-numeric columns pass through unchanged, without spread keys.
+        assert merged["policy"] == "I"
+        assert "policy_spread" not in merged
