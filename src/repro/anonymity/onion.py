@@ -30,6 +30,7 @@ from repro.crypto.keys import KeyPair, PublicKey
 from repro.crypto.params import DlogParams
 from repro.messages.codec import decode, encode
 from repro.net.node import Node
+from repro.net.rpc import RpcClient
 from repro.net.transport import NetworkError, Transport
 
 RELAY_KIND = "onion.relay"
@@ -80,6 +81,8 @@ class OnionOverlay:
         if size < 1:
             raise ValueError("need at least one relay")
         self.transport = transport
+        # Circuit entry sends carry the client's src address explicitly.
+        self.rpc = RpcClient(transport=transport)
         self.params = params
         self.relays = [_OnionRelay(transport, f"{prefix}-{i}", params) for i in range(size)]
         self._directory = {relay.address: relay.keypair.public for relay in self.relays}
@@ -134,8 +137,11 @@ class OnionOverlay:
                 "box": box,
             }
             box = seal_box(circuit.layer_keys[i], encode(inner))
-        wire = self.transport.request(
-            src, circuit.relays[0], RELAY_KIND, {"eph_y": circuit.ephemeral_ys[0], "box": box}
+        wire = self.rpc.call(
+            circuit.relays[0],
+            RELAY_KIND,
+            {"eph_y": circuit.ephemeral_ys[0], "box": box},
+            src=src,
         )
         # Unwrap the response layers in circuit order.
         for key in circuit.layer_keys:
@@ -146,14 +152,17 @@ class OnionOverlay:
 def anonymize_node(node: Node, overlay: OnionOverlay, circuit: OnionCircuit | None = None) -> OnionCircuit:
     """Reroute ``node``'s outbound requests through an onion circuit.
 
-    After this call, every ``node.request(dst, kind, payload)`` travels the
-    circuit: payees, owners, and the broker see only the exit relay's
-    address.  Returns the circuit in use (pass one in to share or rotate).
+    Overrides the node's ``send_raw`` — the single transport touchpoint
+    under the RPC layer — so *everything* the node sends (direct
+    ``request`` calls, typed client facades, and every RPC retry attempt)
+    travels the circuit: payees, owners, and the broker see only the exit
+    relay's address.  Returns the circuit in use (pass one in to share or
+    rotate).
     """
     active = circuit if circuit is not None else overlay.build_circuit()
 
-    def routed_request(dst: str, kind: str, payload: Any) -> Any:
+    def routed_send(dst: str, kind: str, payload: Any) -> Any:
         return overlay.send(node.address, active, dst, kind, payload)
 
-    node.request = routed_request  # type: ignore[method-assign]
+    node.send_raw = routed_send  # type: ignore[method-assign]
     return active

@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any
 
+from repro.core.clients import EndpointClient
 from repro.core.clock import Clock
 from repro.core.errors import (
     DoubleSpendDetected,
@@ -29,11 +30,41 @@ from repro.crypto.keys import KeyPair, PublicKey
 from repro.crypto.params import DlogParams
 from repro.messages.envelope import DualSignedMessage, group_seal, seal
 from repro.net.node import Node
+from repro.net.rpc import RetryPolicy
 from repro.net.transport import Transport
 
 PURCHASE = "central.purchase"
 TRANSFER = "central.transfer"
 DEPOSIT = "central.deposit"
+RECEIVE = "central.receive"
+
+
+class CentralBrokerClient(EndpointClient):
+    """Typed facade over the centralized broker's three operations."""
+
+    def __init__(self, node: Node, broker_address: str, policy: RetryPolicy | None = None) -> None:
+        super().__init__(node, policy=policy)
+        self.broker_address = broker_address
+
+    def purchase(self, signed_request: bytes) -> dict[str, Any]:
+        """Mint a coin against the buyer's account."""
+        return self._call(self.broker_address, PURCHASE, signed_request, mutating=True)
+
+    def transfer(self, dual_envelope: bytes) -> dict[str, Any]:
+        """Re-bind a coin to a new holder key (broker-mediated)."""
+        return self._call(self.broker_address, TRANSFER, dual_envelope, mutating=True)
+
+    def deposit(self, dual_envelope: bytes) -> dict[str, Any]:
+        """Redeem a coin for account credit."""
+        return self._call(self.broker_address, DEPOSIT, dual_envelope, mutating=True)
+
+
+class CentralPeerClient(EndpointClient):
+    """Typed facade over the payee-side receive exchange."""
+
+    def receive(self, payee: str, payload: dict[str, Any]) -> dict[str, Any]:
+        """Offer/complete leg of handing a coin to the payee."""
+        return self._call(payee, RECEIVE, payload, mutating=True)
 
 
 @dataclass
@@ -165,6 +196,7 @@ class CentralizedPeer(Node):
         judge: Judge,
         member_key: GroupMemberKey,
         broker_address: str,
+        retry_policy: RetryPolicy | None = None,
     ) -> None:
         super().__init__(transport, address)
         self.params = params
@@ -173,7 +205,9 @@ class CentralizedPeer(Node):
         self.broker_address = broker_address
         self.identity = KeyPair.generate(params)
         self.wallet: dict[int, CentralHolding] = {}
-        self.on("central.receive", self._handle_receive)
+        self.broker_client = CentralBrokerClient(self, broker_address, policy=retry_policy)
+        self.peer_client = CentralPeerClient(self, policy=retry_policy)
+        self.on(RECEIVE, self._handle_receive)
 
     def purchase(self, value: int = 1) -> int:
         """Buy a coin; the buyer is its first holder."""
@@ -182,7 +216,7 @@ class CentralizedPeer(Node):
             self.identity,
             {"kind": "central.purchase", "coin_y": coin_keypair.public.y, "value": value},
         )
-        result = self.request(self.broker_address, PURCHASE, signed.encode())
+        result = self.broker_client.purchase(signed.encode())
         if not result.get("ok"):
             raise ProtocolError("purchase failed")
         coin_y = coin_keypair.public.y
@@ -200,7 +234,7 @@ class CentralizedPeer(Node):
         holding = self.wallet.get(coin_y)
         if holding is None:
             raise NotHolder(f"not holding {coin_y:#x}")
-        offer = self.request(payee, "central.receive", {"phase": "offer", "coin_y": coin_y})
+        offer = self.peer_client.receive(payee, {"phase": "offer", "coin_y": coin_y})
         new_holder_y = offer["holder_y"]
         from repro.core.protocol import encode_dual
 
@@ -210,13 +244,11 @@ class CentralizedPeer(Node):
             self.judge.group_public_key(),
             {"kind": "central.transfer", "coin_y": coin_y, "new_holder_y": new_holder_y},
         )
-        result = self.request(self.broker_address, TRANSFER, encode_dual(envelope))
+        result = self.broker_client.transfer(encode_dual(envelope))
         if not result.get("ok"):
             raise ProtocolError("broker refused the transfer")
-        confirm = self.request(
-            payee,
-            "central.receive",
-            {"phase": "complete", "coin_y": coin_y, "value": result["value"]},
+        confirm = self.peer_client.receive(
+            payee, {"phase": "complete", "coin_y": coin_y, "value": result["value"]}
         )
         if not confirm.get("ok"):
             raise ProtocolError("payee did not confirm")
@@ -239,7 +271,7 @@ class CentralizedPeer(Node):
             self.judge.group_public_key(),
             {"kind": "central.deposit", "coin_y": coin_y, "payout_to": payout},
         )
-        result = self.request(self.broker_address, DEPOSIT, encode_dual(envelope))
+        result = self.broker_client.deposit(encode_dual(envelope))
         del self.wallet[coin_y]
         return result["credited"]
 

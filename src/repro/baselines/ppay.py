@@ -36,7 +36,9 @@ from repro.core.errors import (
 from repro.crypto.keys import KeyPair, PublicKey
 from repro.crypto.params import DlogParams
 from repro.messages.envelope import SignedMessage, seal
+from repro.core.clients import EndpointClient
 from repro.net.node import Node
+from repro.net.rpc import RetryPolicy
 from repro.net.transport import Transport
 
 # message kinds
@@ -48,6 +50,50 @@ DEPOSIT = "ppay.deposit"
 DOWNTIME_TRANSFER = "ppay.downtime_transfer"
 DOWNTIME_RENEWAL = "ppay.downtime_renewal"
 SYNC = "ppay.sync"
+
+
+class PPayBrokerClient(EndpointClient):
+    """Typed facade over the PPay broker operations."""
+
+    def __init__(self, node: Node, broker_address: str, policy: RetryPolicy | None = None) -> None:
+        super().__init__(node, policy=policy)
+        self.broker_address = broker_address
+
+    def purchase(self, signed_request: bytes) -> bytes:
+        """Mint a coin; returns the encoded coin certificate."""
+        return self._call(self.broker_address, PURCHASE, signed_request, mutating=True)
+
+    def deposit(self, body: dict[str, Any]) -> dict[str, Any]:
+        """Redeem a held coin for account credit."""
+        return self._call(self.broker_address, DEPOSIT, body, mutating=True)
+
+    def downtime_transfer(self, body: dict[str, Any]) -> bytes:
+        """Broker-served transfer; returns the new encoded assignment."""
+        return self._call(self.broker_address, DOWNTIME_TRANSFER, body, mutating=True)
+
+    def downtime_renewal(self, body: dict[str, Any]) -> bytes:
+        """Broker-served renewal; returns the new encoded assignment."""
+        return self._call(self.broker_address, DOWNTIME_RENEWAL, body, mutating=True)
+
+    def sync(self, signed_request: bytes) -> Any:
+        """Owner resynchronization; returns the missed-assignment list."""
+        return self._call(self.broker_address, SYNC, signed_request, mutating=True)
+
+
+class PPayPeerClient(EndpointClient):
+    """Typed facade over the PPay peer-to-peer exchanges."""
+
+    def assign(self, payee: str, payload: dict[str, Any]) -> dict[str, Any]:
+        """Deliver an assignment to its new holder."""
+        return self._call(payee, ASSIGN, payload, mutating=True)
+
+    def transfer_request(self, owner: str, payload: dict[str, Any]) -> dict[str, Any]:
+        """Ask the owner to reassign a held coin."""
+        return self._call(owner, TRANSFER_REQUEST, payload, mutating=True)
+
+    def renew_request(self, owner: str, payload: dict[str, Any]) -> bytes:
+        """Ask the owner to renew a held coin's assignment."""
+        return self._call(owner, RENEW_REQUEST, payload, mutating=True)
 
 
 def _decode_signed(data: bytes, params: DlogParams) -> SignedMessage:
@@ -264,6 +310,7 @@ class PPayPeer(Node):
         broker_address: str,
         broker_key: PublicKey,
         renewal_period: float = DEFAULT_RENEWAL_PERIOD,
+        retry_policy: RetryPolicy | None = None,
     ) -> None:
         super().__init__(transport, address)
         self.params = params
@@ -271,6 +318,8 @@ class PPayPeer(Node):
         self.broker_address = broker_address
         self.broker_key = broker_key
         self.renewal_period = renewal_period
+        self.broker_client = PPayBrokerClient(self, broker_address, policy=retry_policy)
+        self.peer_client = PPayPeerClient(self, policy=retry_policy)
         self.identity = KeyPair.generate(params)
         self.wallet: dict[int, PPayHolding] = {}
         self.owned: dict[int, PPayOwned] = {}
@@ -297,7 +346,7 @@ class PPayPeer(Node):
     def purchase(self, value: int = 1) -> int:
         """Buy a coin; returns its serial number."""
         signed = seal(self.identity, {"kind": "ppay.purchase", "value": value})
-        coin_bytes = self.request(self.broker_address, PURCHASE, signed.encode())
+        coin_bytes = self.broker_client.purchase(signed.encode())
         coin = _decode_signed(coin_bytes, self.params)
         if coin.signer.y != self.broker_key.y or not coin.verify():
             raise VerificationFailed("broker returned an invalid coin")
@@ -330,9 +379,8 @@ class PPayPeer(Node):
         if owned.assignment is not None:
             raise ProtocolError("coin already issued")
         assignment = self._assignment(owned, payee, seq=secrets.randbelow(1 << 30))
-        result = self.request(
+        result = self.peer_client.assign(
             payee,
-            ASSIGN,
             {"coin": owned.coin.encode(), "assignment": assignment.encode(), "via_broker": False},
         )
         if not result.get("ok"):
@@ -352,9 +400,8 @@ class PPayPeer(Node):
                 "prev_assignment": holding.assignment.encode(),
             },
         )
-        result = self.request(
+        result = self.peer_client.transfer_request(
             holding.owner,
-            TRANSFER_REQUEST,
             {
                 "request": request.encode(),
                 "coin": holding.coin.encode(),
@@ -374,19 +421,16 @@ class PPayPeer(Node):
             self.identity,
             {"kind": "ppay.downtime_transfer", "sn": holding.sn, "new_holder": payee},
         )
-        assignment_bytes = self.request(
-            self.broker_address,
-            DOWNTIME_TRANSFER,
+        assignment_bytes = self.broker_client.downtime_transfer(
             {
                 "request": request.encode(),
                 "coin": holding.coin.encode(),
                 "assignment": holding.assignment.encode(),
                 "via_broker": holding.via_broker,
-            },
+            }
         )
-        result = self.request(
+        result = self.peer_client.assign(
             payee,
-            ASSIGN,
             {"coin": holding.coin.encode(), "assignment": assignment_bytes, "via_broker": True},
         )
         if not result.get("ok"):
@@ -407,12 +451,12 @@ class PPayPeer(Node):
         if self.transport.is_online(holding.owner):
             request = seal(self.identity, {"kind": "ppay.renew_request", "sn": sn})
             body["request"] = request.encode()
-            assignment_bytes = self.request(holding.owner, RENEW_REQUEST, body)
+            assignment_bytes = self.peer_client.renew_request(holding.owner, body)
             via_broker = False
         else:
             request = seal(self.identity, {"kind": "ppay.downtime_renewal", "sn": sn})
             body["request"] = request.encode()
-            assignment_bytes = self.request(self.broker_address, DOWNTIME_RENEWAL, body)
+            assignment_bytes = self.broker_client.downtime_renewal(body)
             via_broker = True
         assignment = _decode_signed(assignment_bytes, self.params)
         holding.assignment = assignment
@@ -424,15 +468,13 @@ class PPayPeer(Node):
         if holding is None:
             raise NotHolder(f"not holding serial {sn}")
         request = seal(self.identity, {"kind": "ppay.deposit", "sn": sn})
-        result = self.request(
-            self.broker_address,
-            DEPOSIT,
+        result = self.broker_client.deposit(
             {
                 "request": request.encode(),
                 "coin": holding.coin.encode(),
                 "assignment": holding.assignment.encode(),
                 "via_broker": holding.via_broker,
-            },
+            }
         )
         del self.wallet[sn]
         return result["credited"]
@@ -440,7 +482,7 @@ class PPayPeer(Node):
     def sync_with_broker(self) -> int:
         """Owner synchronization after rejoining."""
         signed = seal(self.identity, {"kind": "ppay.sync"})
-        updates = self.request(self.broker_address, SYNC, signed.encode())
+        updates = self.broker_client.sync(signed.encode())
         for sn, assignment_bytes in updates:
             owned = self.owned.get(sn)
             if owned is not None:
@@ -502,9 +544,8 @@ class PPayPeer(Node):
         self.transaction_log.append(
             {"event": "handled_transfer", "sn": sn, "payer": src, "payee": new_holder}
         )
-        result = self.request(
+        result = self.peer_client.assign(
             new_holder,
-            ASSIGN,
             {"coin": owned.coin.encode(), "assignment": assignment.encode(), "via_broker": False},
         )
         if not result.get("ok"):

@@ -64,7 +64,7 @@ class AnonymousOwnerPeer(Peer):
         from repro.messages.envelope import seal
 
         signed = seal(self.identity, request.to_payload())
-        coin_bytes = self.request(self.broker_address, protocol.PURCHASE, signed.encode())
+        coin_bytes = self.broker_client.purchase(signed.encode())
         from repro.core.coin import Coin
 
         coin = Coin(cert=protocol.decode_signed(coin_bytes, self.params))
@@ -98,7 +98,7 @@ class AnonymousOwnerPeer(Peer):
             return super().transfer(payee, held.coin_y)
         if held.is_expired(self.clock.now()):
             raise CoinExpired(f"coin {held.coin_y:#x} expired")
-        offer = self.request(payee, protocol.TRANSFER_OFFER, held.coin.encode())
+        offer = self.peer_client.transfer_offer(payee, held.coin.encode())
         envelope = self._holder_envelope(
             held, "transfer", new_holder_y=offer["holder_y"], nonce=offer["nonce"]
         )
@@ -151,9 +151,7 @@ class AnonymousOwnerPeer(Peer):
             )
             self.counts.renewals_sent += 1
         except (NodeOffline, NetworkError):
-            response = self.request(
-                self.broker_address, protocol.DOWNTIME_RENEWAL, protocol.encode_dual(envelope)
-            )
+            response = self.broker_client.downtime_renewal(protocol.encode_dual(envelope))
             binding = CoinBinding(
                 signed=protocol.decode_signed(response, self.params), via_broker=True
             )

@@ -79,7 +79,18 @@ class OperationCounts:
 
 
 class Broker(Node):
-    """The broker endpoint."""
+    """The broker endpoint.
+
+    Inbound idempotency: the broker serves every peer, so its replay cache
+    (the :class:`~repro.net.rpc.ReplayCache` inherited from ``Node``) is
+    sized well above the per-peer default — a retried mutating request
+    (deposit, downtime transfer, top-up…) whose reply was lost must still
+    find its cached result here instead of re-running the handler and
+    tripping the double-deposit guard.
+    """
+
+    #: Replay-cache bound for the broker (many clients, one endpoint).
+    REPLAY_CACHE_CAPACITY = 4096
 
     def __init__(
         self,

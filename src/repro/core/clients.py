@@ -1,0 +1,207 @@
+"""Typed endpoint facades over the protocol's message kinds.
+
+Every internal caller used to hand-roll ``transport.request(src, dst, kind,
+payload)``; these facades are now the only internal way protocol traffic is
+sent.  One method per message kind, so:
+
+* idempotency keys and per-call timeouts are threaded in exactly one place
+  (every *mutating* exchange gets a fresh key; reads go bare);
+* retry exhaustion maps to one structured error,
+  :class:`~repro.core.errors.ServiceUnavailable`, instead of each caller
+  interpreting raw transport exceptions;
+* the retry policy is configured once per endpoint (default: single
+  attempt — raw transport semantics and wire format — with chaos-grade
+  policies opt-in via the ``policy`` argument).
+
+A facade binds either to a :class:`~repro.net.node.Node` (normal protocol
+endpoints; traffic follows the node's ``send_raw``, so onion-routed nodes
+stay onion-routed) or to a bare transport with an explicit source address
+(infrastructure senders like the DHT notification hub).
+"""
+
+from __future__ import annotations
+
+from typing import Any, TYPE_CHECKING
+
+from repro.core import protocol
+from repro.core.errors import ServiceUnavailable
+from repro.net.rpc import (
+    RetriesExhausted,
+    RetryPolicy,
+    RpcClient,
+    RpcTimeout,
+    new_idempotency_key,
+)
+from repro.net.transport import Transport
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.node import Node
+
+
+class EndpointClient:
+    """Shared plumbing: an RPC client plus the exhaustion→error mapping."""
+
+    def __init__(
+        self,
+        node: "Node | None" = None,
+        *,
+        transport: Transport | None = None,
+        src: str | None = None,
+        policy: RetryPolicy | None = None,
+    ) -> None:
+        self._rpc = RpcClient(node=node, transport=transport, policy=policy)
+        self._src = src
+
+    @property
+    def policy(self) -> RetryPolicy:
+        """The retry policy every call on this facade runs under."""
+        return self._rpc.policy
+
+    @property
+    def stats(self):
+        """The underlying RPC telemetry (retries, recoveries, backoff)."""
+        return self._rpc.stats
+
+    def _call(
+        self,
+        dst: str,
+        kind: str,
+        payload: Any,
+        *,
+        mutating: bool,
+        timeout: float | None = None,
+    ) -> Any:
+        key = new_idempotency_key() if mutating else None
+        try:
+            return self._rpc.call(
+                dst, kind, payload, src=self._src, idempotency_key=key, timeout=timeout
+            )
+        except (RetriesExhausted, RpcTimeout) as exc:
+            raise ServiceUnavailable(
+                f"{kind} to {dst} unavailable after {exc.attempts} attempt(s)",
+                attempts=exc.attempts,
+                last_error=exc.last_error,
+            ) from exc
+
+
+class BrokerClient(EndpointClient):
+    """Peer→broker operations, one method per kind.
+
+    Mutating operations (everything that moves value or commits broker
+    state — including :meth:`sync_challenge`, whose handler mints a pending
+    nonce) carry idempotency keys when the policy retries.
+    """
+
+    def __init__(
+        self,
+        node: "Node",
+        broker_address: str,
+        policy: RetryPolicy | None = None,
+    ) -> None:
+        super().__init__(node, policy=policy)
+        self.broker_address = broker_address
+
+    def purchase(self, signed_request: bytes, timeout: float | None = None) -> bytes:
+        """Mint one coin; returns the encoded coin certificate."""
+        return self._call(
+            self.broker_address, protocol.PURCHASE, signed_request, mutating=True, timeout=timeout
+        )
+
+    def purchase_batch(self, signed_request: bytes, timeout: float | None = None) -> Any:
+        """Mint a batch of coins; returns the list of encoded certificates."""
+        return self._call(
+            self.broker_address,
+            protocol.PURCHASE_BATCH,
+            signed_request,
+            mutating=True,
+            timeout=timeout,
+        )
+
+    def deposit(self, dual_envelope: bytes, timeout: float | None = None) -> dict[str, Any]:
+        """Redeem a held coin; returns the broker's result dict."""
+        return self._call(
+            self.broker_address, protocol.DEPOSIT, dual_envelope, mutating=True, timeout=timeout
+        )
+
+    def top_up(self, dual_envelope: bytes, timeout: float | None = None) -> bytes:
+        """Increase a coin's value; returns the re-certified coin."""
+        return self._call(
+            self.broker_address, protocol.TOP_UP, dual_envelope, mutating=True, timeout=timeout
+        )
+
+    def downtime_transfer(self, dual_envelope: bytes, timeout: float | None = None) -> bytes:
+        """Broker-served transfer (owner offline); returns the new binding."""
+        return self._call(
+            self.broker_address,
+            protocol.DOWNTIME_TRANSFER,
+            dual_envelope,
+            mutating=True,
+            timeout=timeout,
+        )
+
+    def downtime_renewal(self, dual_envelope: bytes, timeout: float | None = None) -> bytes:
+        """Broker-served renewal (owner offline); returns the new binding."""
+        return self._call(
+            self.broker_address,
+            protocol.DOWNTIME_RENEWAL,
+            dual_envelope,
+            mutating=True,
+            timeout=timeout,
+        )
+
+    def sync_challenge(self, timeout: float | None = None) -> bytes:
+        """Start a proactive sync; returns the broker's freshness nonce."""
+        return self._call(
+            self.broker_address, protocol.SYNC_CHALLENGE, None, mutating=True, timeout=timeout
+        )
+
+    def sync(self, signed_challenge: bytes, timeout: float | None = None) -> Any:
+        """Complete a proactive sync; returns the missed-binding list."""
+        return self._call(
+            self.broker_address, protocol.SYNC, signed_challenge, mutating=True, timeout=timeout
+        )
+
+    def binding_query(self, coin_y: int, timeout: float | None = None) -> bytes | None:
+        """Lazy-sync read of one coin's authoritative binding (idempotent read)."""
+        return self._call(
+            self.broker_address, protocol.BINDING_QUERY, coin_y, mutating=False, timeout=timeout
+        )
+
+
+class PeerClient(EndpointClient):
+    """Peer→peer operations, one method per kind.
+
+    The offer steps are mutating (the payee mints a holder key and records
+    pending state), so a retried offer returns the *same* holder key and
+    nonce instead of leaking abandoned pending entries.
+    """
+
+    def issue_offer(self, payee: str, coin_cert: bytes, timeout: float | None = None) -> dict[str, Any]:
+        """Open an issue exchange; returns {holder_y, nonce}."""
+        return self._call(payee, protocol.ISSUE_OFFER, coin_cert, mutating=True, timeout=timeout)
+
+    def issue_complete(self, payee: str, payload: dict[str, Any], timeout: float | None = None) -> dict[str, Any]:
+        """Deliver the signed binding closing an issue; returns {ok, reason}."""
+        return self._call(payee, protocol.ISSUE_COMPLETE, payload, mutating=True, timeout=timeout)
+
+    def transfer_offer(self, payee: str, coin_cert: bytes, timeout: float | None = None) -> dict[str, Any]:
+        """Open a transfer exchange; returns {holder_y, nonce}."""
+        return self._call(payee, protocol.TRANSFER_OFFER, coin_cert, mutating=True, timeout=timeout)
+
+    def transfer_request(self, owner: str, payload: dict[str, Any], timeout: float | None = None) -> dict[str, Any]:
+        """Ask the owner to re-bind a held coin; returns {binding}."""
+        return self._call(owner, protocol.TRANSFER_REQUEST, payload, mutating=True, timeout=timeout)
+
+    def transfer_complete(self, payee: str, payload: dict[str, Any], timeout: float | None = None) -> dict[str, Any]:
+        """Deliver the new binding closing a transfer; returns {ok, reason}."""
+        return self._call(payee, protocol.TRANSFER_COMPLETE, payload, mutating=True, timeout=timeout)
+
+    def renew_request(self, owner: str, dual_envelope: bytes, timeout: float | None = None) -> bytes:
+        """Ask the owner to renew a held coin; returns the new binding."""
+        return self._call(owner, protocol.RENEW_REQUEST, dual_envelope, mutating=True, timeout=timeout)
+
+    def binding_update(self, subscriber: str, record_bytes: bytes, timeout: float | None = None) -> None:
+        """Push a public-binding change to a monitoring holder."""
+        return self._call(
+            subscriber, protocol.BINDING_UPDATE, record_bytes, mutating=True, timeout=timeout
+        )

@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from typing import Any
 
+from repro.net.transport import NetworkError
+
 
 class ProtocolError(Exception):
     """Base class for all WhoPay protocol failures."""
@@ -53,3 +55,24 @@ class FraudDetected(ProtocolError):
 
 class DoubleSpendDetected(FraudDetected):
     """The same coin was spent (or deposited) twice."""
+
+
+class ServiceUnavailable(ProtocolError, NetworkError):
+    """An operation gave up after exhausting its retry/timeout budget.
+
+    Raised by the typed endpoint facades (:mod:`repro.core.clients`) when
+    the RPC layer reports :class:`~repro.net.rpc.RetriesExhausted` or
+    :class:`~repro.net.rpc.RpcTimeout`.  Subclasses *both* hierarchies on
+    purpose: it is a protocol-visible availability failure (``Peer.pay``
+    treats it as "fall through to the next payment method") and a network
+    failure (callers that already handle :class:`NetworkError` keep
+    working unchanged).
+
+    ``attempts`` is how many sends were made; ``last_error`` the final
+    transport failure observed.
+    """
+
+    def __init__(self, message: str, attempts: int = 0, last_error: Exception | None = None) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+        self.last_error = last_error

@@ -23,7 +23,8 @@ from repro.crypto.params import DlogParams, default_params
 from repro.dht.binding_store import BindingStore
 from repro.dht.chord import ChordRing
 from repro.dht.notify import NotificationHub
-from repro.net.transport import Transport
+from repro.net.rpc import RetryPolicy
+from repro.net.transport import FaultPlan, Transport
 
 
 class WhoPayNetwork:
@@ -37,10 +38,14 @@ class WhoPayNetwork:
         dht_backend: str = "chord",
         sync_mode: str = "proactive",
         renewal_period: float = DEFAULT_RENEWAL_PERIOD,
+        retry_policy: RetryPolicy | None = None,
     ) -> None:
         self.params = params or default_params()
         self.transport = Transport()
         self.clock = Clock()
+        # Partition windows in a FaultPlan are scheduled against this clock.
+        self.transport.clock = self.clock
+        self.retry_policy = retry_policy
         self.judge = Judge(self.params)
         self.broker = Broker(
             self.transport,
@@ -87,6 +92,7 @@ class WhoPayNetwork:
             broker_key=self.broker.public_key,
             sync_mode=sync_mode if sync_mode is not None else self.sync_mode,
             renewal_period=self.renewal_period,
+            retry_policy=self.retry_policy,
         )
         peer.detection = self.detection
         peer.certificate = self.ca.issue(address, peer.identity.public, self.clock.now())
@@ -101,3 +107,7 @@ class WhoPayNetwork:
     def advance(self, seconds: float) -> float:
         """Move simulated time forward."""
         return self.clock.advance(seconds)
+
+    def install_faults(self, plan: FaultPlan | None) -> None:
+        """Install (or remove, with ``None``) a fault plan on the fabric."""
+        self.transport.install_faults(plan)

@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.core import protocol
+from repro.core.clients import BrokerClient, PeerClient
 from repro.core.clock import DEFAULT_RENEWAL_PERIOD, Clock
 from repro.core.coin import Coin, CoinBinding, HeldCoin, OwnedCoinState
 from repro.core.errors import (
@@ -34,6 +35,7 @@ from repro.core.errors import (
     NotHolder,
     NotOwner,
     ProtocolError,
+    ServiceUnavailable,
     UnknownCoin,
     VerificationFailed,
 )
@@ -45,6 +47,7 @@ from repro.crypto.params import DlogParams
 from repro.crypto.schnorr import SchnorrProof, schnorr_prove, schnorr_verify
 from repro.messages.envelope import DualSignedMessage, group_seal, seal
 from repro.net.node import Node
+from repro.net.rpc import RetryPolicy
 from repro.net.transport import NetworkError, NodeOffline, Transport
 
 #: How long before expiry a holder starts renewing (one quarter of the period).
@@ -105,6 +108,7 @@ class Peer(Node):
         broker_key: PublicKey,
         sync_mode: str = "proactive",
         renewal_period: float = DEFAULT_RENEWAL_PERIOD,
+        retry_policy: RetryPolicy | None = None,
     ) -> None:
         if sync_mode not in ("proactive", "lazy"):
             raise ValueError("sync_mode must be 'proactive' or 'lazy'")
@@ -118,6 +122,11 @@ class Peer(Node):
         self.broker_key = broker_key
         self.sync_mode = sync_mode
         self.renewal_period = renewal_period
+        # All outbound protocol traffic goes through the typed facades; the
+        # retry policy (default: single attempt) is threaded here once.
+        self.retry_policy = retry_policy
+        self.broker_client = BrokerClient(self, broker_address, policy=retry_policy)
+        self.peer_client = PeerClient(self, policy=retry_policy)
 
         self.wallet: dict[int, HeldCoin] = {}
         self.owned: dict[int, OwnedCoinState] = {}
@@ -234,9 +243,9 @@ class Peer(Node):
         only a failing batch falls back to per-binding checks to surface the
         precise offender.
         """
-        nonce = self.request(self.broker_address, protocol.SYNC_CHALLENGE, None)
+        nonce = self.broker_client.sync_challenge()
         signed = seal(self.identity, {"kind": "whopay.sync", "nonce": nonce})
-        updates = self.request(self.broker_address, protocol.SYNC, signed.encode())
+        updates = self.broker_client.sync(signed.encode())
         self.counts.syncs += 1
         accepted: list[tuple[OwnedCoinState, CoinBinding]] = []
         for coin_y, binding_bytes in updates:
@@ -281,7 +290,7 @@ class Peer(Node):
         if self.detection is not None:
             latest = self.detection.fetch_binding(self.address, state.coin_y)
         else:
-            raw = self.request(self.broker_address, protocol.BINDING_QUERY, state.coin_y)
+            raw = self.broker_client.binding_query(state.coin_y)
             if raw is not None:
                 latest = CoinBinding(
                     signed=protocol.decode_signed(raw, self.params), via_broker=True
@@ -307,7 +316,7 @@ class Peer(Node):
             account=account if account is not None else self.address,
         )
         signed = seal(self.identity, request.to_payload())
-        coin_bytes = self.request(self.broker_address, protocol.PURCHASE, signed.encode())
+        coin_bytes = self.broker_client.purchase(signed.encode())
         coin = Coin(cert=protocol.decode_signed(coin_bytes, self.params))
         if not coin.verify(self.broker_key) or coin.coin_y != coin_keypair.public.y:
             raise VerificationFailed("broker returned an invalid coin")
@@ -330,7 +339,7 @@ class Peer(Node):
             account=account if account is not None else self.address,
         )
         signed = seal(self.identity, request.to_payload())
-        minted = self.request(self.broker_address, protocol.PURCHASE_BATCH, signed.encode())
+        minted = self.broker_client.purchase_batch(signed.encode())
         if len(minted) != count:
             raise VerificationFailed("broker returned the wrong number of coins")
         states: list[OwnedCoinState] = []
@@ -363,7 +372,7 @@ class Peer(Node):
         if state.issued:
             raise ProtocolError("coin already issued; it must circulate by transfer")
 
-        offer = self.request(payee, protocol.ISSUE_OFFER, state.coin.encode())
+        offer = self.peer_client.issue_offer(payee, state.coin.encode())
         holder_y, nonce = offer["holder_y"], offer["nonce"]
         # "a randomly chosen sequence number" — but never at or below one we
         # already signed (a failed earlier attempt may have published it).
@@ -378,10 +387,8 @@ class Peer(Node):
         )
         if self.detection is not None:
             self.detection.publish_owner(self, state, binding)
-        result = self.request(
-            payee,
-            protocol.ISSUE_COMPLETE,
-            self._completion_payload(state, binding, nonce),
+        result = self.peer_client.issue_complete(
+            payee, self._completion_payload(state, binding, nonce)
         )
         if not result.get("ok"):
             raise ProtocolError(f"payee rejected the issue: {result.get('reason')}")
@@ -465,16 +472,15 @@ class Peer(Node):
         held = self._pick_held(coin_y, owner_online=True)
         if held.is_expired(self.clock.now()):
             raise CoinExpired(f"coin {held.coin_y:#x} expired")
-        offer = self.request(payee, protocol.TRANSFER_OFFER, held.coin.encode())
+        offer = self.peer_client.transfer_offer(payee, held.coin.encode())
         envelope = self._holder_envelope(
             held, "transfer", new_holder_y=offer["holder_y"], nonce=offer["nonce"]
         )
         # The rebind we are about to see on the public list is our own doing;
         # do not alarm on it (Section 5.1: only *unexpected* updates matter).
         self._expected_rebinds.add(held.coin_y)
-        response = self.request(
+        response = self.peer_client.transfer_request(
             held.coin.owner_address,
-            protocol.TRANSFER_REQUEST,
             {"envelope": protocol.encode_dual(envelope), "payee": payee, "nonce": offer["nonce"]},
         )
         binding = CoinBinding(
@@ -497,14 +503,12 @@ class Peer(Node):
         held = self._pick_held(coin_y, owner_online=False)
         if held.is_expired(self.clock.now()):
             raise CoinExpired(f"coin {held.coin_y:#x} expired")
-        offer = self.request(payee, protocol.TRANSFER_OFFER, held.coin.encode())
+        offer = self.peer_client.transfer_offer(payee, held.coin.encode())
         envelope = self._holder_envelope(
             held, "transfer", new_holder_y=offer["holder_y"], nonce=offer["nonce"]
         )
         self._expected_rebinds.add(held.coin_y)
-        binding_bytes = self.request(
-            self.broker_address, protocol.DOWNTIME_TRANSFER, protocol.encode_dual(envelope)
-        )
+        binding_bytes = self.broker_client.downtime_transfer(protocol.encode_dual(envelope))
         binding = CoinBinding(
             signed=protocol.decode_signed(binding_bytes, self.params), via_broker=True
         )
@@ -513,9 +517,8 @@ class Peer(Node):
         # Relay the completed payment to the payee (the broker stays out of
         # the payer-payee path; Section 4.2 has the broker "send W the signed
         # binding" — the relay is equivalent and keeps W hidden from B).
-        result = self.request(
+        result = self.peer_client.transfer_complete(
             payee,
-            protocol.TRANSFER_COMPLETE,
             {
                 "coin": held.coin.encode(),
                 "binding": binding.encode(),
@@ -545,7 +548,7 @@ class Peer(Node):
         held = self._pick_held(coin_y)
         account = payout_to if payout_to is not None else "bearer-" + secrets.token_hex(8)
         envelope = self._holder_envelope(held, "deposit", payout_to=account)
-        result = self.request(self.broker_address, protocol.DEPOSIT, protocol.encode_dual(envelope))
+        result = self.broker_client.deposit(protocol.encode_dual(envelope))
         if not result.get("ok"):
             raise ProtocolError("broker rejected the deposit")
         if self.detection is not None:
@@ -580,9 +583,7 @@ class Peer(Node):
         envelope = self._holder_envelope(
             held, "top_up", delta=delta, funding_auth=auth.encode()
         )
-        new_cert = self.request(
-            self.broker_address, protocol.TOP_UP, protocol.encode_dual(envelope)
-        )
+        new_cert = self.broker_client.top_up(protocol.encode_dual(envelope))
         new_coin = Coin(cert=protocol.decode_signed(new_cert, self.params))
         if (
             not new_coin.verify(self.broker_key)
@@ -601,17 +602,13 @@ class Peer(Node):
         envelope = self._holder_envelope(held, "renewal")
         owner = held.coin.owner_address
         if owner is not None and self.transport.is_online(owner):
-            response = self.request(
-                owner, protocol.RENEW_REQUEST, protocol.encode_dual(envelope)
-            )
+            response = self.peer_client.renew_request(owner, protocol.encode_dual(envelope))
             binding = CoinBinding(
                 signed=protocol.decode_signed(response, self.params), via_broker=False
             )
             self.counts.renewals_sent += 1
         else:
-            response = self.request(
-                self.broker_address, protocol.DOWNTIME_RENEWAL, protocol.encode_dual(envelope)
-            )
+            response = self.broker_client.downtime_renewal(protocol.encode_dual(envelope))
             binding = CoinBinding(
                 signed=protocol.decode_signed(response, self.params), via_broker=True
             )
@@ -662,7 +659,10 @@ class Peer(Node):
                 else:
                     raise ValueError(f"unknown payment method {method!r}")
                 return method
-            except (UnknownCoin, NotHolder, CoinExpired, NodeOffline):
+            except (UnknownCoin, NotHolder, CoinExpired, NodeOffline, ServiceUnavailable):
+                # ServiceUnavailable is a retry-exhaustion signal: the method
+                # was reachable in principle but the network lost the fight,
+                # so degrade gracefully to the next preference.
                 continue
         raise ProtocolError(f"no payment method in {preferences} was applicable")
 
@@ -844,10 +844,8 @@ class Peer(Node):
         binding = self._next_binding(state, operation.new_holder_y)
         if self.detection is not None:
             self.detection.publish_owner(self, state, binding)
-        result = self.request(
-            payload["payee"],
-            protocol.TRANSFER_COMPLETE,
-            self._completion_payload(state, binding, operation.nonce),
+        result = self.peer_client.transfer_complete(
+            payload["payee"], self._completion_payload(state, binding, operation.nonce)
         )
         if not result.get("ok"):
             # Roll back: the payee refused, the old binding stands.

@@ -17,6 +17,7 @@ import hashlib
 from typing import Any
 
 from repro.net.node import Node
+from repro.net.rpc import RpcClient
 from repro.net.transport import NetworkError, NodeOffline, Transport
 
 M = 160  # identifier bits
@@ -250,6 +251,9 @@ class ChordRing:
         if size < 1:
             raise ValueError("ring needs at least one node")
         self.transport = transport
+        # Client-side sends (put/get route on behalf of arbitrary callers)
+        # go through a transport-bound RPC client with per-call src.
+        self.rpc = RpcClient(transport=transport)
         self.nodes: list[ChordNode] = [
             ChordNode(transport, f"{prefix}-{i}") for i in range(size)
         ]
@@ -282,9 +286,11 @@ class ChordRing:
     def put(self, key: bytes, value: Any, src: str = "client") -> dict:
         """Route a put to the owner of ``key``."""
         owner = self.owner_of(key)
-        return self.transport.request(src, owner.address, "chord.put", {"key_id": key_to_id(key), "value": value})
+        return self.rpc.call(
+            owner.address, "chord.put", {"key_id": key_to_id(key), "value": value}, src=src
+        )
 
     def get(self, key: bytes, src: str = "client") -> Any:
         """Route a get to the owner of ``key``."""
         owner = self.owner_of(key)
-        return self.transport.request(src, owner.address, "chord.get", key_to_id(key))
+        return self.rpc.call(owner.address, "chord.get", key_to_id(key), src=src)

@@ -23,6 +23,7 @@ import hashlib
 from typing import Any
 
 from repro.net.node import Node
+from repro.net.rpc import RpcClient
 from repro.net.transport import NetworkError, NodeOffline, Transport
 
 ID_BITS = 160
@@ -126,6 +127,9 @@ class KademliaNetwork:
         if size < 1:
             raise ValueError("network needs at least one node")
         self.transport = transport
+        # Client-side lookups/stores run on behalf of arbitrary callers and
+        # go through a transport-bound RPC client with per-call src.
+        self.rpc = RpcClient(transport=transport)
         self.nodes: list[_KademliaNode] = [
             _KademliaNode(transport, f"{prefix}-{i}") for i in range(size)
         ]
@@ -157,7 +161,7 @@ class KademliaNetwork:
             for address in candidates[:ALPHA]:
                 queried.add(address)
                 try:
-                    learned = self.transport.request(src, address, "kad.find_node", target_id)
+                    learned = self.rpc.call(address, "kad.find_node", target_id, src=src)
                 except (NodeOffline, NetworkError):
                     continue
                 for contact in learned:
@@ -188,7 +192,7 @@ class KademliaNetwork:
         for rank, address in enumerate(closest):
             payload = {"key_id": key_id, "value": value, "notify": rank == 0}
             try:
-                response = self.transport.request(src, address, "kad.store", payload)
+                response = self.rpc.call(address, "kad.store", payload, src=src)
             except (NodeOffline, NetworkError):
                 continue
             if result is None:
@@ -202,7 +206,7 @@ class KademliaNetwork:
         key_id = kad_id(key)
         for address in self._iterative_find_node(src, key_id):
             try:
-                response = self.transport.request(src, address, "kad.find_value", key_id)
+                response = self.rpc.call(address, "kad.find_value", key_id, src=src)
             except (NodeOffline, NetworkError):
                 continue
             if response["found"]:

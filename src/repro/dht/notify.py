@@ -9,6 +9,11 @@ coin's binding id; every accepted put for that id is pushed to all online
 subscribers as a ``binding.update`` message.  Offline subscribers simply
 miss updates (and are expected to re-check when they rejoin — which is what
 WhoPay's holder-side monitoring does anyway).
+
+Notifications go through the typed :class:`~repro.core.clients.PeerClient`
+facade with a light retry policy: each push carries an idempotency key, so
+a duplicated or retried delivery cannot make a holder raise the same
+double-spend alarm twice.
 """
 
 from __future__ import annotations
@@ -16,9 +21,16 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Any
 
+from repro.core.clients import PeerClient
 from repro.dht.binding_store import BindingStore
 from repro.dht.chord import key_to_id
+from repro.net.rpc import RetryPolicy
 from repro.net.transport import NetworkError, NodeOffline
+
+#: One quick retry per push: notifications are best-effort (a missed one is
+#: reconciled at the holder's next sync), but a cheap second attempt rides
+#: out most single-message losses.
+NOTIFY_POLICY = RetryPolicy(max_attempts=2, base_delay=0.01, max_delay=0.05)
 
 
 class NotificationHub:
@@ -28,6 +40,10 @@ class NotificationHub:
         self.store = store
         self._subscribers: dict[int, set[str]] = defaultdict(set)
         self.notifications_sent = 0
+        self.notifications_failed = 0
+        self._client = PeerClient(
+            transport=store.ring.transport, src="dht-notify", policy=NOTIFY_POLICY
+        )
         for node in store.ring.nodes:
             node.after_put = self._fan_out  # type: ignore[attr-defined]
 
@@ -51,9 +67,9 @@ class NotificationHub:
             if not self.store.ring.transport.is_online(subscriber):
                 continue
             try:
-                self.store.ring.transport.request(
-                    "dht-notify", subscriber, "binding.update", value
-                )
+                self._client.binding_update(subscriber, value)
                 self.notifications_sent += 1
             except (NodeOffline, NetworkError):
+                # Best-effort push; the subscriber reconciles on next sync.
+                self.notifications_failed += 1
                 continue

@@ -18,6 +18,7 @@ import hashlib
 from typing import Any
 
 from repro.net.node import Node
+from repro.net.rpc import RpcClient
 from repro.net.transport import NetworkError, NodeOffline, Transport
 
 
@@ -68,7 +69,7 @@ class _I3Server(Node):
         _token_hash, forward_to = stored
         # Forward on behalf of the sender; the receiver sees the i3 server as
         # the source, never the original sender's address.
-        return self.transport.request(self.address, forward_to, payload["kind"], payload["payload"])
+        return self.request(forward_to, payload["kind"], payload["payload"])
 
 
 class I3Overlay:
@@ -78,6 +79,9 @@ class I3Overlay:
         if size < 1:
             raise ValueError("overlay needs at least one server")
         self.transport = transport
+        # Client-side sends carry the caller's src; route through a
+        # transport-bound RPC client like the DHT fabrics do.
+        self.rpc = RpcClient(transport=transport)
         self.servers = [_I3Server(transport, f"{prefix}-{i}") for i in range(size)]
 
     @staticmethod
@@ -99,8 +103,11 @@ class I3Overlay:
     def insert_trigger(self, handle: bytes, token: bytes, forward_to: str, src: str) -> None:
         """Register ``forward_to`` as the receiver for ``handle``."""
         server = self._server_for(handle)
-        result = self.transport.request(
-            src, server.address, "i3.insert", {"handle": handle, "token": token, "forward_to": forward_to}
+        result = self.rpc.call(
+            server.address,
+            "i3.insert",
+            {"handle": handle, "token": token, "forward_to": forward_to},
+            src=src,
         )
         if not result["ok"]:
             raise TriggerError(result["reason"])
@@ -108,7 +115,9 @@ class I3Overlay:
     def remove_trigger(self, handle: bytes, token: bytes, src: str) -> None:
         """Remove a trigger (owner only)."""
         server = self._server_for(handle)
-        result = self.transport.request(src, server.address, "i3.remove", {"handle": handle, "token": token})
+        result = self.rpc.call(
+            server.address, "i3.remove", {"handle": handle, "token": token}, src=src
+        )
         if not result["ok"]:
             raise TriggerError(result["reason"])
 
@@ -120,6 +129,6 @@ class I3Overlay:
         "owner unreachable, fall back to the broker".
         """
         server = self._server_for(handle)
-        return self.transport.request(
-            src, server.address, "i3.send", {"handle": handle, "kind": kind, "payload": payload}
+        return self.rpc.call(
+            server.address, "i3.send", {"handle": handle, "kind": kind, "payload": payload}, src=src
         )

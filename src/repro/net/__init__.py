@@ -6,9 +6,57 @@ message-passing fabric.  It gives the protocol layer exactly what it needs —
 addressed nodes, request/response RPC, offline failures — while counting
 every message and byte per entity (the paper's "communication cost" metric,
 Figures 7, 9, 11).
+
+On top of the raw fabric sit the resilience pieces: a seeded fault injector
+(:class:`FaultPlan`) and a retrying :class:`RpcClient` with idempotency-key
+deduplication (:class:`ReplayCache`), so protocol traffic survives lossy,
+partitioned, duplicating networks with exactly-once ledger effects.
 """
 
 from repro.net.node import Node
-from repro.net.transport import NetworkError, NodeOffline, Transport, UnknownNode
+from repro.net.rpc import (
+    DEFAULT_POLICY,
+    RESILIENT_POLICY,
+    ReplayCache,
+    RetriesExhausted,
+    RetryPolicy,
+    RpcClient,
+    RpcError,
+    RpcTimeout,
+    new_idempotency_key,
+)
+from repro.net.transport import (
+    FaultPlan,
+    FaultStats,
+    LinkPartitioned,
+    MessageDropped,
+    NetworkError,
+    NodeOffline,
+    Partition,
+    ReplyLost,
+    Transport,
+    UnknownNode,
+)
 
-__all__ = ["Transport", "Node", "NetworkError", "NodeOffline", "UnknownNode"]
+__all__ = [
+    "Transport",
+    "Node",
+    "NetworkError",
+    "NodeOffline",
+    "UnknownNode",
+    "MessageDropped",
+    "ReplyLost",
+    "LinkPartitioned",
+    "FaultPlan",
+    "FaultStats",
+    "Partition",
+    "RpcClient",
+    "RpcError",
+    "RpcTimeout",
+    "RetryPolicy",
+    "RetriesExhausted",
+    "ReplayCache",
+    "DEFAULT_POLICY",
+    "RESILIENT_POLICY",
+    "new_idempotency_key",
+]

@@ -98,6 +98,15 @@ class SimConfig:
     #: *distribution* behind Figures 4/5's averages).  Off by default — it
     #: adds two Counter updates per operation.
     track_per_peer: bool = False
+    #: Per-attempt message loss probability on every link.  The event-level
+    #: simulator does not replay individual retransmissions; instead the
+    #: expected-attempt factor (:func:`repro.sim.costs.expected_attempts`)
+    #: scales communication load, matching the fault-injecting transport's
+    #: retry behaviour in expectation.
+    message_loss: float = 0.0
+    #: Retry budget assumed for the comm-load overhead (mirrors the RPC
+    #: layer's resilient policy).
+    rpc_max_attempts: int = 6
     #: Model the Section 5.1 real-time detection overhead: every binding
     #: update (issue/transfer/renewal, downtime included) costs one DHT
     #: publish, and every payment acceptance costs one DHT read (the
@@ -118,6 +127,10 @@ class SimConfig:
         for name in ("duration", "mean_online", "mean_offline", "payment_interval", "renewal_period"):
             if getattr(self, name) <= 0:
                 raise ValueError(f"{name} must be positive")
+        if not 0.0 <= self.message_loss < 1.0:
+            raise ValueError("message_loss must be in [0, 1)")
+        if self.rpc_max_attempts < 1:
+            raise ValueError("rpc_max_attempts must be >= 1")
 
     @property
     def availability(self) -> float:

@@ -24,6 +24,25 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+def expected_attempts(loss: float, max_attempts: int) -> float:
+    """Expected RPC attempts per logical message under per-attempt loss.
+
+    With independent per-attempt failure probability ``loss`` and up to
+    ``max_attempts`` tries, the attempt count is a truncated geometric
+    variable with mean ``(1 - loss**n) / (1 - loss)``.  The simulator uses
+    this as a multiplicative overhead on communication load: every message
+    endpoint in the cost tables is paid once per attempt, so lossy links
+    inflate comm load without changing the CPU-side accounting.
+    """
+    if not 0.0 <= loss < 1.0:
+        raise ValueError("loss must be in [0, 1)")
+    if max_attempts < 1:
+        raise ValueError("max_attempts must be >= 1")
+    if loss == 0.0:
+        return 1.0
+    return (1.0 - loss**max_attempts) / (1.0 - loss)
+
+
 #: Table 3 — relative CPU cost of each micro-operation.
 MICRO_COST = {
     "keygen": 1,

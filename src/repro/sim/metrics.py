@@ -26,6 +26,11 @@ class SimMetrics:
     """Operation counters and derived load figures for one run."""
 
     n_peers: int
+    #: Multiplicative communication overhead from RPC retransmissions
+    #: (expected attempts per logical message under the configured loss
+    #: rate); 1.0 on loss-free links.  CPU load is unaffected — handlers
+    #: run once thanks to idempotency-key dedupe.
+    msg_overhead: float = 1.0
     ops: Counter = field(default_factory=Counter)
     #: Depth-dependent micro-operations (layered-chain verifications) that
     #: cannot be priced by a fixed per-op table; peer-side by definition.
@@ -89,8 +94,10 @@ class SimMetrics:
         return float(sum(OP_COSTS[op].broker_cpu * count for op, count in self.ops.items()))
 
     def broker_comm_load(self) -> float:
-        """Total broker communication load (message endpoints)."""
-        return float(sum(OP_COSTS[op].broker_msgs * count for op, count in self.ops.items()))
+        """Total broker communication load (message endpoints × retries)."""
+        return self.msg_overhead * float(
+            sum(OP_COSTS[op].broker_msgs * count for op, count in self.ops.items())
+        )
 
     def peer_cpu_load_total(self) -> float:
         """Total peer-side CPU load across all peers."""
@@ -99,8 +106,10 @@ class SimMetrics:
         return float(fixed + dynamic)
 
     def peer_comm_load_total(self) -> float:
-        """Total peer-side communication load across all peers."""
-        return float(sum(OP_COSTS[op].peer_msgs * count for op, count in self.ops.items()))
+        """Total peer-side communication load across all peers (× retries)."""
+        return self.msg_overhead * float(
+            sum(OP_COSTS[op].peer_msgs * count for op, count in self.ops.items())
+        )
 
     # -- figure 8/9: broker / average-peer ratios ------------------------------------
 

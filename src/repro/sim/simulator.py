@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 
 from repro.sim import policies as pol
 from repro.sim.config import SimConfig
+from repro.sim.costs import expected_attempts
 from repro.sim.metrics import SimMetrics
 
 # event kinds (ordered so ties break deterministically)
@@ -98,7 +99,10 @@ class Simulation:
     def __init__(self, config: SimConfig) -> None:
         self.config = config
         self.rng = random.Random(config.seed)
-        self.metrics = SimMetrics(n_peers=config.n_peers)
+        self.metrics = SimMetrics(
+            n_peers=config.n_peers,
+            msg_overhead=expected_attempts(config.message_loss, config.rpc_max_attempts),
+        )
         self.now = 0.0
         balance = float("inf") if config.initial_balance is None else config.initial_balance
         self.peers = [_Peer(balance) for _ in range(config.n_peers)]

@@ -90,3 +90,42 @@ class TestMetricsMath:
         metrics = SimMetrics(n_peers=4)
         assert metrics.broker_cpu_load() == 0
         assert metrics.broker_cpu_share() == 0.0
+
+
+class TestRetryOverhead:
+    def test_expected_attempts_math(self):
+        from repro.sim.costs import expected_attempts
+
+        assert expected_attempts(0.0, 6) == 1.0
+        # Truncated geometric mean: (1 - p^n) / (1 - p).
+        assert expected_attempts(0.5, 2) == pytest.approx(1.5)
+        assert expected_attempts(0.1, 6) == pytest.approx((1 - 0.1**6) / 0.9)
+        # More retry budget can only add attempts; loss-free adds none.
+        assert expected_attempts(0.2, 8) > expected_attempts(0.2, 2)
+        with pytest.raises(ValueError):
+            expected_attempts(1.0, 3)
+        with pytest.raises(ValueError):
+            expected_attempts(0.1, 0)
+
+    def test_msg_overhead_scales_comm_not_cpu(self):
+        metrics = SimMetrics(n_peers=10, msg_overhead=1.25)
+        metrics.count("purchase", 8)
+        base_broker = 8 * OP_COSTS["purchase"].broker_msgs
+        base_peer = 8 * OP_COSTS["purchase"].peer_msgs
+        assert metrics.broker_comm_load() == pytest.approx(1.25 * base_broker)
+        assert metrics.peer_comm_load_total() == pytest.approx(1.25 * base_peer)
+        # CPU unaffected: handlers run once thanks to idempotent dedupe.
+        assert metrics.broker_cpu_load() == 8 * OP_COSTS["purchase"].broker_cpu
+
+    def test_simulation_wires_loss_into_overhead(self):
+        from repro.sim.config import SimConfig
+        from repro.sim.costs import expected_attempts
+        from repro.sim.simulator import Simulation
+
+        config = SimConfig(n_peers=4, message_loss=0.1, rpc_max_attempts=6)
+        sim = Simulation(config)
+        assert sim.metrics.msg_overhead == pytest.approx(expected_attempts(0.1, 6))
+        with pytest.raises(ValueError):
+            SimConfig(n_peers=4, message_loss=1.5)
+        with pytest.raises(ValueError):
+            SimConfig(n_peers=4, rpc_max_attempts=0)
