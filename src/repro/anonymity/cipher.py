@@ -14,7 +14,7 @@ import hashlib
 import hmac
 import secrets
 
-from repro.crypto import primitives
+from repro.crypto import fastexp, primitives
 from repro.crypto.keys import KeyPair, PublicKey
 
 NONCE_SIZE = 16
@@ -30,7 +30,7 @@ def derive_shared_key(mine: KeyPair, theirs: PublicKey) -> bytes:
     params = mine.params
     if not params.is_element(theirs.y):
         raise ValueError("peer public key is not a subgroup element")
-    shared_point = pow(theirs.y, mine.x, params.p)
+    shared_point = fastexp.mod_pow(theirs.y, mine.x, params.p, order=params.q)
     return hashlib.sha256(b"onion-dh-v1|" + primitives.int_to_bytes(shared_point)).digest()
 
 

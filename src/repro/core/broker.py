@@ -22,6 +22,7 @@ Security duties implemented here:
 
 from __future__ import annotations
 
+import hmac
 import secrets
 from dataclasses import dataclass, field
 from typing import Any
@@ -508,7 +509,13 @@ class Broker(Node):
         except (ValueError, KeyError, TypeError) as exc:
             raise ProtocolError(f"malformed sync: {exc}") from exc
         expected = self._sync_nonces.pop(src, None)
-        if expected is None or nonce != expected:
+        # Constant-time: the nonce gates a state-revealing reply, so the
+        # comparison must not leak the matching prefix length.
+        if (
+            expected is None
+            or not isinstance(nonce, bytes)
+            or not hmac.compare_digest(nonce, expected)
+        ):
             raise VerificationFailed("sync nonce missing or mismatched")
         if not signed.verify():
             raise VerificationFailed("sync signature invalid")

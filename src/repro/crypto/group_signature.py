@@ -264,7 +264,7 @@ def _ciphertext_tables(
         base: fastexp.FixedBaseTable(
             base, params.p, params.q_bits, window=fastexp.EPHEMERAL_WINDOW, order=params.q
         )
-        for base in {c1, c2}
+        for base in (c1, c2)  # keyed dict dedupes c1 == c2 deterministically
     }
 
 

@@ -71,6 +71,7 @@ class ChordNode(Node):
         self.predecessor: str | None = None
         self.fingers: list[str] = [address] * M
         self.successor_list: list[str] = []  # fault-tolerance chain (r = 4)
+        self.stabilize_failures = 0  # churn-expected stabilize RPC failures
         self.storage: dict[int, Any] = {}
         self.on("chord.find_successor", self._handle_find_successor)
         self.on("chord.get_predecessor", lambda src, _p: self.predecessor)
@@ -163,7 +164,9 @@ class ChordNode(Node):
             succ_list = self.request(self.successor, "chord.get_successor_list", None)
             self.successor_list = [s for s in succ_list if s != self.address][:4]
         except (NodeOffline, NetworkError):
-            pass
+            # Expected under churn; the next stabilize round retries.  The
+            # counter keeps the failure observable to ring-health checks.
+            self.stabilize_failures += 1
 
     def _handle_notify(self, src: str, candidate: str) -> None:
         if self.predecessor is None or not self.transport.is_online(self.predecessor):

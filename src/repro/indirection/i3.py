@@ -17,6 +17,7 @@ from __future__ import annotations
 import hashlib
 from typing import Any
 
+from repro.crypto.primitives import constant_time_eq
 from repro.net.node import Node
 from repro.net.rpc import RpcClient
 from repro.net.transport import NetworkError, NodeOffline, Transport
@@ -40,23 +41,28 @@ class _I3Server(Node):
     def _handle_insert(self, src: str, payload: dict) -> dict:
         handle: bytes = payload["handle"]
         token: bytes = payload["token"]
-        expected = hashlib.sha256(b"i3-claim|" + handle).digest()
+        if not isinstance(handle, bytes) or not isinstance(token, bytes):
+            return {"ok": False, "reason": "malformed trigger request"}
         stored = self.triggers.get(handle)
-        if stored is not None and stored[0] != hashlib.sha256(token).digest():
+        # Token checks are constant-time: the claim token is the secret that
+        # guards a coin's control channel, so the comparison must not leak
+        # how many prefix bytes of a guess were right.
+        if stored is not None and not constant_time_eq(stored[0], hashlib.sha256(token).digest()):
             return {"ok": False, "reason": "handle already claimed"}
-        if hashlib.sha256(b"i3-handle|" + token).digest() != handle:
+        if not constant_time_eq(hashlib.sha256(b"i3-handle|" + token).digest(), handle):
             return {"ok": False, "reason": "token does not derive the handle"}
-        del expected  # the handle itself is the commitment; token is its preimage
         self.triggers[handle] = (hashlib.sha256(token).digest(), payload["forward_to"])
         return {"ok": True, "reason": None}
 
     def _handle_remove(self, src: str, payload: dict) -> dict:
         handle: bytes = payload["handle"]
         token: bytes = payload["token"]
+        if not isinstance(handle, bytes) or not isinstance(token, bytes):
+            return {"ok": False, "reason": "malformed trigger request"}
         stored = self.triggers.get(handle)
         if stored is None:
             return {"ok": True, "reason": None}
-        if stored[0] != hashlib.sha256(token).digest():
+        if not constant_time_eq(stored[0], hashlib.sha256(token).digest()):
             return {"ok": False, "reason": "not the trigger owner"}
         del self.triggers[handle]
         return {"ok": True, "reason": None}

@@ -1,0 +1,63 @@
+"""Small AST utilities shared by the rule implementations."""
+
+from __future__ import annotations
+
+import ast
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``"a.b.c"`` for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def receiver_attr(node: ast.AST) -> str | None:
+    """The last identifier of a call receiver: ``self.rpc`` → ``"rpc"``."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def identifier_parts(identifier: str) -> set[str]:
+    """Snake-case parts of an identifier, lowercased (``sig_r`` → {sig, r})."""
+    return {part for part in identifier.lower().split("_") if part}
+
+
+def in_package(module: str, prefixes: tuple[str, ...]) -> bool:
+    """True iff dotted ``module`` is any of ``prefixes`` or inside one."""
+    return any(
+        module == prefix or module.startswith(prefix + ".") for prefix in prefixes
+    )
+
+
+def exception_names(type_node: ast.expr | None) -> set[str]:
+    """Class names an ``except`` clause catches (empty for bare except)."""
+    if type_node is None:
+        return set()
+    nodes = type_node.elts if isinstance(type_node, ast.Tuple) else [type_node]
+    names: set[str] = set()
+    for node in nodes:
+        if isinstance(node, ast.Attribute):
+            names.add(node.attr)
+        elif isinstance(node, ast.Name):
+            names.add(node.id)
+    return names
+
+
+def body_is_silent(body: list[ast.stmt]) -> bool:
+    """True iff a block does nothing: only ``pass`` / bare constants."""
+    for stmt in body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue  # docstring or `...`
+        return False
+    return True

@@ -1,0 +1,89 @@
+"""Committed baseline of grandfathered findings.
+
+The baseline is the escape hatch for debt that predates a rule: findings
+whose fingerprints appear in it don't fail the build, but they stay visible
+in the summary so the debt can't silently grow.  Every entry must carry a
+``justification`` — the file format makes "why is this allowed?" a required
+field, since JSON has no comments.
+
+Fingerprints exclude line numbers (see
+:class:`~repro.lint.diagnostics.Diagnostic`), so entries survive unrelated
+edits; an entry whose finding disappears shows up as *stale* and should be
+deleted.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Sequence
+
+from repro.lint.diagnostics import Diagnostic
+
+BASELINE_VERSION = 1
+DEFAULT_JUSTIFICATION = "TODO: justify this grandfathered finding"
+
+
+class BaselineError(ValueError):
+    """The baseline file exists but cannot be used."""
+
+
+def load_baseline(path: str) -> dict[str, dict[str, Any]]:
+    """Fingerprint → entry map; a missing file is an empty baseline."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+    except FileNotFoundError:
+        return {}
+    except (OSError, json.JSONDecodeError) as exc:
+        raise BaselineError(f"unreadable baseline {path!r}: {exc}") from exc
+    if not isinstance(data, dict) or data.get("version") != BASELINE_VERSION:
+        raise BaselineError(f"baseline {path!r}: unsupported format/version")
+    entries = data.get("entries", [])
+    if not isinstance(entries, list):
+        raise BaselineError(f"baseline {path!r}: 'entries' must be a list")
+    table: dict[str, dict[str, Any]] = {}
+    for entry in entries:
+        if not isinstance(entry, dict) or "fingerprint" not in entry:
+            raise BaselineError(f"baseline {path!r}: malformed entry {entry!r}")
+        table[entry["fingerprint"]] = entry
+    return table
+
+
+def write_baseline(
+    path: str,
+    diagnostics: Sequence[Diagnostic],
+    justification: str = DEFAULT_JUSTIFICATION,
+) -> int:
+    """Write a fresh baseline covering ``diagnostics``; returns entry count."""
+    entries = []
+    for diag in sorted(set(diagnostics)):
+        entry = diag.to_json()
+        del entry["line"], entry["col"]  # fingerprints are line-independent
+        entry["justification"] = justification
+        entries.append(entry)
+    payload = {"version": BASELINE_VERSION, "entries": entries}
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return len(entries)
+
+
+def split_baselined(
+    diagnostics: Sequence[Diagnostic], baseline: dict[str, dict[str, Any]]
+) -> tuple[list[Diagnostic], list[Diagnostic], list[dict[str, Any]]]:
+    """Partition findings into ``(new, grandfathered, stale_entries)``.
+
+    ``stale_entries`` are baseline entries no current finding matches —
+    fixed debt whose entry should now be removed from the file.
+    """
+    seen: set[str] = set()
+    new: list[Diagnostic] = []
+    grandfathered: list[Diagnostic] = []
+    for diag in diagnostics:
+        if diag.fingerprint in baseline:
+            seen.add(diag.fingerprint)
+            grandfathered.append(diag)
+        else:
+            new.append(diag)
+    stale = [entry for fp, entry in sorted(baseline.items()) if fp not in seen]
+    return new, grandfathered, stale

@@ -1,0 +1,163 @@
+"""Command-line entry point: ``python -m repro.lint [paths] --format text|json``.
+
+Exit codes: 0 — clean (every finding baselined or suppressed); 1 — at
+least one new finding; 2 — usage or I/O error.
+
+Defaults (paths, baseline location) can be set once in ``pyproject.toml``::
+
+    [tool.wp-lint]
+    paths = ["src"]
+    baseline = "lint-baseline.json"
+
+so CI, pre-commit hooks, and developers all run the same invocation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Any, Sequence
+
+from repro.lint.baseline import (
+    BaselineError,
+    load_baseline,
+    split_baselined,
+    write_baseline,
+)
+from repro.lint.engine import lint_paths
+from repro.lint.registry import get_rules
+
+try:  # pragma: no cover - tomllib ships with 3.11+
+    import tomllib
+except ImportError:  # pragma: no cover
+    tomllib = None  # type: ignore[assignment]
+
+DEFAULT_BASELINE = "lint-baseline.json"
+
+
+def _load_config(start_dir: str) -> dict[str, Any]:
+    """``[tool.wp-lint]`` from the nearest pyproject.toml at/above start_dir."""
+    if tomllib is None:
+        return {}
+    current = os.path.abspath(start_dir)
+    while True:
+        candidate = os.path.join(current, "pyproject.toml")
+        if os.path.isfile(candidate):
+            try:
+                with open(candidate, "rb") as fh:
+                    data = tomllib.load(fh)
+            except (OSError, tomllib.TOMLDecodeError):
+                return {}
+            section = data.get("tool", {}).get("wp-lint", {})
+            return section if isinstance(section, dict) else {}
+        parent = os.path.dirname(current)
+        if parent == current:
+            return {}
+        current = parent
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="WhoPay invariant checker (rules WP101-WP105).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: [tool.wp-lint] paths, else src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        help=f"baseline file (default: [tool.wp-lint] baseline, else {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file; every finding counts",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write all current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for rule in get_rules():
+            print(f"{rule.code}  {rule.name} [{rule.scope}]")
+            print(f"       {rule.rationale}")
+        return 0
+
+    config = _load_config(os.getcwd())
+    paths = list(args.paths) or list(config.get("paths", [])) or ["src"]
+    baseline_path = args.baseline or config.get("baseline") or DEFAULT_BASELINE
+
+    try:
+        result = lint_paths(paths)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        count = write_baseline(baseline_path, result.findings)
+        print(f"wrote {count} entr{'y' if count == 1 else 'ies'} to {baseline_path}")
+        return 0
+
+    baseline: dict[str, Any] = {}
+    if not args.no_baseline:
+        try:
+            baseline = load_baseline(baseline_path)
+        except BaselineError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    new, grandfathered, stale = split_baselined(result.findings, baseline)
+
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "version": 1,
+                    "checked_files": result.checked_files,
+                    "suppressed": result.suppressed,
+                    "baselined": [diag.to_json() for diag in grandfathered],
+                    "stale_baseline_entries": stale,
+                    "findings": [diag.to_json() for diag in new],
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        for diag in new:
+            print(diag.format_text())
+        for entry in stale:
+            print(
+                f"note: stale baseline entry {entry['fingerprint']} "
+                f"({entry.get('code', '?')} in {entry.get('path', '?')}) — "
+                "the finding is gone; remove the entry"
+            )
+        summary = (
+            f"{len(new)} finding(s), {len(grandfathered)} baselined, "
+            f"{result.suppressed} suppressed across {result.checked_files} file(s)"
+        )
+        print(("FAIL: " if new else "ok: ") + summary)
+
+    return 1 if new else 0

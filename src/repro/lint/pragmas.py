@@ -1,0 +1,58 @@
+"""Suppression pragmas and module directives.
+
+Two comment forms are recognized:
+
+* ``# wp-lint: disable=WP101`` (or ``disable=WP101,WP105``) — suppress the
+  named codes for findings *on that physical line*.  A suppression is a
+  visible, reviewable decision at the violation site; prefer it over the
+  baseline for anything intentional.
+* ``# wp-lint: module=repro.core.whatever`` — within the first few lines of
+  a file, override the module name the engine derives from the path.  This
+  exists for lint's own test fixtures, which live outside ``src/`` but must
+  exercise package-scoped rules.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Sequence
+
+_DISABLE_RE = re.compile(r"#\s*wp-lint:\s*disable=([A-Za-z0-9_,\s]+)")
+_MODULE_RE = re.compile(r"#\s*wp-lint:\s*module=([A-Za-z0-9_.]+)")
+
+#: How deep into a file the ``module=`` directive is honored.
+MODULE_DIRECTIVE_WINDOW = 10
+
+
+def scan_pragmas(lines: Sequence[str]) -> dict[int, frozenset[str]]:
+    """Map 1-based line numbers to the set of codes disabled on that line."""
+    pragmas: dict[int, frozenset[str]] = {}
+    for lineno, text in enumerate(lines, start=1):
+        if "wp-lint" not in text:
+            continue
+        match = _DISABLE_RE.search(text)
+        if match is None:
+            continue
+        codes = frozenset(
+            part.strip().upper() for part in match.group(1).split(",") if part.strip()
+        )
+        if codes:
+            pragmas[lineno] = codes
+    return pragmas
+
+
+def module_override(lines: Sequence[str]) -> str | None:
+    """The ``module=`` directive value, if one appears near the top of file."""
+    for text in lines[:MODULE_DIRECTIVE_WINDOW]:
+        if "wp-lint" not in text:
+            continue
+        match = _MODULE_RE.search(text)
+        if match is not None:
+            return match.group(1)
+    return None
+
+
+def is_suppressed(code: str, line: int, pragmas: dict[int, frozenset[str]]) -> bool:
+    """True iff ``code`` is disabled on ``line`` by a pragma."""
+    codes = pragmas.get(line)
+    return codes is not None and code.upper() in codes

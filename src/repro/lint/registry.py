@@ -1,0 +1,74 @@
+"""Rule registry: stable codes, one instance per rule, lazy built-in loading.
+
+Rules self-register at import time via :func:`register`; the engine asks
+:func:`get_rules` for the active set, which imports the built-in rule
+modules on first use (keeping ``registry`` import-cycle free — rule modules
+import *this* module, never the other way around).
+"""
+
+from __future__ import annotations
+
+import importlib
+import re
+from typing import ClassVar, Iterable, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.lint.diagnostics import Diagnostic
+    from repro.lint.engine import ModuleInfo, Program
+
+_CODE_RE = re.compile(r"^WP\d{3}$")
+
+
+class Rule:
+    """Base class for lint rules.
+
+    ``scope`` selects the check signature:
+
+    * ``"file"`` — ``check(module: ModuleInfo)`` runs once per source file;
+    * ``"program"`` — ``check(program: Program)`` runs once over the whole
+      file set (cross-module rules like wire-schema consistency).
+    """
+
+    code: ClassVar[str]
+    name: ClassVar[str]
+    scope: ClassVar[str] = "file"
+    rationale: ClassVar[str] = ""
+
+    def check(self, target: "ModuleInfo | Program") -> "Iterable[Diagnostic]":
+        raise NotImplementedError
+
+
+_RULES: dict[str, Rule] = {}
+_BUILTINS_LOADED = False
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator: instantiate and register a rule under its code."""
+    if not _CODE_RE.match(getattr(cls, "code", "")):
+        raise ValueError(f"{cls.__name__}: rule code must match WPxxx")
+    if cls.scope not in ("file", "program"):
+        raise ValueError(f"{cls.__name__}: scope must be 'file' or 'program'")
+    rule = cls()
+    if rule.code in _RULES:
+        raise ValueError(f"duplicate rule code {rule.code}")
+    _RULES[rule.code] = rule
+    return cls
+
+
+def _load_builtins() -> None:
+    global _BUILTINS_LOADED
+    if not _BUILTINS_LOADED:
+        importlib.import_module("repro.lint.rules")
+        _BUILTINS_LOADED = True
+
+
+def get_rules() -> list[Rule]:
+    """All registered rules, sorted by code (stable output ordering)."""
+    _load_builtins()
+    return [_RULES[code] for code in sorted(_RULES)]
+
+
+def get_rule(code: str) -> Rule:
+    """Look up one rule by its code (raises ``KeyError`` if unknown)."""
+    _load_builtins()
+    return _RULES[code]

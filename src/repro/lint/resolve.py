@@ -1,0 +1,101 @@
+"""Cross-module constant resolution for whole-program rules.
+
+The wire-schema rule needs to know, for an expression like
+``protocol.PURCHASE`` or a bare ``ASSIGN``, which *string* actually crosses
+the transport.  Within this codebase message kinds are always module-level
+string constants referenced directly, via ``from pkg import mod`` aliases,
+or via ``from mod import NAME`` — so a small, honest resolver over the
+analyzed file set covers every real call site.  Anything dynamic (a kind
+pulled out of a payload dict) resolves to ``None`` and is skipped rather
+than guessed at.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.lint.engine import ModuleInfo, Program
+
+
+@dataclass
+class ModuleSymbols:
+    """What one module contributes to / imports from the constant namespace."""
+
+    #: module-level ``NAME = "literal"`` string assignments
+    constants: dict[str, str] = field(default_factory=dict)
+    #: local alias → dotted module it refers to (``from a.b import c`` → c=a.b.c)
+    module_aliases: dict[str, str] = field(default_factory=dict)
+    #: local name → (defining module, original name) from ``from m import N``
+    imported_names: dict[str, tuple[str, str]] = field(default_factory=dict)
+
+
+def collect_symbols(tree: ast.Module) -> ModuleSymbols:
+    """Scan one module's top level for constants and import bindings."""
+    symbols = ModuleSymbols()
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Assign):
+            if isinstance(stmt.value, ast.Constant) and isinstance(stmt.value.value, str):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        symbols.constants[target.id] = stmt.value.value
+        elif isinstance(stmt, ast.AnnAssign):
+            if (
+                isinstance(stmt.target, ast.Name)
+                and isinstance(stmt.value, ast.Constant)
+                and isinstance(stmt.value.value, str)
+            ):
+                symbols.constants[stmt.target.id] = stmt.value.value
+        elif isinstance(stmt, ast.Import):
+            for alias in stmt.names:
+                local = alias.asname or alias.name.split(".")[0]
+                # ``import a.b.c as x`` binds x to a.b.c; plain ``import a.b``
+                # binds only ``a``, which never names a constant table here.
+                if alias.asname is not None:
+                    symbols.module_aliases[local] = alias.name
+        elif isinstance(stmt, ast.ImportFrom):
+            if stmt.module is None or stmt.level:
+                continue  # relative imports are not used in this codebase
+            for alias in stmt.names:
+                local = alias.asname or alias.name
+                # ``from a.b import c`` may bind a submodule *or* a name;
+                # record both readings and let lookup pick whichever exists.
+                symbols.module_aliases[local] = f"{stmt.module}.{alias.name}"
+                symbols.imported_names[local] = (stmt.module, alias.name)
+    return symbols
+
+
+class ConstantResolver:
+    """Resolves kind expressions to strings across the analyzed file set."""
+
+    def __init__(self, program: "Program") -> None:
+        self._symbols: dict[str, ModuleSymbols] = {
+            info.module: collect_symbols(info.tree) for info in program.modules
+        }
+
+    def _constant_in(self, module: str, name: str) -> str | None:
+        symbols = self._symbols.get(module)
+        return None if symbols is None else symbols.constants.get(name)
+
+    def resolve(self, expr: ast.expr, module: "ModuleInfo") -> str | None:
+        """The string ``expr`` evaluates to, or ``None`` if not static."""
+        if isinstance(expr, ast.Constant):
+            return expr.value if isinstance(expr.value, str) else None
+        symbols = self._symbols.get(module.module)
+        if symbols is None:
+            return None
+        if isinstance(expr, ast.Name):
+            local = symbols.constants.get(expr.id)
+            if local is not None:
+                return local
+            origin = symbols.imported_names.get(expr.id)
+            if origin is not None:
+                return self._constant_in(*origin)
+            return None
+        if isinstance(expr, ast.Attribute) and isinstance(expr.value, ast.Name):
+            target = symbols.module_aliases.get(expr.value.id)
+            if target is not None:
+                return self._constant_in(target, expr.attr)
+        return None

@@ -1,0 +1,9 @@
+"""Built-in rules — importing this package registers all of them."""
+
+from repro.lint.rules import (  # noqa: F401
+    crypto,
+    determinism,
+    exceptions,
+    transport,
+    wire,
+)

@@ -1,0 +1,124 @@
+"""WP105 — wire-schema consistency (whole-program).
+
+Every message kind a client or facade sends must have a Node somewhere
+registering a handler for it, and every registered handler must have a
+sender — otherwise client/handler drift ships silently and surfaces later
+as a chaos-test timeout ("no handler for message kind ...") or as dead
+protocol surface nobody exercises.
+
+Send sites recognized:
+
+* ``<facade>._call(dst, KIND, ...)`` — the typed-facade plumbing;
+* ``<x>.rpc.call(dst, KIND, ...)`` / ``<x>._rpc.call(...)`` — RPC clients;
+* ``self.request(dst, KIND, ...)`` — a node's convenience sender.
+
+Handler sites: ``<node>.on(KIND, handler)``.
+
+Kinds are resolved across the analyzed file set through
+:class:`~repro.lint.resolve.ConstantResolver` (string literals, module
+constants, ``protocol.X`` attributes, ``from m import NAME``).  Kind
+expressions that are genuinely dynamic — a kind forwarded out of a payload
+dict, as the i3 and onion relays do — resolve to ``None`` and are skipped:
+the rule reports only what it can prove.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.lint.asthelpers import receiver_attr
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.engine import ModuleInfo, Program
+from repro.lint.registry import Rule, register
+from repro.lint.resolve import ConstantResolver
+
+_RPC_RECEIVERS = {"rpc", "_rpc"}
+
+
+@dataclass(frozen=True)
+class _Site:
+    path: str
+    line: int
+    col: int
+
+
+def _kind_expr(node: ast.Call) -> ast.expr | None:
+    """The kind-expression argument of a send/handler call, if this is one."""
+    func = node.func
+    if not isinstance(func, ast.Attribute):
+        return None
+    if func.attr == "on" and len(node.args) >= 2:
+        return node.args[0]
+    if func.attr == "_call" and len(node.args) >= 2:
+        return node.args[1]
+    if (
+        func.attr == "call"
+        and len(node.args) >= 2
+        and receiver_attr(func.value) in _RPC_RECEIVERS
+    ):
+        return node.args[1]
+    if (
+        func.attr == "request"
+        and len(node.args) >= 2
+        and isinstance(func.value, ast.Name)
+        and func.value.id == "self"
+    ):
+        return node.args[1]
+    return None
+
+
+@register
+class WireSchemaConsistency(Rule):
+    code = "WP105"
+    name = "wire-schema-consistency"
+    scope = "program"
+    rationale = (
+        "A kind sent with no handler (or handled with no sender) is "
+        "client/server drift that otherwise surfaces as a runtime "
+        "'no handler for message kind' failure or dead protocol surface."
+    )
+
+    def check(self, program: Program) -> Iterable[Diagnostic]:
+        resolver = ConstantResolver(program)
+        sent: dict[str, list[_Site]] = {}
+        handled: dict[str, list[_Site]] = {}
+        for module in program.modules:
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                expr = _kind_expr(node)
+                if expr is None:
+                    continue
+                kind = resolver.resolve(expr, module)
+                if kind is None:
+                    continue  # dynamic kind — nothing provable
+                table = handled if node.func.attr == "on" else sent  # type: ignore[union-attr]
+                table.setdefault(kind, []).append(
+                    _Site(module.path, node.lineno, node.col_offset)
+                )
+        for kind in sorted(set(sent) - set(handled)):
+            for site in sent[kind]:
+                yield Diagnostic(
+                    path=site.path,
+                    line=site.line,
+                    col=site.col,
+                    code=self.code,
+                    message=(
+                        f"message kind {kind!r} is sent but no Node registers "
+                        "a handler for it"
+                    ),
+                )
+        for kind in sorted(set(handled) - set(sent)):
+            for site in handled[kind]:
+                yield Diagnostic(
+                    path=site.path,
+                    line=site.line,
+                    col=site.col,
+                    code=self.code,
+                    message=(
+                        f"handler registered for message kind {kind!r} but no "
+                        "client or facade ever sends it"
+                    ),
+                )

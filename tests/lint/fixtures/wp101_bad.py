@@ -1,0 +1,13 @@
+# wp-lint: module=repro.core.fixture_wp101_bad
+"""WP101 bad fixture: raw transport sends outside repro.net."""
+
+
+class LeakyPeer:
+    def __init__(self, transport):
+        self.transport = transport
+
+    def pay_raw(self, dst, payload):
+        return self.transport.request("me", dst, "whopay.purchase", payload)  # line 10: WP101
+
+    def poke(self, node, dst, payload):
+        return node.send_raw(dst, "whopay.deposit", payload)  # line 13: WP101

@@ -1,0 +1,17 @@
+# wp-lint: module=repro.core.fixture_wp101_good
+"""WP101 good fixture: traffic rides the typed facades / Node.request."""
+
+
+class PolitePeer:
+    def __init__(self, broker_client):
+        self.broker_client = broker_client
+
+    def pay(self, signed_request):
+        return self.broker_client.purchase(signed_request)
+
+    def probe(self, dst, payload):
+        # Node.request is the sanctioned convenience sender.
+        return self.request(dst, "whopay.binding_query", payload)
+
+    def request(self, dst, kind, payload):
+        return (dst, kind, payload)

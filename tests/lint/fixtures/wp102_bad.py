@@ -1,0 +1,25 @@
+# wp-lint: module=repro.sim.fixture_wp102_bad
+"""WP102 bad fixture: process entropy, wall clocks, hash-ordered iteration."""
+
+import random
+import time
+from datetime import datetime
+
+
+def jitter():
+    return random.random()  # line 10: WP102 (global RNG)
+
+
+def pick(peers):
+    return random.choice(peers)  # line 14: WP102 (global RNG)
+
+
+def stamp():
+    return time.time(), datetime.now()  # line 18: WP102 twice (wall clock)
+
+
+def payload(coin_ids):
+    ordered = [cid for cid in set(coin_ids)]  # line 22: WP102 (set iteration)
+    for cid in {1, 2, 3}:  # line 23: WP102 (set iteration)
+        ordered.append(cid)
+    return list({"a", "b"})  # line 25: WP102 (set iteration)

@@ -1,0 +1,22 @@
+# wp-lint: module=repro.sim.fixture_wp102_good
+"""WP102 good fixture: seeded RNG, virtual clock, sorted iteration."""
+
+import random
+
+
+class Model:
+    def __init__(self, seed, clock):
+        self.rng = random.Random(seed)  # seeded instance is the sanctioned form
+        self.clock = clock
+
+    def jitter(self):
+        return self.rng.random()
+
+    def stamp(self):
+        return self.clock.now()
+
+    def payload(self, coin_ids):
+        ordered = [cid for cid in sorted(set(coin_ids))]
+        for cid in sorted({1, 2, 3}):
+            ordered.append(cid)
+        return ordered

@@ -1,0 +1,26 @@
+# wp-lint: module=repro.core.fixture_wp104_bad
+"""WP104 bad fixture: bare except and swallowed protocol errors."""
+
+from repro.core.errors import ProtocolError
+from repro.net.transport import NetworkError
+
+
+def risky(fn):
+    try:
+        return fn()
+    except:  # line 11: WP104 (bare except)
+        return None
+
+
+def swallow_protocol(fn):
+    try:
+        return fn()
+    except ProtocolError:  # line 18: WP104 (silent swallow)
+        pass
+
+
+def swallow_network(fn):
+    try:
+        return fn()
+    except (ValueError, NetworkError):  # line 25: WP104 (silent swallow)
+        ...

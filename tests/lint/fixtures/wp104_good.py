@@ -1,0 +1,28 @@
+# wp-lint: module=repro.core.fixture_wp104_good
+"""WP104 good fixture: named exceptions, handled or re-raised."""
+
+from repro.core.errors import ProtocolError
+from repro.net.transport import NetworkError
+
+
+def degrade(fn, fallback):
+    try:
+        return fn()
+    except NetworkError:
+        # Recovery path: degraded result, failure visible to the caller.
+        return fallback
+
+
+def translate(fn):
+    try:
+        return fn()
+    except ProtocolError as exc:
+        raise ValueError(f"rejected: {exc}") from exc
+
+
+def count_failures(fn, stats):
+    try:
+        return fn()
+    except NetworkError:
+        stats["failures"] += 1
+        return None

@@ -1,0 +1,16 @@
+# wp-lint: module=repro.fixturewire.bad_client
+"""WP105 bad fixture (client half): sends a kind nobody handles."""
+
+PING = "fix.ping"
+ORPHANED_SEND = "fix.no_such_handler"
+
+
+class Client:
+    def __init__(self, rpc):
+        self.rpc = rpc
+
+    def ping(self, dst):
+        return self.rpc.call(dst, PING, None)
+
+    def lost(self, dst):
+        return self.rpc.call(dst, ORPHANED_SEND, None)  # line 16: WP105 (no handler)

@@ -1,0 +1,21 @@
+# wp-lint: module=repro.fixturewire.bad_server
+"""WP105 bad fixture (server half): handles a kind nobody sends."""
+
+from repro.fixturewire.bad_client import PING
+
+DEAD_HANDLER = "fix.never_sent"
+
+
+class Server:
+    def __init__(self):
+        self.on(PING, self._handle_ping)
+        self.on(DEAD_HANDLER, self._handle_dead)  # line 12: WP105 (no sender)
+
+    def on(self, kind, handler):
+        pass
+
+    def _handle_ping(self, src, payload):
+        return "pong"
+
+    def _handle_dead(self, src, payload):
+        return None

@@ -1,0 +1,21 @@
+# wp-lint: module=repro.fixturewire.good_client
+"""WP105 good fixture (client half): every sent kind has a handler."""
+
+PING = "fixok.ping"
+STORE = "fixok.store"
+
+
+class Client:
+    def __init__(self, rpc):
+        self.rpc = rpc
+
+    def ping(self, dst):
+        return self.rpc.call(dst, PING, None)
+
+    def store(self, dst, payload):
+        # Kind referenced through a from-import on the server side.
+        return self.rpc.call(dst, STORE, payload)
+
+    def forward(self, dst, payload):
+        # Dynamic kind: unresolvable, deliberately skipped by the rule.
+        return self.rpc.call(dst, payload["kind"], payload["body"])

@@ -1,0 +1,19 @@
+# wp-lint: module=repro.fixturewire.good_server
+"""WP105 good fixture (server half): every handler has a sender."""
+
+from repro.fixturewire.good_client import PING, STORE
+
+
+class Server:
+    def __init__(self):
+        self.on(PING, self._handle_ping)
+        self.on(STORE, self._handle_store)
+
+    def on(self, kind, handler):
+        pass
+
+    def _handle_ping(self, src, payload):
+        return "pong"
+
+    def _handle_store(self, src, payload):
+        return True

@@ -1,0 +1,86 @@
+"""Baseline round-trip: write, reload, match, detect staleness."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.lint.baseline import (
+    BaselineError,
+    load_baseline,
+    split_baselined,
+    write_baseline,
+)
+from repro.lint.diagnostics import Diagnostic
+
+D1 = Diagnostic("src/a.py", 10, 0, "WP103", "variable-time == on secret material")
+D2 = Diagnostic("src/b.py", 3, 4, "WP105", "kind 'x' sent but unhandled")
+
+
+def test_round_trip(tmp_path):
+    path = str(tmp_path / "baseline.json")
+    assert write_baseline(path, [D1, D2]) == 2
+    table = load_baseline(path)
+    assert set(table) == {D1.fingerprint, D2.fingerprint}
+    new, grandfathered, stale = split_baselined([D1, D2], table)
+    assert new == []
+    assert sorted(grandfathered) == sorted([D1, D2])
+    assert stale == []
+
+
+def test_baselined_findings_survive_line_shifts(tmp_path):
+    path = str(tmp_path / "baseline.json")
+    write_baseline(path, [D1])
+    moved = Diagnostic(D1.path, D1.line + 40, 8, D1.code, D1.message)
+    new, grandfathered, _ = split_baselined([moved], load_baseline(path))
+    assert new == []
+    assert grandfathered == [moved]
+
+
+def test_new_findings_are_not_absorbed(tmp_path):
+    path = str(tmp_path / "baseline.json")
+    write_baseline(path, [D1])
+    new, grandfathered, stale = split_baselined([D1, D2], load_baseline(path))
+    assert new == [D2]
+    assert grandfathered == [D1]
+    assert stale == []
+
+
+def test_stale_entries_are_reported(tmp_path):
+    path = str(tmp_path / "baseline.json")
+    write_baseline(path, [D1, D2])
+    _, _, stale = split_baselined([D1], load_baseline(path))
+    assert [entry["fingerprint"] for entry in stale] == [D2.fingerprint]
+
+
+def test_entries_carry_justifications(tmp_path):
+    path = str(tmp_path / "baseline.json")
+    write_baseline(path, [D1], justification="pre-dates WP103; scheduled fix")
+    with open(path) as fh:
+        data = json.load(fh)
+    assert data["entries"][0]["justification"] == "pre-dates WP103; scheduled fix"
+    assert "line" not in data["entries"][0]  # fingerprints are line-independent
+
+
+def test_missing_file_is_an_empty_baseline(tmp_path):
+    assert load_baseline(str(tmp_path / "absent.json")) == {}
+
+
+def test_malformed_baseline_raises(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text("{not json")
+    with pytest.raises(BaselineError):
+        load_baseline(str(path))
+    path.write_text(json.dumps({"version": 99, "entries": []}))
+    with pytest.raises(BaselineError):
+        load_baseline(str(path))
+
+
+def test_committed_repo_baseline_is_empty():
+    # The tree is clean; debt must not silently accumulate in the baseline.
+    import os
+
+    repo_root = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "..")
+    table = load_baseline(os.path.join(repo_root, "lint-baseline.json"))
+    assert table == {}

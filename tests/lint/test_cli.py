@@ -1,0 +1,77 @@
+"""CLI behavior and the self-check: the committed tree lints clean."""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.lint.cli import main
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+FIXTURES = os.path.join(HERE, "fixtures")
+SRC = os.path.join(HERE, "..", "..", "src")
+
+
+def test_self_check_committed_tree_is_clean(capsys):
+    """`python -m repro.lint src/` exits 0 with zero findings, no baseline."""
+    code = main([SRC, "--no-baseline", "--format", "json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 0
+    assert payload["findings"] == []
+    assert payload["checked_files"] > 60
+
+
+def test_bad_fixture_fails_with_exit_1(capsys):
+    code = main([os.path.join(FIXTURES, "wp103_bad.py"), "--no-baseline"])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "WP103" in out
+    assert out.strip().endswith("file(s)")
+
+
+def test_json_format_shape(capsys):
+    code = main(
+        [os.path.join(FIXTURES, "wp104_bad.py"), "--no-baseline", "--format", "json"]
+    )
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 1
+    assert {f["code"] for f in payload["findings"]} == {"WP104"}
+    for finding in payload["findings"]:
+        assert set(finding) == {"path", "line", "col", "code", "message", "fingerprint"}
+
+
+def test_write_baseline_then_clean(tmp_path, capsys):
+    baseline = str(tmp_path / "baseline.json")
+    bad = os.path.join(FIXTURES, "wp102_bad.py")
+    assert main([bad, "--baseline", baseline, "--write-baseline"]) == 0
+    capsys.readouterr()
+    # Same findings, now grandfathered: exit 0, reported as baselined.
+    code = main([bad, "--baseline", baseline, "--format", "json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 0
+    assert payload["findings"] == []
+    assert len(payload["baselined"]) > 0
+
+
+def test_stale_baseline_entries_surface(tmp_path, capsys):
+    baseline = str(tmp_path / "baseline.json")
+    bad = os.path.join(FIXTURES, "wp104_bad.py")
+    good = os.path.join(FIXTURES, "wp104_good.py")
+    main([bad, "--baseline", baseline, "--write-baseline"])
+    capsys.readouterr()
+    code = main([good, "--baseline", baseline])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "stale baseline entry" in out
+
+
+def test_missing_path_is_a_usage_error(capsys):
+    assert main(["definitely/not/a/path.py"]) == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in ("WP101", "WP102", "WP103", "WP104", "WP105"):
+        assert code in out

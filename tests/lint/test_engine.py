@@ -1,0 +1,110 @@
+"""Engine mechanics: module naming, pragmas, parse errors, fingerprints."""
+
+from __future__ import annotations
+
+from repro.lint import lint_sources
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.engine import PARSE_ERROR_CODE, derive_module_name
+from repro.lint.pragmas import module_override, scan_pragmas
+from repro.lint.registry import get_rule, get_rules
+
+
+class TestModuleNaming:
+    def test_src_layout(self):
+        assert derive_module_name("src/repro/core/broker.py") == "repro.core.broker"
+
+    def test_package_init(self):
+        assert derive_module_name("src/repro/lint/__init__.py") == "repro.lint"
+
+    def test_last_repro_component_wins(self):
+        assert (
+            derive_module_name("/home/u/repro/src/repro/net/rpc.py") == "repro.net.rpc"
+        )
+
+    def test_fallback_is_the_stem(self):
+        assert derive_module_name("scripts/tool.py") == "tool"
+
+    def test_module_directive_overrides_path(self):
+        lines = ["# wp-lint: module=repro.core.synthetic", "x = 1"]
+        assert module_override(lines) == "repro.core.synthetic"
+
+
+class TestPragmas:
+    BAD_LINE = "        return self.transport.request('a', dst, 'k', p)"
+
+    def _source(self, suffix: str) -> str:
+        return (
+            "# wp-lint: module=repro.core.pragma_fixture\n"
+            "class C:\n"
+            "    def f(self, dst, p):\n"
+            f"{self.BAD_LINE}{suffix}\n"
+        )
+
+    def test_unsuppressed_fires(self):
+        result = lint_sources([("x.py", self._source(""))])
+        assert any(d.code == "WP101" for d in result.findings)
+        assert result.suppressed == 0
+
+    def test_same_line_pragma_suppresses(self):
+        result = lint_sources([("x.py", self._source("  # wp-lint: disable=WP101"))])
+        assert not any(d.code == "WP101" for d in result.findings)
+        assert result.suppressed == 1
+
+    def test_pragma_for_a_different_code_does_not_suppress(self):
+        result = lint_sources([("x.py", self._source("  # wp-lint: disable=WP104"))])
+        assert any(d.code == "WP101" for d in result.findings)
+
+    def test_multi_code_pragma(self):
+        pragmas = scan_pragmas(["x = 1  # wp-lint: disable=WP101, WP105"])
+        assert pragmas == {1: frozenset({"WP101", "WP105"})}
+
+
+class TestParseErrors:
+    def test_syntax_error_becomes_wp100(self):
+        result = lint_sources([("broken.py", "def f(:\n")])
+        assert len(result.findings) == 1
+        diag = result.findings[0]
+        assert diag.code == PARSE_ERROR_CODE
+        assert "does not parse" in diag.message
+
+    def test_other_files_still_checked(self):
+        result = lint_sources(
+            [
+                ("broken.py", "def f(:\n"),
+                (
+                    "ok.py",
+                    "# wp-lint: module=repro.core.ok\nx = pow(2, 3, 5)\n",
+                ),
+            ]
+        )
+        codes = {d.code for d in result.findings}
+        assert codes == {PARSE_ERROR_CODE, "WP103"}
+
+
+class TestDiagnostics:
+    def test_fingerprint_ignores_line_numbers(self):
+        a = Diagnostic("p.py", 10, 0, "WP101", "msg")
+        b = Diagnostic("p.py", 99, 4, "WP101", "msg")
+        assert a.fingerprint == b.fingerprint
+
+    def test_fingerprint_depends_on_code_path_message(self):
+        base = Diagnostic("p.py", 1, 0, "WP101", "msg")
+        assert base.fingerprint != Diagnostic("q.py", 1, 0, "WP101", "msg").fingerprint
+        assert base.fingerprint != Diagnostic("p.py", 1, 0, "WP102", "msg").fingerprint
+        assert base.fingerprint != Diagnostic("p.py", 1, 0, "WP101", "other").fingerprint
+
+    def test_text_format(self):
+        diag = Diagnostic("p.py", 3, 7, "WP104", "bare except")
+        assert diag.format_text() == "p.py:3:7: WP104 bare except"
+
+
+class TestRegistry:
+    def test_all_five_domain_rules_registered(self):
+        codes = [rule.code for rule in get_rules()]
+        assert codes == ["WP101", "WP102", "WP103", "WP104", "WP105"]
+
+    def test_every_rule_has_rationale_and_scope(self):
+        for rule in get_rules():
+            assert rule.rationale
+            assert rule.scope in ("file", "program")
+        assert get_rule("WP105").scope == "program"

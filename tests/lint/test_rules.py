@@ -1,0 +1,139 @@
+"""Good/bad fixture pairs for every rule: bad fires, good stays silent."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.lint import lint_paths
+
+FIXTURES = os.path.join(os.path.dirname(os.path.abspath(__file__)), "fixtures")
+
+
+def fixture(name: str) -> str:
+    return os.path.join(FIXTURES, name)
+
+
+def findings_for(code: str, *names: str):
+    result = lint_paths([fixture(name) for name in names])
+    return [diag for diag in result.findings if diag.code == code]
+
+
+class TestWP101TransportDiscipline:
+    def test_bad_fires_on_raw_transport_and_send_raw(self):
+        found = findings_for("WP101", "wp101_bad.py")
+        assert [diag.line for diag in found] == [10, 13]
+        assert "transport.request" in found[0].message
+        assert "send_raw" in found[1].message
+
+    def test_good_is_silent(self):
+        assert findings_for("WP101", "wp101_good.py") == []
+
+    def test_repro_net_itself_is_exempt(self):
+        # The real transport layer is full of raw sends by design.
+        src = os.path.join(os.path.dirname(FIXTURES), "..", "..", "src")
+        result = lint_paths(
+            [
+                os.path.join(src, "repro", "net", "transport.py"),
+                os.path.join(src, "repro", "net", "node.py"),
+                os.path.join(src, "repro", "net", "rpc.py"),
+            ]
+        )
+        assert [d for d in result.findings if d.code == "WP101"] == []
+
+
+class TestWP102Determinism:
+    def test_bad_fires_on_every_hazard(self):
+        found = findings_for("WP102", "wp102_bad.py")
+        assert [diag.line for diag in found] == [10, 14, 18, 18, 22, 23, 25]
+        messages = " ".join(diag.message for diag in found)
+        assert "random.random" in messages
+        assert "time.time" in messages
+        assert "datetime.now" in messages
+        assert "sorted" in messages
+
+    def test_good_is_silent(self):
+        assert findings_for("WP102", "wp102_good.py") == []
+
+    def test_only_guards_repro_packages(self):
+        # Without a repro.* module name the determinism rule does not apply.
+        from repro.lint import lint_sources
+
+        result = lint_sources(
+            [("scratch.py", "import random\nx = random.random()\n", "scratch")]
+        )
+        assert [d for d in result.findings if d.code == "WP102"] == []
+
+
+class TestWP103CryptoHygiene:
+    def test_bad_fires_on_pow_and_secret_compares(self):
+        found = findings_for("WP103", "wp103_bad.py")
+        assert [diag.line for diag in found] == [8, 12, 17, 21]
+        assert "fastexp" in found[0].message
+        assert all("compare_digest" in diag.message for diag in found[1:])
+
+    def test_good_is_silent(self):
+        assert findings_for("WP103", "wp103_good.py") == []
+
+    def test_crypto_package_may_use_raw_pow(self):
+        from repro.lint import lint_sources
+
+        source = "def f(g, x, p):\n    return pow(g, x, p)\n"
+        inside = lint_sources([("fastexp.py", source, "repro.crypto.fastexp")])
+        outside = lint_sources([("peer.py", source, "repro.core.peer")])
+        assert [d for d in inside.findings if d.code == "WP103"] == []
+        assert len([d for d in outside.findings if d.code == "WP103"]) == 1
+
+
+class TestWP104ExceptionDiscipline:
+    def test_bad_fires_on_bare_and_swallowed(self):
+        found = findings_for("WP104", "wp104_bad.py")
+        assert [diag.line for diag in found] == [11, 18, 25]
+        assert "bare" in found[0].message
+        assert "ProtocolError" in found[1].message
+        assert "NetworkError" in found[2].message
+
+    def test_good_is_silent(self):
+        assert findings_for("WP104", "wp104_good.py") == []
+
+
+class TestWP105WireSchema:
+    def test_cross_module_mismatch_both_directions(self):
+        found = findings_for("WP105", "wp105_bad_client.py", "wp105_bad_server.py")
+        assert len(found) == 2
+        by_kind = {diag.message: diag for diag in found}
+        sent_msg = next(m for m in by_kind if "fix.no_such_handler" in m)
+        dead_msg = next(m for m in by_kind if "fix.never_sent" in m)
+        assert "no Node registers a handler" in sent_msg
+        assert by_kind[sent_msg].path.endswith("wp105_bad_client.py")
+        assert by_kind[sent_msg].line == 16
+        assert "no client or facade ever sends it" in dead_msg
+        assert by_kind[dead_msg].path.endswith("wp105_bad_server.py")
+        assert by_kind[dead_msg].line == 12
+
+    def test_good_pair_is_silent_including_from_imports(self):
+        assert (
+            findings_for("WP105", "wp105_good_client.py", "wp105_good_server.py") == []
+        )
+
+    def test_half_a_program_reports_the_drift(self):
+        # Linting only the client half: even the matched kind has no handler.
+        found = findings_for("WP105", "wp105_good_client.py")
+        assert {("fixok.ping" in d.message or "fixok.store" in d.message) for d in found} == {True}
+        assert len(found) == 2
+
+
+@pytest.mark.parametrize(
+    "bad,good",
+    [
+        ("wp101_bad.py", "wp101_good.py"),
+        ("wp102_bad.py", "wp102_good.py"),
+        ("wp103_bad.py", "wp103_good.py"),
+        ("wp104_bad.py", "wp104_good.py"),
+    ],
+)
+def test_every_bad_fixture_fails_and_good_passes(bad, good):
+    code = "WP" + bad[2:5]
+    assert findings_for(code, bad), f"{bad} should produce {code} findings"
+    assert not findings_for(code, good), f"{good} should be clean of {code}"
