@@ -1,22 +1,32 @@
-"""Wallet persistence: coins survive a process restart.
+"""Wallet persistence: coins survive a process crash.
 
 Coins are bearer key material — lose the process, lose the money — so a
-production wallet must persist.  This example exports a peer's full
-monetary state (encrypted at rest), "restarts" the peer, restores, and
-spends a pre-restart coin to prove nothing was lost.
+production wallet must persist.  A ``durable=True`` peer journals every
+wallet change to a write-ahead log *as it happens* (no explicit export
+step to forget), so a crash at any instant loses nothing that was
+acknowledged.  This example journals two coins, snapshots between them,
+kills the peer, recovers it from disk, and spends a pre-crash coin to
+prove nothing was lost.  `docs/DURABILITY.md` has the store mechanics.
 
 Run:  python examples/wallet_persistence.py
 """
 
+import tempfile
+from pathlib import Path
+
 from repro import PARAMS_TEST_512, WhoPayNetwork
-from repro.core.peer import Peer
-from repro.core.persistence import export_peer_state, restore_peer_state
+from repro.core.persistence import save_peer_snapshot
 
 
 def main() -> None:
-    net = WhoPayNetwork(params=PARAMS_TEST_512)
+    with tempfile.TemporaryDirectory() as root:
+        run(Path(root))
+
+
+def run(store_dir: Path) -> None:
+    net = WhoPayNetwork(params=PARAMS_TEST_512, store_dir=store_dir)
     alice = net.add_peer("alice", balance=10)
-    bob = net.add_peer("bob")
+    bob = net.add_peer("bob", durable=True)  # journals to <store_dir>/bob
     carol = net.add_peer("carol")
 
     state = alice.purchase(value=4)
@@ -26,30 +36,27 @@ def main() -> None:
         print(f"  value={row['value']} owner={row['owner']} seq={row['seq']} "
               f"expires_in={row['expires_in'] / 3600:.0f}h")
 
-    # Export, encrypted at rest.
-    key = b"\x07" * 32  # in practice: derived from a passphrase
-    blob = export_peer_state(bob, encryption_key=key)
-    print(f"\nexported bob's wallet: {len(blob)} bytes (encrypted, starts {blob[:4]!r})")
+    # A snapshot bounds future replay; the journal keeps covering new
+    # changes after it — like the second coin below.
+    covers = save_peer_snapshot(bob, bob.store)
+    second = alice.purchase(value=1)
+    alice.issue("bob", second.coin_y)
+    print(f"\nsnapshot covers LSN {covers}; a second coin arrived after it")
 
-    # 'Crash' bob and bring up a fresh process at the same address.
-    net.transport.unregister("bob")
-    fresh_bob = Peer(
-        net.transport, address="bob", params=net.params, clock=net.clock,
-        judge=net.judge, member_key=bob.member_key, broker_address=net.broker.address,
-        broker_key=net.broker.public_key,
-    )
-    net.peers["bob"] = fresh_bob
-    print("bob restarted: empty wallet =", fresh_bob.wallet_summary())
+    # Kill the process and recover a fresh peer from disk.  Holder keys,
+    # bindings, identity, and group membership all come back — the
+    # post-snapshot coin via journal replay with its signature re-verified.
+    result = net.restart_peer("bob")
+    bob = net.peers["bob"]
+    print(f"bob recovered: snapshot={result.snapshot_loaded}, "
+          f"records replayed={result.records_replayed}, "
+          f"wallet value={bob.balance_held()}")
 
-    restored = restore_peer_state(fresh_bob, blob, encryption_key=key)
-    print(f"restored {restored} coin(s); wallet value = {fresh_bob.balance_held()}")
-
-    # The restored wallet actually spends — holder keys, bindings, identity,
-    # and group membership all came back.
-    fresh_bob.transfer("carol", state.coin_y)
+    # The recovered wallet actually spends.
+    bob.transfer("carol", state.coin_y)
     print(f"post-restart transfer succeeded; carol now holds value {carol.balance_held()}")
     credited = carol.deposit(state.coin_y, payout_to="carol")
-    print(f"carol deposited it for {credited} — full value preserved across the restart")
+    print(f"carol deposited it for {credited} — full value preserved across the crash")
 
 
 if __name__ == "__main__":

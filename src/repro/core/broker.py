@@ -45,7 +45,10 @@ from repro.crypto.keys import KeyPair, PublicKey
 from repro.crypto.params import DlogParams
 from repro.messages.envelope import DualSignedMessage
 from repro.net.node import Node
+from repro.net.rpc import unwrap_idempotent
 from repro.net.transport import Transport
+from repro.store import apply as store_apply
+from repro.store.journal import DurableStore
 
 
 @dataclass
@@ -101,6 +104,7 @@ class Broker(Node):
         clock: Clock,
         address: str = "broker",
         renewal_period: float = DEFAULT_RENEWAL_PERIOD,
+        store: DurableStore | None = None,
     ) -> None:
         super().__init__(transport, address)
         self.params = params
@@ -115,11 +119,16 @@ class Broker(Node):
         self.downtime_bindings: dict[int, CoinBinding] = {}
         self.owner_coins: dict[str, set[int]] = {}
         self.pending_sync: dict[str, set[int]] = {}  # owner -> coins changed offline
+        self.total_opened = 0  # conservation baseline: value ever opened
         self.fraud_events: list[DoubleSpendDetected] = []
         self.counts = OperationCounts()
         self._sync_nonces: dict[str, bytes] = {}
         self._gpk_cache: dict[int, Any] = {}
         self.detection = None  # set by WhoPayNetwork when the DHT is enabled
+        self.store: DurableStore | None = None
+        self._staged: list[dict[str, Any]] = []
+        if store is not None:
+            self.bind_store(store)
 
         self.on(protocol.PURCHASE, self._handle_purchase)
         self.on(protocol.PURCHASE_BATCH, self._handle_purchase_batch)
@@ -130,6 +139,80 @@ class Broker(Node):
         self.on(protocol.SYNC_CHALLENGE, self._handle_sync_challenge)
         self.on(protocol.SYNC, self._handle_sync)
         self.on(protocol.BINDING_QUERY, self._handle_binding_query)
+
+    # -- durability -------------------------------------------------------------
+
+    def bind_store(self, store: DurableStore) -> None:
+        """Attach a durable store; every mutation from here on is journaled.
+
+        A fresh store gets a ``broker_init`` record (address + signing key)
+        as its first entry so recovery can rebuild the keypair.  A non-fresh
+        store must be bound by :class:`~repro.store.recovery.RecoveryManager`
+        *after* replay — binding it to an unrelated broker would interleave
+        histories of two different keypairs.
+        """
+        was_fresh = store.fresh
+        self.store = store
+        if was_fresh:
+            self._commit_local(
+                {
+                    "type": "broker_init",
+                    "address": self.address,
+                    "signing_x": self.keypair.x,
+                }
+            )
+
+    def _stage(self, mut: dict[str, Any]) -> None:
+        """Apply one mutation record and stage it for the request's journal entry.
+
+        Handlers never touch the durable fields directly (lint rule WP106);
+        they describe the mutation and this applies it through the same
+        :mod:`repro.store.apply` function recovery replays it with.
+        """
+        store_apply.apply_broker(self, mut)
+        if self.store is not None:
+            self._staged.append(mut)
+
+    def _commit_local(self, *muts: dict[str, Any]) -> None:
+        """Apply and immediately journal mutations made outside any RPC."""
+        for mut in muts:
+            store_apply.apply_broker(self, mut)
+        if self.store is not None:
+            self.store.append(
+                {"kind": "__local__", "idem": None, "reply": None, "muts": list(muts)}
+            )
+
+    def handle(self, kind: str, src: str, payload: Any) -> Any:
+        """Dispatch, journaling the request's mutations before replying.
+
+        Write-ahead discipline: the staged mutations (plus the reply, keyed
+        by the request's idempotency key so recovery can refill the replay
+        cache) are fsynced as one journal record *before* the result leaves
+        this method.  A crash after the handler ran but before the append
+        completes loses only in-memory state the client never saw — its
+        retry re-executes against the recovered broker.  Replay-cache hits
+        stage nothing, so retries never duplicate journal records.
+        """
+        if self.store is None:
+            return super().handle(kind, src, payload)
+        idem, _body = unwrap_idempotent(payload)
+        self._staged = []
+        try:
+            result = super().handle(kind, src, payload)
+        except BaseException:
+            self._staged = []
+            raise
+        staged, self._staged = self._staged, []
+        if staged:
+            self.store.append(
+                {
+                    "kind": kind,
+                    "idem": idem,
+                    "reply": result if idem is not None else None,
+                    "muts": staged,
+                }
+            )
+        return result
 
     # -- accounts ---------------------------------------------------------------
 
@@ -142,7 +225,9 @@ class Broker(Node):
         """Open a cash account (bank-relationship setup, out of protocol)."""
         if name in self.accounts:
             raise ValueError(f"account {name!r} already exists")
-        self.accounts[name] = Account(identity=identity, balance=balance)
+        self._commit_local(
+            {"type": "open_account", "name": name, "identity_y": identity.y, "balance": balance}
+        )
 
     def open_account_from_certificate(self, certificate, ca_key: PublicKey, balance: int) -> None:
         """Open an account from a CA-issued identity certificate.
@@ -291,10 +376,16 @@ class Broker(Node):
         return operation, envelope, coin, proof
 
     def _record_downtime_binding(self, coin: Coin, binding: CoinBinding) -> None:
-        self.downtime_bindings[coin.coin_y] = binding
-        owner = coin.owner_address
-        if owner is not None:
-            self.pending_sync.setdefault(owner, set()).add(coin.coin_y)
+        self._stage(
+            {
+                "type": "downtime_binding",
+                "coin_y": coin.coin_y,
+                "binding": binding.signed.encode(),
+                "owner": coin.owner_address,
+            }
+        )
+        # DHT publication is transport-side, not durable state: recovery
+        # replay rebuilds the binding table without re-publishing.
         if self.detection is not None:
             self.detection.publish_broker(self, binding)
 
@@ -319,7 +410,6 @@ class Broker(Node):
             raise ProtocolError("coin key collision (resubmitted purchase?)")
         if not self.params.is_element(request.coin_y):
             raise ProtocolError("coin key is not a valid group element")
-        account.balance -= request.value
         if request.anonymous:
             # Section 5.2 approach 3: ownerless coin — the certificate binds
             # only the handle and the coin key.  The broker cannot map the
@@ -342,8 +432,14 @@ class Broker(Node):
                 owner_y=signed.signer.y,
                 handle=None,
             )
-            self.owner_coins.setdefault(src, set()).add(request.coin_y)
-        self.valid_coins[request.coin_y] = coin
+        self._stage(
+            {
+                "type": "mint",
+                "account": request.account,
+                "debit": request.value,
+                "coins": [coin.encode()],
+            }
+        )
         return coin.encode()
 
     def _handle_purchase_batch(self, src: str, data: bytes) -> list[bytes]:
@@ -374,7 +470,6 @@ class Broker(Node):
                 raise ProtocolError("coin key collision in batch")
             if not self.params.is_element(coin_y):
                 raise ProtocolError("batch contains an invalid coin key")
-        account.balance -= total
         minted: list[bytes] = []
         for coin_y, value in request.coins:
             coin = Coin.build(
@@ -385,9 +480,10 @@ class Broker(Node):
                 owner_y=signed.signer.y,
                 handle=None,
             )
-            self.valid_coins[coin_y] = coin
-            self.owner_coins.setdefault(src, set()).add(coin_y)
             minted.append(coin.encode())
+        self._stage(
+            {"type": "mint", "account": request.account, "debit": total, "coins": minted}
+        )
         return minted
 
     def _handle_deposit(self, src: str, data: bytes) -> dict[str, Any]:
@@ -397,20 +493,21 @@ class Broker(Node):
         if operation.op != "deposit":
             raise ProtocolError("deposit handler got a non-deposit operation")
         assert operation.payout_to is not None
-        self.deposited[coin.coin_y] = data
-        self.downtime_bindings.pop(coin.coin_y, None)
         # The broker's registry is authoritative for value: a holder whose
         # certificate predates a top-up still redeems the full amount.
+        # Unknown payout names open a pseudonymous bearer account on the fly
+        # (the depositor stays anonymous; the account token is its claim).
         value = self.valid_coins[coin.coin_y].value
-        payout = self.accounts.get(operation.payout_to)
-        if payout is None:
-            # Pseudonymous payout: open a bearer account on the fly.  The
-            # depositor stays anonymous; the account token is its claim.
-            self.accounts[operation.payout_to] = Account(
-                identity=envelope.coin_signer, balance=value
-            )
-        else:
-            payout.balance += value
+        self._stage(
+            {
+                "type": "deposit",
+                "coin_y": coin.coin_y,
+                "envelope": data,
+                "payout_to": operation.payout_to,
+                "payout_identity_y": envelope.coin_signer.y,
+                "credited": value,
+            }
+        )
         return {"ok": True, "credited": value}
 
     def _fresh_binding(self, coin: Coin, holder_y: int, previous_seq: int) -> CoinBinding:
@@ -475,7 +572,6 @@ class Broker(Node):
             raise VerificationFailed("funding authorization not signed by the account identity")
         if account.balance < operation.delta:
             raise InsufficientFunds("funding account cannot cover the top-up")
-        account.balance -= operation.delta
         payload = coin.payload
         new_coin = Coin.build(
             self.keypair,
@@ -485,7 +581,15 @@ class Broker(Node):
             owner_y=payload["owner_y"],
             handle=payload["handle"],
         )
-        self.valid_coins[coin.coin_y] = new_coin
+        self._stage(
+            {
+                "type": "top_up",
+                "coin_y": coin.coin_y,
+                "coin": new_coin.encode(),
+                "account": auth_payload["account"],
+                "delta": operation.delta,
+            }
+        )
         return new_coin.encode()
 
     def _handle_sync_challenge(self, src: str, _payload: Any) -> bytes:
@@ -525,12 +629,14 @@ class Broker(Node):
         }
         if owned and signed.signer.y not in known_identities:
             raise VerificationFailed("sync not signed by the coin owner's identity")
-        changed = self.pending_sync.pop(src, set())
+        changed = self.pending_sync.get(src, set())
         response = []
         for coin_y in sorted(changed):
             binding = self.downtime_bindings.get(coin_y)
             if binding is not None:
                 response.append((coin_y, binding.encode()))
+        if src in self.pending_sync:
+            self._stage({"type": "sync_consumed", "owner": src})
         return response
 
     def _handle_binding_query(self, src: str, coin_y: int) -> bytes | None:

@@ -14,6 +14,8 @@ say::
 
 from __future__ import annotations
 
+from pathlib import Path
+
 from repro.core.broker import Broker
 from repro.core.clock import DEFAULT_RENEWAL_PERIOD, Clock
 from repro.core.detection import DetectionService
@@ -25,6 +27,9 @@ from repro.dht.chord import ChordRing
 from repro.dht.notify import NotificationHub
 from repro.net.rpc import RetryPolicy
 from repro.net.transport import FaultPlan, Transport
+from repro.store.crashpoints import CrashPointPlan, SimulatedCrash
+from repro.store.journal import DurableStore
+from repro.store.recovery import RecoveryManager, RecoveryResult
 
 
 class WhoPayNetwork:
@@ -39,6 +44,7 @@ class WhoPayNetwork:
         sync_mode: str = "proactive",
         renewal_period: float = DEFAULT_RENEWAL_PERIOD,
         retry_policy: RetryPolicy | None = None,
+        store_dir: str | Path | None = None,
     ) -> None:
         self.params = params or default_params()
         self.transport = Transport()
@@ -47,13 +53,22 @@ class WhoPayNetwork:
         self.transport.clock = self.clock
         self.retry_policy = retry_policy
         self.judge = Judge(self.params)
+        # Durability: with a store_dir the broker journals every mutation
+        # to <store_dir>/broker and can be killed/recovered mid-run.
+        self.store_dir = None if store_dir is None else Path(store_dir)
+        broker_store = None
+        if self.store_dir is not None:
+            broker_store = DurableStore(self.store_dir / "broker")
         self.broker = Broker(
             self.transport,
             judge=self.judge,
             params=self.params,
             clock=self.clock,
             renewal_period=renewal_period,
+            store=broker_store,
         )
+        self.broker_restarts = 0
+        self.last_recovery: RecoveryResult | None = None
         self.sync_mode = sync_mode
         self.renewal_period = renewal_period
         self.peers: dict[str, Peer] = {}
@@ -78,8 +93,24 @@ class WhoPayNetwork:
             self.detection = DetectionService(store, hub, self.params)
             self.broker.detection = self.detection
 
-    def add_peer(self, address: str, balance: int = 0, sync_mode: str | None = None) -> Peer:
-        """Register a user: judge enrollment, broker account, transport node."""
+    def add_peer(
+        self,
+        address: str,
+        balance: int = 0,
+        sync_mode: str | None = None,
+        durable: bool = False,
+    ) -> Peer:
+        """Register a user: judge enrollment, broker account, transport node.
+
+        ``durable=True`` (requires ``store_dir``) gives the peer a journaled
+        wallet at ``<store_dir>/<address>`` so it can be killed and recovered
+        with :meth:`restart_peer`.
+        """
+        store = None
+        if durable:
+            if self.store_dir is None:
+                raise ValueError("durable peers need the network built with store_dir")
+            store = DurableStore(self.store_dir / address)
         member_key = self.judge.register(address)
         peer = Peer(
             self.transport,
@@ -93,6 +124,7 @@ class WhoPayNetwork:
             sync_mode=sync_mode if sync_mode is not None else self.sync_mode,
             renewal_period=self.renewal_period,
             retry_policy=self.retry_policy,
+            store=store,
         )
         peer.detection = self.detection
         peer.certificate = self.ca.issue(address, peer.identity.public, self.clock.now())
@@ -111,3 +143,93 @@ class WhoPayNetwork:
     def install_faults(self, plan: FaultPlan | None) -> None:
         """Install (or remove, with ``None``) a fault plan on the fabric."""
         self.transport.install_faults(plan)
+
+    # -- durability / crash-recovery ---------------------------------------
+
+    def arm_crash_points(self, plan: CrashPointPlan | None) -> None:
+        """Attach a crash-point plan to the broker's store.
+
+        Arm *after* setup traffic so crash-point indices enumerate
+        steady-state fsync boundaries (the chaos sweep relies on a stable
+        numbering across runs with the same seed).
+        """
+        if self.broker.store is None:
+            raise ValueError("the network was not built with store_dir")
+        self.broker.store.crash_points = plan
+
+    def snapshot_broker(self) -> int:
+        """Snapshot the broker into its store and compact the journal."""
+        from repro.core.persistence import save_broker_snapshot
+
+        if self.broker.store is None:
+            raise ValueError("the network was not built with store_dir")
+        return save_broker_snapshot(self.broker, self.broker.store)
+
+    def supervise_broker(self) -> None:
+        """Auto-restart the broker when a crash point kills it mid-request.
+
+        The transport runs the restart *before* the in-flight sender sees
+        ``ReplyLost``, so the sender's retry — carrying the same idempotency
+        key — lands on the recovered broker and is deduplicated against the
+        journal-refilled replay cache.
+        """
+
+        def on_crash(_crash: SimulatedCrash) -> None:
+            self.restart_broker()
+
+        self.transport.set_crash_handler(self.broker.address, on_crash)
+
+    def restart_broker(self) -> RecoveryResult:
+        """Kill the current broker instance and recover a new one from disk.
+
+        The armed crash-point plan is detached during recovery (recovery's
+        own journal repair must not re-crash) and re-attached — minus the
+        already-fired point — afterwards.
+        """
+        store = self.broker.store
+        if store is None:
+            raise ValueError("the network was not built with store_dir")
+        plan, store.crash_points = store.crash_points, None
+        detection = self.broker.detection
+        self.transport.unregister(self.broker.address)
+        result = RecoveryManager(store).recover_broker(
+            self.transport,
+            judge=self.judge,
+            params=self.params,
+            clock=self.clock,
+            renewal_period=self.renewal_period,
+            address=self.broker.address,
+        )
+        self.broker = result.entity
+        self.broker.detection = detection
+        store.crash_points = plan
+        self.broker_restarts += 1
+        self.last_recovery = result
+        return result
+
+    def restart_peer(self, address: str) -> RecoveryResult:
+        """Kill a durable peer and recover it from its journaled wallet."""
+        peer = self.peers[address]
+        if peer.store is None:
+            raise ValueError(f"peer {address!r} is not durable")
+        store = peer.store
+        certificate = getattr(peer, "certificate", None)
+        detection = peer.detection
+        self.transport.unregister(address)
+        result = RecoveryManager(store).recover_peer(
+            self.transport,
+            params=self.params,
+            clock=self.clock,
+            judge=self.judge,
+            broker_address=self.broker.address,
+            broker_key=self.broker.public_key,
+            sync_mode=self.sync_mode,
+            renewal_period=self.renewal_period,
+            retry_policy=self.retry_policy,
+        )
+        recovered = result.entity
+        recovered.detection = detection
+        if certificate is not None:
+            recovered.certificate = certificate
+        self.peers[address] = recovered
+        return result

@@ -49,6 +49,8 @@ from repro.messages.envelope import DualSignedMessage, group_seal, seal
 from repro.net.node import Node
 from repro.net.rpc import RetryPolicy
 from repro.net.transport import NetworkError, NodeOffline, Transport
+from repro.store import records as wallet_records
+from repro.store.journal import DurableStore
 
 #: How long before expiry a holder starts renewing (one quarter of the period).
 RENEWAL_WINDOW_FRACTION = 0.25
@@ -109,6 +111,7 @@ class Peer(Node):
         sync_mode: str = "proactive",
         renewal_period: float = DEFAULT_RENEWAL_PERIOD,
         retry_policy: RetryPolicy | None = None,
+        store: DurableStore | None = None,
     ) -> None:
         if sync_mode not in ("proactive", "lazy"):
             raise ValueError("sync_mode must be 'proactive' or 'lazy'")
@@ -136,6 +139,9 @@ class Peer(Node):
         self._pending: dict[bytes, _PendingOffer] = {}
         self._expected_rebinds: set[int] = set()  # coins I am moving myself
         self._gpk_cache: dict[int, Any] = {}
+        self.store: DurableStore | None = None
+        if store is not None:
+            self.bind_store(store)
 
         self.on(protocol.ISSUE_OFFER, self._handle_payment_offer)
         self.on(protocol.ISSUE_COMPLETE, self._handle_payment_complete)
@@ -144,6 +150,50 @@ class Peer(Node):
         self.on(protocol.TRANSFER_REQUEST, self._handle_transfer_request)
         self.on(protocol.RENEW_REQUEST, self._handle_renew_request)
         self.on(protocol.BINDING_UPDATE, self._handle_binding_update)
+
+    # ------------------------------------------------------------------
+    # durability
+    # ------------------------------------------------------------------
+
+    def bind_store(self, store: DurableStore) -> None:
+        """Attach a durable store; wallet mutations are journaled from here on.
+
+        A fresh store gets a ``peer_init`` record (identity and group member
+        secrets — coins are bearer key material, so losing these loses
+        money).  A non-fresh store belongs to
+        :class:`~repro.store.recovery.RecoveryManager`, which binds it after
+        replay.
+        """
+        was_fresh = store.fresh
+        self.store = store
+        if was_fresh:
+            self._wal(
+                {
+                    "type": "peer_init",
+                    "address": self.address,
+                    "identity_x": self.identity.x,
+                    "member_x": self.member_key.x,
+                    "member_h": self.member_key.h,
+                }
+            )
+
+    def _wal(self, *muts: dict[str, Any]) -> None:
+        """Durably journal wallet mutations (no-op without a store)."""
+        if self.store is not None:
+            self.store.append(
+                {"kind": "__wallet__", "idem": None, "reply": None, "muts": list(muts)}
+            )
+
+    def _wal_held(self, held: HeldCoin) -> None:
+        if self.store is not None:
+            self._wal({"type": "wallet_put", "entry": wallet_records.held_entry(held)})
+
+    def _wal_owned(self, state: OwnedCoinState) -> None:
+        if self.store is not None:
+            self._wal({"type": "owned_put", "entry": wallet_records.owned_entry(state)})
+
+    def _wal_del(self, coin_y: int) -> None:
+        self._wal({"type": "wallet_del", "coin_y": coin_y})
 
     # ------------------------------------------------------------------
     # helpers
@@ -234,6 +284,7 @@ class Peer(Node):
         else:
             for state in self.owned.values():
                 state.dirty = True
+            self._wal({"type": "owned_dirty_all"})
 
     def sync_with_broker(self) -> int:
         """Proactive synchronization; returns how many bindings were updated.
@@ -272,9 +323,11 @@ class Peer(Node):
             if state.binding is None or binding.seq > state.binding.seq:
                 state.binding = binding
                 applied += 1
+                self._wal_owned(state)
             state.dirty = False
         for state in self.owned.values():
             state.dirty = False
+        self._wal({"type": "owned_clean_all"})
         return applied
 
     def _check_coin_state(self, state: OwnedCoinState) -> None:
@@ -302,6 +355,7 @@ class Peer(Node):
                 state.binding = latest
                 self.counts.lazy_syncs += 1
         state.dirty = False
+        self._wal_owned(state)
 
     # ------------------------------------------------------------------
     # buyer: purchase
@@ -322,6 +376,7 @@ class Peer(Node):
             raise VerificationFailed("broker returned an invalid coin")
         state = OwnedCoinState(coin=coin, coin_keypair=coin_keypair)
         self.owned[coin.coin_y] = state
+        self._wal_owned(state)
         self.counts.purchases += 1
         return state
 
@@ -352,6 +407,13 @@ class Peer(Node):
             state = OwnedCoinState(coin=coin, coin_keypair=keypair)
             self.owned[coin.coin_y] = state
             states.append(state)
+        if self.store is not None:
+            self._wal(
+                *[
+                    {"type": "owned_put", "entry": wallet_records.owned_entry(state)}
+                    for state in states
+                ]
+            )
         self.counts.purchases += 1
         return states
 
@@ -378,6 +440,9 @@ class Peer(Node):
         # already signed (a failed earlier attempt may have published it).
         seq = max(secrets.randbelow(1 << 30), state.seq_floor + 1)
         state.seq_floor = seq
+        # Journal the floor *before* the binding can be published: a crash
+        # mid-issue must never lead to re-signing an already-used seq.
+        self._wal_owned(state)
         binding = CoinBinding.build(
             state.coin_keypair,
             coin_y=state.coin_y,
@@ -393,6 +458,7 @@ class Peer(Node):
         if not result.get("ok"):
             raise ProtocolError(f"payee rejected the issue: {result.get('reason')}")
         state.binding = binding
+        self._wal_owned(state)
         self.counts.issues += 1
         return binding
 
@@ -494,6 +560,7 @@ class Peer(Node):
         if self.detection is not None:
             self.detection.unsubscribe(self, held.coin_y)
         del self.wallet[held.coin_y]
+        self._wal_del(held.coin_y)
         self._expected_rebinds.discard(held.coin_y)
         self.counts.transfers_sent += 1
         return binding
@@ -534,6 +601,7 @@ class Peer(Node):
         if self.detection is not None:
             self.detection.unsubscribe(self, held.coin_y)
         del self.wallet[held.coin_y]
+        self._wal_del(held.coin_y)
         self._expected_rebinds.discard(held.coin_y)
         self.counts.downtime_transfers += 1
         return binding
@@ -554,6 +622,7 @@ class Peer(Node):
         if self.detection is not None:
             self.detection.unsubscribe(self, held.coin_y)
         del self.wallet[held.coin_y]
+        self._wal_del(held.coin_y)
         self.counts.deposits += 1
         return result["credited"]
 
@@ -592,6 +661,7 @@ class Peer(Node):
         ):
             raise VerificationFailed("broker returned an invalid topped-up coin")
         held.coin = new_coin
+        self._wal_held(held)
         return new_coin.value
 
     def renew(self, coin_y: int) -> CoinBinding:
@@ -618,6 +688,7 @@ class Peer(Node):
         if binding.holder_y != held.holder_keypair.public.y or binding.seq <= held.binding.seq:
             raise VerificationFailed("renewal binding does not match")
         held.binding = binding
+        self._wal_held(held)
         return binding
 
     def renew_due_coins(self) -> int:
@@ -782,6 +853,7 @@ class Peer(Node):
         del self._pending[nonce]
         held = HeldCoin(coin=coin, holder_keypair=pending.holder_keypair, binding=binding)
         self.wallet[coin.coin_y] = held
+        self._wal_held(held)
         if self.detection is not None:
             self.detection.subscribe(self, coin.coin_y)
         self.counts.payments_received += 1
@@ -852,6 +924,7 @@ class Peer(Node):
             state.relinquishments.pop()
             raise ProtocolError(f"payee rejected the transfer: {result.get('reason')}")
         state.binding = binding
+        self._wal_owned(state)
         self.counts.transfers_handled += 1
         return {"binding": binding.encode()}
 
@@ -862,6 +935,7 @@ class Peer(Node):
         if self.detection is not None:
             self.detection.publish_owner(self, state, binding)
         state.binding = binding
+        self._wal_owned(state)
         self.counts.renewals_handled += 1
         return binding.encode()
 

@@ -21,13 +21,14 @@ from __future__ import annotations
 from typing import Any
 
 from repro.anonymity.cipher import open_box, seal_box
-from repro.core.coin import Coin, CoinBinding, HeldCoin, OwnedCoinState
+from repro.core.coin import Coin, CoinBinding
 from repro.core.errors import VerificationFailed
 from repro.core.peer import Peer
 from repro.core.protocol import decode_signed
 from repro.crypto.group_signature import GroupMemberKey
 from repro.crypto.keys import KeyPair
 from repro.messages.codec import decode, encode
+from repro.store import records as wallet_records
 
 FORMAT = "whopay.wallet.v1"
 BROKER_FORMAT = "whopay.broker.v1"
@@ -37,15 +38,18 @@ def export_broker_state(broker, encryption_key: bytes | None = None) -> bytes:
     """Serialize the broker's monetary state (the mint must survive too).
 
     Covers the signing key, every account, the valid-coin registry, the
-    double-spend ledger, the downtime bindings, and the owner index — the
-    state whose loss would either destroy money (accounts) or re-enable
-    double spending (the deposited set).
+    double-spend ledger, the downtime bindings, the owner index, and the
+    RPC replay cache — the state whose loss would either destroy money
+    (accounts), re-enable double spending (the deposited set), or break
+    exactly-once semantics for a retry that straddles a restart (the
+    dedupe entries).
     """
     blob = encode(
         {
             "format": BROKER_FORMAT,
             "address": broker.address,
             "signing_x": broker.keypair.x,
+            "total_opened": broker.total_opened,
             "accounts": [
                 {"name": name, "identity_y": account.identity.y, "balance": account.balance}
                 for name, account in broker.accounts.items()
@@ -69,6 +73,10 @@ def export_broker_state(broker, encryption_key: bytes | None = None) -> bytes:
             "pending_sync": [
                 {"owner": owner, "coins": sorted(coins)}
                 for owner, coins in broker.pending_sync.items()
+            ],
+            "replay_cache": [
+                {"kind": kind, "idem": idem, "result": result}
+                for (kind, idem), result in broker.replay_cache.snapshot_entries()
             ],
         }
     )
@@ -125,33 +133,27 @@ def restore_broker_state(broker, blob: bytes, encryption_key: bytes | None = Non
     broker.pending_sync.clear()
     for entry in state["pending_sync"]:
         broker.pending_sync[entry["owner"]] = set(entry["coins"])
+    if "total_opened" in state:
+        broker.total_opened = state["total_opened"]
+    else:
+        # Pre-durability blob: reconstruct the conservation baseline from
+        # what it does record (balances + live coin value).
+        broker.total_opened = (
+            sum(account.balance for account in broker.accounts.values())
+            + broker.circulating_value()
+        )
+    broker.replay_cache.restore_entries(
+        [
+            ((entry["kind"], entry["idem"]), entry["result"])
+            for entry in state.get("replay_cache", [])
+        ]
+    )
 
 
 def export_peer_state(peer: Peer, encryption_key: bytes | None = None) -> bytes:
     """Serialize ``peer``'s monetary state; optionally encrypted at rest."""
-    held_entries = []
-    for held in peer.wallet.values():
-        held_entries.append(
-            {
-                "coin": held.coin.encode(),
-                "holder_x": held.holder_keypair.x,
-                "binding": held.binding.signed.encode(),
-                "via_broker": held.binding.via_broker,
-            }
-        )
-    owned_entries = []
-    for state in peer.owned.values():
-        owned_entries.append(
-            {
-                "coin": state.coin.encode(),
-                "coin_x": state.coin_keypair.x,
-                "binding": state.binding.signed.encode() if state.binding else None,
-                "binding_via_broker": state.binding.via_broker if state.binding else False,
-                "relinquishments": list(state.relinquishments),
-                "dirty": state.dirty,
-                "seq_floor": state.seq_floor,
-            }
-        )
+    held_entries = [wallet_records.held_entry(held) for held in peer.wallet.values()]
+    owned_entries = [wallet_records.owned_entry(state) for state in peer.owned.values()]
     blob = encode(
         {
             "format": FORMAT,
@@ -196,50 +198,32 @@ def restore_peer_state(peer: Peer, blob: bytes, encryption_key: bytes | None = N
     restored = 0
     peer.wallet.clear()
     for entry in state["held"]:
-        coin = Coin(cert=decode_signed(entry["coin"], peer.params))
-        if not coin.verify(peer.broker_key):
-            raise VerificationFailed("stored coin certificate invalid")
-        binding = CoinBinding(
-            signed=decode_signed(entry["binding"], peer.params),
-            via_broker=bool(entry["via_broker"]),
-        )
-        if not binding.verify(coin.coin_public_key(peer.params), peer.broker_key):
-            raise VerificationFailed("stored holding binding invalid")
-        holder_keypair = KeyPair.from_secret(peer.params, entry["holder_x"])
-        if binding.holder_y != holder_keypair.public.y:
-            raise VerificationFailed("stored holder key does not match its binding")
-        peer.wallet[coin.coin_y] = HeldCoin(
-            coin=coin, holder_keypair=holder_keypair, binding=binding
-        )
+        held = wallet_records.restore_held(peer, entry)
+        peer.wallet[held.coin.coin_y] = held
         # Re-arm real-time monitoring: DHT subscriptions are transport-side
         # state and do not survive the restart, so re-subscribe per coin.
         if peer.detection is not None:
-            peer.detection.subscribe(peer, coin.coin_y)
+            peer.detection.subscribe(peer, held.coin.coin_y)
         restored += 1
 
     peer.owned.clear()
     for entry in state["owned"]:
-        coin = Coin(cert=decode_signed(entry["coin"], peer.params))
-        if not coin.verify(peer.broker_key):
-            raise VerificationFailed("stored owned-coin certificate invalid")
-        coin_keypair = KeyPair.from_secret(peer.params, entry["coin_x"])
-        if coin_keypair.public.y != coin.coin_y:
-            raise VerificationFailed("stored coin secret does not match the coin")
-        binding = None
-        if entry["binding"] is not None:
-            binding = CoinBinding(
-                signed=decode_signed(entry["binding"], peer.params),
-                via_broker=bool(entry["binding_via_broker"]),
-            )
-            if not binding.verify(coin_keypair.public, peer.broker_key):
-                raise VerificationFailed("stored owner binding invalid")
-        peer.owned[coin.coin_y] = OwnedCoinState(
-            coin=coin,
-            coin_keypair=coin_keypair,
-            binding=binding,
-            relinquishments=list(entry["relinquishments"]),
-            dirty=bool(entry["dirty"]),
-            seq_floor=int(entry["seq_floor"]),
-        )
+        owned = wallet_records.restore_owned(peer, entry)
+        peer.owned[owned.coin.coin_y] = owned
         restored += 1
     return restored
+
+
+def save_broker_snapshot(broker, store, encryption_key: bytes | None = None) -> int:
+    """Snapshot ``broker`` into its durable ``store`` and compact the log.
+
+    Returns the LSN the snapshot covers.  The broker keeps journaling new
+    mutations to the same store afterwards; recovery prefers the snapshot
+    and replays only later records.
+    """
+    return store.snapshot(export_broker_state(broker, encryption_key=encryption_key))
+
+
+def save_peer_snapshot(peer: Peer, store, encryption_key: bytes | None = None) -> int:
+    """Snapshot ``peer``'s wallet into its durable ``store``; returns the LSN."""
+    return store.snapshot(export_peer_state(peer, encryption_key=encryption_key))

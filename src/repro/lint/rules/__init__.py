@@ -3,6 +3,7 @@
 from repro.lint.rules import (  # noqa: F401
     crypto,
     determinism,
+    durability,
     exceptions,
     transport,
     wire,

@@ -29,9 +29,10 @@ import math
 import random
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Any, TYPE_CHECKING
+from typing import Any, Callable, TYPE_CHECKING
 
 from repro.messages.codec import encode
+from repro.store.crashpoints import SimulatedCrash
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.clock import Clock
@@ -261,6 +262,12 @@ class Transport:
         self.messages_dropped = 0
         self.faults: FaultPlan | None = None
         self.clock: "Clock | None" = None
+        # Crash supervision: when a node's handler dies with SimulatedCrash
+        # (a storage crash point fired), the node is taken offline and the
+        # registered handler — typically a harness restart/recovery hook —
+        # runs before the sender sees ReplyLost.
+        self.crash_handlers: dict[str, Callable[[SimulatedCrash], None]] = {}
+        self.crashes_simulated = 0
 
     # -- fault injection ------------------------------------------------------
 
@@ -271,6 +278,26 @@ class Transport:
     def clear_faults(self) -> None:
         """Remove the active fault plan (the network turns reliable again)."""
         self.faults = None
+
+    def set_crash_handler(self, address: str, handler: Callable[[SimulatedCrash], None] | None) -> None:
+        """Register (or, with ``None``, remove) a crash supervisor for ``address``.
+
+        The handler runs synchronously after the crashed node is marked
+        offline and before the in-flight sender sees :class:`ReplyLost` —
+        so a supervisor that restarts the node lets the sender's *retry*
+        (same idempotency key) reach the recovered instance.
+        """
+        if handler is None:
+            self.crash_handlers.pop(address, None)
+        else:
+            self.crash_handlers[address] = handler
+
+    def _node_crashed(self, node: "Node", crash: SimulatedCrash) -> None:
+        node.online = False
+        self.crashes_simulated += 1
+        handler = self.crash_handlers.get(node.address)
+        if handler is not None:
+            handler(crash)
 
     def set_loss(self, rate: float, seed: int = 0) -> None:
         """Drop each request with probability ``rate`` (deterministic RNG).
@@ -349,7 +376,17 @@ class Transport:
                 self._account_send_only(src, payload)
                 raise MessageDropped(f"{src} -> {dst} ({kind})")
         self._account(src, dst, payload, plan)
-        response = node.handle(kind, src, payload)
+        try:
+            response = node.handle(kind, src, payload)
+        except SimulatedCrash as crash:
+            # A storage crash point fired inside the handler: the node is
+            # down, no reply bytes exist.  The sender sees the same
+            # ambiguity as crash-after-handler — retryable via idempotency.
+            self.messages_dropped += 1
+            self._node_crashed(node, crash)
+            raise ReplyLost(
+                f"{dst} crashed at storage point {crash.site!r} handling {kind} from {src}"
+            ) from crash
         if plan is not None:
             if plan.take_duplicate():
                 # At-least-once delivery: the same request arrives again
@@ -360,6 +397,10 @@ class Transport:
                 self._account(src, dst, payload, plan)
                 try:
                     node.handle(kind, src, payload)
+                except SimulatedCrash as crash:
+                    # Even an invisible duplicate can hit a crash point —
+                    # the node still goes down and the supervisor still runs.
+                    self._node_crashed(node, crash)
                 except Exception:
                     # The duplicate's outcome is invisible to the sender.
                     pass

@@ -113,6 +113,15 @@ class SimConfig:
     #: payee's verify-before-accept).  Off by default — the paper's figures
     #: evaluate the base protocol.
     detection: bool = False
+    #: Number of broker crash/restart events to model, spread evenly over the
+    #: run (event i of n fires at ``duration * i / (n + 1)``).  Each restart
+    #: replays the write-ahead journal accumulated since the last snapshot —
+    #: the post-recovery compaction snapshot resets that backlog — and the
+    #: replay's signature re-verification is charged to broker CPU load
+    #: (:data:`repro.sim.costs.REPLAY_RECORD_COST` per journal record).
+    #: 0 (the default) models an uninterrupted broker and leaves every load
+    #: figure exactly as before.
+    broker_restarts: int = 0
     seed: int = 20060704  # ICDCS 2006 vintage
 
     def __post_init__(self) -> None:
@@ -131,6 +140,8 @@ class SimConfig:
             raise ValueError("message_loss must be in [0, 1)")
         if self.rpc_max_attempts < 1:
             raise ValueError("rpc_max_attempts must be >= 1")
+        if self.broker_restarts < 0:
+            raise ValueError("broker_restarts must be >= 0")
 
     @property
     def availability(self) -> float:

@@ -202,6 +202,15 @@ OP_COSTS: dict[str, OpCost] = {
 #: Operation types that appear in the broker-load figures (2, 3, 6, 7).
 BROKER_OPS = ("purchase", "deposit", "downtime_transfer", "downtime_renewal", "sync")
 
+#: CPU cost of replaying one write-ahead-journal record during broker
+#: recovery.  Replay applies the recorded mutation (bookkeeping, ~free in
+#: Table 3 units) and re-verifies the signature the record carries — coin
+#: certificates for mints and top-ups, deposit envelopes, downtime
+#: bindings — so each record costs one regular verification.  Batch
+#: verification amortizes the modular exponentiations but still pays one
+#: per-item check, so the per-record unit cost is the honest model.
+REPLAY_RECORD_COST = MICRO_COST["ver"]
+
 #: Operation types that appear in the peer-load figures (4, 5).
 PEER_OPS = (
     "purchase",

@@ -50,6 +50,24 @@ class SimMetrics:
     per_peer_served: Counter = field(default_factory=Counter)
     #: Payments initiated per peer (activity measure).
     per_peer_payments: Counter = field(default_factory=Counter)
+    #: Broker crash/restart events modeled (SimConfig.broker_restarts).
+    broker_restarts: int = 0
+    #: Snapshots taken at the broker (one post-recovery compaction per
+    #: restart in the current model).
+    snapshots_taken: int = 0
+    #: Total journal records replayed across all recoveries.
+    recovery_records_replayed: int = 0
+    #: CPU cost of recovery replay (Table 3 units); folded into
+    #: :meth:`broker_cpu_load`.  Zero when no restarts are modeled, so the
+    #: durability extension leaves the paper's figures untouched by default.
+    recovery_replay_cost: float = 0.0
+
+    def count_recovery(self, records_replayed: int, replay_cost: float) -> None:
+        """Record one broker restart: journal replay plus compaction snapshot."""
+        self.broker_restarts += 1
+        self.snapshots_taken += 1
+        self.recovery_records_replayed += records_replayed
+        self.recovery_replay_cost += replay_cost
 
     def count_served(self, peer_index: int, times: int = 1) -> None:
         """Record owner-side work served by ``peer_index``."""
@@ -90,8 +108,9 @@ class SimMetrics:
     # -- figure 6/7: broker load ---------------------------------------------------
 
     def broker_cpu_load(self) -> float:
-        """Total broker CPU load in Table 3 units."""
-        return float(sum(OP_COSTS[op].broker_cpu * count for op, count in self.ops.items()))
+        """Total broker CPU load in Table 3 units (recovery replay included)."""
+        fixed = sum(OP_COSTS[op].broker_cpu * count for op, count in self.ops.items())
+        return float(fixed) + self.recovery_replay_cost
 
     def broker_comm_load(self) -> float:
         """Total broker communication load (message endpoints × retries)."""

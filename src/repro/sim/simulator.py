@@ -33,13 +33,14 @@ from dataclasses import dataclass, field
 
 from repro.sim import policies as pol
 from repro.sim.config import SimConfig
-from repro.sim.costs import expected_attempts
+from repro.sim.costs import BROKER_OPS, REPLAY_RECORD_COST, expected_attempts
 from repro.sim.metrics import SimMetrics
 
 # event kinds (ordered so ties break deterministically)
 _TOGGLE = 0
 _PAYMENT = 1
 _RENEWAL = 2
+_RESTART = 3
 
 #: Renew at this fraction of the renewal period after the last renewal.
 RENEWAL_POINT = 0.9
@@ -112,6 +113,9 @@ class Simulation:
         self._lazy = config.sync_mode == "lazy"
         self._track = config.track_per_peer
         self._detection = config.detection
+        # Broker ops already covered by a snapshot; ops beyond this backlog
+        # sit in the write-ahead journal and must be replayed on restart.
+        self._ops_snapshotted = 0
         self._build_population()
 
     def _build_population(self) -> None:
@@ -177,6 +181,9 @@ class Simulation:
             mean = self._mean_online[index] if peer.online else self._mean_offline[index]
             self._push(self._exp(mean), _TOGGLE, index)
             self._push(self._exp(self._interval[index]), _PAYMENT, index)
+        restarts = self.config.broker_restarts
+        for i in range(1, restarts + 1):
+            self._push(self.config.duration * i / (restarts + 1), _RESTART, 0)
 
     # -- run --------------------------------------------------------------------
 
@@ -194,8 +201,10 @@ class Simulation:
                 self._on_payment(subject)
             elif kind == _TOGGLE:
                 self._on_toggle(subject)
-            else:
+            elif kind == _RENEWAL:
                 self._on_renewal_due(subject)
+            else:
+                self._on_broker_restart()
         return SimResult(config=self.config, metrics=self.metrics, final_time=min(self.now, duration))
 
     # -- churn ------------------------------------------------------------------
@@ -225,6 +234,25 @@ class Simulation:
             if not coin.retired and coin.holder == index:
                 self._renew(coin)
         peer.pending_renewals.clear()
+
+    # -- broker restarts ---------------------------------------------------------
+
+    def _on_broker_restart(self) -> None:
+        """Crash + recover the broker: replay the journal since the last
+        snapshot, then compact.
+
+        Every broker-side operation appends one journal record under the
+        write-ahead discipline, so the replay backlog is the broker op count
+        accumulated since the previous snapshot.  Recovery re-verifies each
+        record's signature (:data:`REPLAY_RECORD_COST` apiece) and ends with
+        a compaction snapshot, which resets the backlog.  Clients ride out
+        the outage through idempotent retries, so the operation mix itself
+        is unchanged — restarts add CPU load, not failures.
+        """
+        journaled = sum(self.metrics.ops[op] for op in BROKER_OPS)
+        backlog = journaled - self._ops_snapshotted
+        self.metrics.count_recovery(backlog, backlog * REPLAY_RECORD_COST)
+        self._ops_snapshotted = journaled
 
     # -- renewals ------------------------------------------------------------------
 

@@ -1,0 +1,35 @@
+"""Crash-consistent durability for brokers and wallets.
+
+The paper's central trust assumption is that the broker's monetary state
+survives failures: losing an account destroys money, losing the deposited
+ledger re-enables double spending.  This package provides the machinery a
+production deployment would put under that assumption:
+
+* :mod:`repro.store.journal` — an append-only write-ahead journal with
+  length-prefixed, SHA-256-checksummed records plus atomic
+  write-temp-then-rename snapshots and log compaction;
+* :mod:`repro.store.crashpoints` — deterministic crash injection at every
+  fsync boundary, so tests can kill the broker at each point where a real
+  process could die;
+* :mod:`repro.store.apply` — the single mutation-application layer shared
+  by the live broker path and recovery replay (the only code outside
+  :mod:`repro.core.persistence` allowed to touch durable broker fields —
+  lint rule WP106 enforces this);
+* :mod:`repro.store.records` — canonical wallet-entry serializers shared
+  by peer journaling and :mod:`repro.core.persistence`;
+* :mod:`repro.store.recovery` — rebuilds a broker or peer from
+  snapshot + replay and re-verifies every replayed signature;
+* :mod:`repro.store.audit` — the post-recovery invariant auditor.
+
+See ``docs/DURABILITY.md`` for the journal format and crash-point model.
+"""
+
+from repro.store.crashpoints import CrashPointPlan, SimulatedCrash
+from repro.store.journal import DurableStore, JournalCorrupt
+
+__all__ = [
+    "CrashPointPlan",
+    "DurableStore",
+    "JournalCorrupt",
+    "SimulatedCrash",
+]

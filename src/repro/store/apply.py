@@ -1,0 +1,143 @@
+"""The broker's mutation-application layer.
+
+Every durable broker mutation is described by a small codec-encodable dict
+(a *mutation record*) and applied by exactly one function here.  The live
+broker path stages a mutation and applies it through this module before
+replying; recovery replays the same records through the same functions —
+so replay equivalence is structural, not hoped-for.  Lint rule WP106
+enforces that no other module (besides :mod:`repro.core.persistence`)
+touches the durable fields directly.
+
+Mutation types:
+
+``broker_init``        address + signing key (first record of a fresh store)
+``open_account``       out-of-protocol account creation (value enters here)
+``mint``               purchase / batch purchase: debit + new coin certs
+``deposit``            retire a coin, credit (or open) the payout account
+``downtime_binding``   downtime transfer/renewal: record binding + pending sync
+``top_up``             re-mint a coin at a higher value, debit the funder
+``sync_consumed``      an owner's pending-sync set was delivered and cleared
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, TYPE_CHECKING
+
+from repro.core.coin import Coin, CoinBinding
+from repro.core.protocol import decode_signed
+from repro.crypto.keys import KeyPair, PublicKey
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.broker import Broker
+
+
+class UnknownMutation(Exception):
+    """A journal record names a mutation type this code cannot apply."""
+
+
+def _apply_broker_init(broker: "Broker", mut: dict[str, Any]) -> None:
+    broker.keypair = KeyPair.from_secret(broker.params, mut["signing_x"])
+
+
+def _apply_open_account(broker: "Broker", mut: dict[str, Any]) -> None:
+    from repro.core.broker import Account
+
+    broker.accounts[mut["name"]] = Account(
+        identity=PublicKey(params=broker.params, y=mut["identity_y"]),
+        balance=mut["balance"],
+    )
+    broker.total_opened += mut["balance"]
+
+
+def _apply_mint(broker: "Broker", mut: dict[str, Any]) -> None:
+    broker.accounts[mut["account"]].balance -= mut["debit"]
+    for coin_bytes in mut["coins"]:
+        coin = Coin(cert=decode_signed(coin_bytes, broker.params))
+        broker.valid_coins[coin.coin_y] = coin
+        owner = coin.owner_address
+        if owner is not None:
+            broker.owner_coins.setdefault(owner, set()).add(coin.coin_y)
+
+
+def _apply_deposit(broker: "Broker", mut: dict[str, Any]) -> None:
+    from repro.core.broker import Account
+
+    coin_y = mut["coin_y"]
+    broker.deposited[coin_y] = mut["envelope"]
+    broker.downtime_bindings.pop(coin_y, None)
+    payout = broker.accounts.get(mut["payout_to"])
+    if payout is None:
+        broker.accounts[mut["payout_to"]] = Account(
+            identity=PublicKey(params=broker.params, y=mut["payout_identity_y"]),
+            balance=mut["credited"],
+        )
+    else:
+        payout.balance += mut["credited"]
+
+
+def _apply_downtime_binding(broker: "Broker", mut: dict[str, Any]) -> None:
+    binding = CoinBinding(
+        signed=decode_signed(mut["binding"], broker.params), via_broker=True
+    )
+    broker.downtime_bindings[mut["coin_y"]] = binding
+    if mut["owner"] is not None:
+        broker.pending_sync.setdefault(mut["owner"], set()).add(mut["coin_y"])
+
+
+def _apply_top_up(broker: "Broker", mut: dict[str, Any]) -> None:
+    broker.accounts[mut["account"]].balance -= mut["delta"]
+    coin = Coin(cert=decode_signed(mut["coin"], broker.params))
+    broker.valid_coins[coin.coin_y] = coin
+
+
+def _apply_sync_consumed(broker: "Broker", mut: dict[str, Any]) -> None:
+    broker.pending_sync.pop(mut["owner"], None)
+
+
+_APPLIERS: dict[str, Callable[["Broker", dict[str, Any]], None]] = {
+    "broker_init": _apply_broker_init,
+    "open_account": _apply_open_account,
+    "mint": _apply_mint,
+    "deposit": _apply_deposit,
+    "downtime_binding": _apply_downtime_binding,
+    "top_up": _apply_top_up,
+    "sync_consumed": _apply_sync_consumed,
+}
+
+
+def apply_broker(broker: "Broker", mut: dict[str, Any]) -> None:
+    """Apply one mutation record to ``broker`` (live path and replay)."""
+    try:
+        applier = _APPLIERS[mut["type"]]
+    except KeyError:
+        raise UnknownMutation(f"no applier for mutation type {mut.get('type')!r}") from None
+    applier(broker, mut)
+
+
+def verifiable_signatures(broker: "Broker", mut: dict[str, Any]) -> list[tuple[Any, bytes, Any]]:
+    """DSA (signer, payload, signature) triples a replayed record carries.
+
+    Recovery batch-verifies these after replay — a journal that was
+    tampered with between crash and restart must not smuggle unsigned
+    coins or bindings into the rebuilt broker.
+    """
+    triples: list[tuple[Any, bytes, Any]] = []
+    kind = mut["type"]
+    if kind == "mint":
+        for coin_bytes in mut["coins"]:
+            signed = decode_signed(coin_bytes, broker.params)
+            triples.append((signed.signer, signed.payload_bytes, signed.signature))
+    elif kind == "top_up":
+        signed = decode_signed(mut["coin"], broker.params)
+        triples.append((signed.signer, signed.payload_bytes, signed.signature))
+    elif kind == "downtime_binding":
+        signed = decode_signed(mut["binding"], broker.params)
+        triples.append((signed.signer, signed.payload_bytes, signed.signature))
+    elif kind == "deposit":
+        from repro.core.protocol import decode_dual
+
+        envelope = decode_dual(mut["envelope"], broker.params)
+        triples.append(
+            (envelope.coin_signer, envelope.inner.payload_bytes, envelope.inner.signature)
+        )
+    return triples

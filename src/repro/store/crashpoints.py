@@ -1,0 +1,81 @@
+"""Deterministic crash injection at durability boundaries.
+
+A real broker process can die at any instant; what matters for recovery is
+the set of *distinguishable* deaths, and those are exactly the fsync
+boundaries of the journal and snapshot code: before a record is durable,
+after it is durable but before the reply went out, between a snapshot's
+write and its rename, and so on.  :class:`CrashPointPlan` enumerates every
+such boundary crossed during a run and can be armed to raise
+:class:`SimulatedCrash` at exactly one of them.
+
+The plan composes with the PR-2 fault machinery: the transport converts a
+:class:`SimulatedCrash` escaping a handler into the node going offline plus
+:class:`~repro.net.transport.ReplyLost` — the same ambiguity a
+``crash_after_handler`` fault produces — so the idempotent-retry path is
+what carries in-flight payments over a broker death and restart.
+
+Determinism: crossings are counted in execution order, so for a fixed
+workload seed the boundary numbered ``i`` is the same boundary in every
+run; the torn-tail length simulated for a pre-fsync crash comes from the
+plan's own seeded RNG.
+"""
+
+from __future__ import annotations
+
+import random
+
+
+class SimulatedCrash(Exception):
+    """The process died at a durability boundary (injected, not an error).
+
+    Carries the crossing ``site`` label (e.g. ``journal.append.pre_sync``)
+    and its ``index`` in the plan's enumeration so harnesses can report
+    exactly which death they simulated.
+    """
+
+    def __init__(self, site: str, index: int) -> None:
+        super().__init__(f"simulated crash at {site} (crash point #{index})")
+        self.site = site
+        self.index = index
+
+
+class CrashPointPlan:
+    """Enumerate durability boundaries; optionally die at one of them.
+
+    With ``fire_at=None`` the plan only counts: run the workload once,
+    read :attr:`crossings`, and you know how many distinct crash points it
+    has.  With ``fire_at=i`` the ``i``-th crossing raises
+    :class:`SimulatedCrash` — exactly once, so the restarted process runs
+    to completion instead of dying again at the same boundary.
+    """
+
+    def __init__(self, fire_at: int | None = None, seed: int = 0) -> None:
+        if fire_at is not None and fire_at < 0:
+            raise ValueError("fire_at must be >= 0")
+        self.fire_at = fire_at
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self.crossings = 0
+        self.sites: list[str] = []
+        self.fired: SimulatedCrash | None = None
+
+    def crossing(self, site: str) -> None:
+        """Record one boundary crossing; raise if this is the armed one."""
+        index = self.crossings
+        self.crossings += 1
+        self.sites.append(site)
+        if self.fired is None and self.fire_at is not None and index == self.fire_at:
+            self.fired = SimulatedCrash(site, index)
+            raise self.fired
+
+    def torn_length(self, frame_len: int) -> int:
+        """How many bytes of an in-flight frame hit disk before the crash.
+
+        A crash before fsync leaves an arbitrary prefix of the frame on
+        disk (possibly none of it, never all of it — a fully written frame
+        is the post-fsync case).  Seeded, so a given (seed, crash point)
+        always tears the same way.
+        """
+        if frame_len <= 0:
+            return 0
+        return self.rng.randrange(frame_len)

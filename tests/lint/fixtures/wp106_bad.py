@@ -1,0 +1,27 @@
+"""WP106 bad fixture: direct mutation of durable broker fields."""
+
+
+class BadBroker:
+    def __init__(self):
+        self.accounts = {}
+        self.valid_coins = {}
+        self.deposited = {}
+        self.downtime_bindings = {}
+        self.owner_coins = {}
+        self.pending_sync = {}
+
+    def handle_deposit(self, coin_y, data):
+        self.deposited[coin_y] = data  # line 14: item assignment
+
+    def handle_purchase(self, coin_y, coin, src):
+        self.valid_coins[coin_y] = coin  # line 17: item assignment
+        self.owner_coins.setdefault(src, set()).add(coin_y)  # line 18: chained mutator
+
+    def forget(self, coin_y):
+        del self.downtime_bindings[coin_y]  # line 21: item deletion
+
+    def reset(self):
+        self.accounts = {}  # line 24: whole-field rebind outside __init__
+
+    def consume(self, owner):
+        self.pending_sync.pop(owner, None)  # line 27: in-place mutator

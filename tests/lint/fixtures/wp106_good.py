@@ -1,0 +1,32 @@
+"""WP106 good fixture: durable fields are only read; mutations are staged."""
+
+
+class GoodBroker:
+    def __init__(self):
+        self.accounts = {}
+        self.valid_coins = {}
+        self.deposited = {}
+        self.downtime_bindings = {}
+        self.owner_coins = {}
+        self.pending_sync = {}
+        self._staged = []
+
+    def _stage(self, mut):
+        self._staged.append(mut)
+
+    def handle_deposit(self, coin_y, data):
+        if coin_y in self.deposited:
+            raise ValueError("double spend")
+        value = self.valid_coins[coin_y].value
+        self._stage({"type": "deposit", "coin_y": coin_y, "envelope": data})
+        return value
+
+    def pending_for(self, owner):
+        return sorted(self.pending_sync.get(owner, set()))
+
+    def lookup(self, coin_y):
+        return self.downtime_bindings.get(coin_y)
+
+    def balance(self, name):
+        account = self.accounts.get(name)
+        return 0 if account is None else account.balance

@@ -124,6 +124,33 @@ class TestWP105WireSchema:
         assert len(found) == 2
 
 
+class TestWP106DurableFieldDiscipline:
+    def test_bad_fires_on_every_mutation_shape(self):
+        found = findings_for("WP106", "wp106_bad.py")
+        assert [diag.line for diag in found] == [14, 17, 18, 21, 24, 27]
+        messages = " ".join(diag.message for diag in found)
+        assert "'deposited'" in messages
+        assert "'valid_coins'" in messages
+        assert "'owner_coins'" in messages
+        assert "'downtime_bindings'" in messages
+        assert "rebinding" in messages
+        assert "pop()" in messages
+
+    def test_good_is_silent(self):
+        assert findings_for("WP106", "wp106_good.py") == []
+
+    def test_store_and_persistence_are_exempt(self):
+        from repro.lint import lint_sources
+
+        source = "def f(broker, y, data):\n    broker.deposited[y] = data\n"
+        inside = lint_sources([("apply.py", source, "repro.store.apply")])
+        persistence = lint_sources([("persistence.py", source, "repro.core.persistence")])
+        outside = lint_sources([("broker.py", source, "repro.core.broker")])
+        assert [d for d in inside.findings if d.code == "WP106"] == []
+        assert [d for d in persistence.findings if d.code == "WP106"] == []
+        assert len([d for d in outside.findings if d.code == "WP106"]) == 1
+
+
 @pytest.mark.parametrize(
     "bad,good",
     [
@@ -131,6 +158,7 @@ class TestWP105WireSchema:
         ("wp102_bad.py", "wp102_good.py"),
         ("wp103_bad.py", "wp103_good.py"),
         ("wp104_bad.py", "wp104_good.py"),
+        ("wp106_bad.py", "wp106_good.py"),
     ],
 )
 def test_every_bad_fixture_fails_and_good_passes(bad, good):

@@ -169,3 +169,41 @@ class TestConfigValidation:
     def test_describe_mentions_key_params(self):
         text = SimConfig().describe()
         assert "policy=I" in text and "sync=proactive" in text
+
+
+class TestBrokerRestarts:
+    def test_default_run_models_no_restarts(self):
+        metrics = run(seed=7).metrics
+        assert metrics.broker_restarts == 0
+        assert metrics.snapshots_taken == 0
+        assert metrics.recovery_replay_cost == 0.0
+
+    def test_restarts_add_replay_cost_without_changing_the_op_mix(self):
+        from repro.sim.costs import BROKER_OPS, REPLAY_RECORD_COST
+
+        base = run(seed=7).metrics
+        restarted = run(seed=7, broker_restarts=3).metrics
+        assert restarted.ops == base.ops  # retries hide the outage from clients
+        assert restarted.broker_restarts == 3
+        assert restarted.snapshots_taken == 3
+        assert restarted.recovery_records_replayed > 0
+        assert restarted.recovery_replay_cost == (
+            restarted.recovery_records_replayed * REPLAY_RECORD_COST
+        )
+        assert restarted.broker_cpu_load() == pytest.approx(
+            base.broker_cpu_load() + restarted.recovery_replay_cost
+        )
+        # Compaction snapshots reset the backlog: total replay never exceeds
+        # the broker's whole journal.
+        total_broker_ops = sum(restarted.ops[op] for op in BROKER_OPS)
+        assert restarted.recovery_records_replayed <= total_broker_ops
+
+    def test_restart_modeling_is_deterministic(self):
+        a = run(seed=7, broker_restarts=2).metrics
+        b = run(seed=7, broker_restarts=2).metrics
+        assert a.recovery_records_replayed == b.recovery_records_replayed
+        assert a.broker_cpu_load() == b.broker_cpu_load()
+
+    def test_rejects_negative_restarts(self):
+        with pytest.raises(ValueError):
+            SimConfig(broker_restarts=-1)

@@ -1,0 +1,134 @@
+"""Crash-point plans: enumeration, one-shot firing, and the invariant that
+*every* enumerated death leaves the store recoverable to a consistent state.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.store.crashpoints import CrashPointPlan, SimulatedCrash
+from repro.store.journal import DurableStore
+
+
+def sample_record(i: int) -> dict:
+    return {"kind": "op", "idem": f"key-{i}", "muts": [{"type": "noop", "i": i}]}
+
+
+def workload(store: DurableStore) -> None:
+    """Three appends, a snapshot, two more appends — 15 fsync boundaries."""
+    for i in range(3):
+        store.append(sample_record(i))
+    store.snapshot(b"S")
+    for i in range(3, 5):
+        store.append(sample_record(i))
+
+
+class TestPlanMechanics:
+    def test_counting_mode_enumerates_every_boundary(self, tmp_path):
+        plan = CrashPointPlan(fire_at=None)
+        workload(DurableStore(tmp_path / "s", crash_points=plan))
+        assert plan.fired is None
+        assert plan.crossings == len(plan.sites) == 15
+        assert plan.sites[:2] == ["journal.append.pre_sync", "journal.append.post_sync"]
+        assert plan.sites[6:11] == [
+            "snapshot.pre_sync",
+            "snapshot.post_sync",
+            "snapshot.post_rename",
+            "journal.compact.pre_sync",
+            "journal.compact.post_sync",
+        ]
+
+    def test_armed_plan_fires_exactly_once(self):
+        plan = CrashPointPlan(fire_at=1)
+        plan.crossing("a")
+        with pytest.raises(SimulatedCrash) as excinfo:
+            plan.crossing("b")
+        assert excinfo.value.site == "b"
+        assert excinfo.value.index == 1
+        plan.crossing("c")  # the restarted process crosses freely
+        assert plan.fired is excinfo.value
+
+    def test_negative_fire_at_is_rejected(self):
+        with pytest.raises(ValueError):
+            CrashPointPlan(fire_at=-1)
+
+    def test_torn_length_is_seeded_and_bounded(self):
+        a = CrashPointPlan(seed=42)
+        b = CrashPointPlan(seed=42)
+        torn_a = [a.torn_length(100) for _ in range(20)]
+        torn_b = [b.torn_length(100) for _ in range(20)]
+        assert torn_a == torn_b
+        assert all(0 <= t < 100 for t in torn_a)
+        assert a.torn_length(0) == 0
+
+
+class TestEveryDeathIsRecoverable:
+    def _recover(self, root):
+        store = DurableStore(root)
+        store.truncate_torn_tail()
+        state, records, torn = store.load()
+        assert not torn
+        return store, state, records
+
+    def test_sweep_every_crash_point_of_the_workload(self, tmp_path):
+        census = CrashPointPlan(fire_at=None)
+        workload(DurableStore(tmp_path / "census", crash_points=census))
+        for index in range(census.crossings):
+            root = tmp_path / f"fire{index}"
+            plan = CrashPointPlan(fire_at=index, seed=index)
+            store = DurableStore(root, crash_points=plan)
+            with pytest.raises(SimulatedCrash) as excinfo:
+                workload(store)
+            assert excinfo.value.site == census.sites[index]
+            _store, state, records = self._recover(root)
+            # A consistent prefix survived: the snapshot is all-or-nothing,
+            # LSNs are gapless, and logical content matches the workload.
+            assert state in (None, b"S")
+            lsns = [r["lsn"] for r in records]
+            first = 1 if state is None else 4
+            assert lsns == list(range(first, first + len(records)))
+            for record in records:
+                assert record["muts"][0]["i"] == record["lsn"] - 1
+
+    def test_pre_sync_append_death_loses_the_record(self, tmp_path):
+        root = tmp_path / "s"
+        store = DurableStore(root, crash_points=CrashPointPlan(fire_at=0, seed=9))
+        with pytest.raises(SimulatedCrash):
+            store.append(sample_record(0))
+        recovered, state, records = self._recover(root)
+        assert (state, records) == (None, [])
+        assert recovered.append(sample_record(0)) == 1  # LSN reused safely
+
+    def test_post_sync_append_death_keeps_the_record(self, tmp_path):
+        root = tmp_path / "s"
+        store = DurableStore(root, crash_points=CrashPointPlan(fire_at=1))
+        with pytest.raises(SimulatedCrash):
+            store.append(sample_record(0))
+        _recovered, _state, records = self._recover(root)
+        assert [r["lsn"] for r in records] == [1]
+
+    def test_post_rename_snapshot_death_skips_covered_records(self, tmp_path):
+        # Snapshot installed but the journal not yet compacted: the covered
+        # records are still on disk and must be skipped, not replayed twice.
+        root = tmp_path / "s"
+        store = DurableStore(root)
+        store.append(sample_record(0))
+        store.crash_points = CrashPointPlan(fire_at=2)  # snapshot.post_rename
+        with pytest.raises(SimulatedCrash):
+            store.snapshot(b"S")
+        assert store.journal_path.read_bytes() != b""
+        _recovered, state, records = self._recover(root)
+        assert (state, records) == (b"S", [])
+
+    def test_pre_sync_snapshot_death_keeps_the_old_state(self, tmp_path):
+        root = tmp_path / "s"
+        store = DurableStore(root)
+        store.append(sample_record(0))
+        store.snapshot(b"old")
+        store.append(sample_record(1))
+        store.crash_points = CrashPointPlan(fire_at=0)  # snapshot.pre_sync
+        with pytest.raises(SimulatedCrash):
+            store.snapshot(b"new")
+        _recovered, state, records = self._recover(root)
+        assert state == b"old"
+        assert [r["lsn"] for r in records] == [2]
