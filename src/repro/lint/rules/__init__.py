@@ -5,6 +5,7 @@ from repro.lint.rules import (  # noqa: F401
     determinism,
     durability,
     exceptions,
+    seeding,
     transport,
     wire,
 )

@@ -1,0 +1,150 @@
+"""WP107 — simulator randomness must be explicitly seeded.
+
+The simulation engines promise bit-identical replays per ``SimConfig.seed``
+(`repro.sim.engine` stakes its equivalence gate on it), and the sweep
+runner promises parallel rows identical to sequential ones.  numpy's
+random API offers two ways to silently break that promise inside
+``repro.sim``:
+
+* the *module-level* generator — ``np.random.normal(...)``,
+  ``np.random.seed(...)`` and friends share one hidden global stream that
+  any import can perturb;
+* *unseeded constructors* — ``default_rng()`` / ``RandomState()`` with no
+  argument (or an explicit ``None``) pull entropy from the OS, so no two
+  runs agree.
+
+Both are reported.  The sanctioned forms are seeded constructors —
+``default_rng(config.seed)``, ``RandomState(0)`` (e.g. as a state-transplant
+shell for an MT19937 stream) — and stdlib ``random.Random(seed)``
+instances; WP102 already polices the stdlib global generator.
+
+Scope: ``repro.sim`` only.  Offline tooling that merely *analyzes* sim
+output (``repro.analysis``) may bootstrap-resample however it likes.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.asthelpers import in_package
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.engine import ModuleInfo
+from repro.lint.registry import Rule, register
+
+#: Constructors that draw an OS-entropy seed when called without one.
+SEEDABLE_CTORS = frozenset({"default_rng", "RandomState"})
+
+
+def _unseeded(node: ast.Call) -> bool:
+    """True when the call passes no seed (no args, or an explicit None)."""
+    if not node.args and not node.keywords:
+        return True
+    if node.args:
+        first = node.args[0]
+    else:
+        seed_kw = next((kw for kw in node.keywords if kw.arg == "seed"), None)
+        if seed_kw is None:
+            return True
+        first = seed_kw.value
+    return isinstance(first, ast.Constant) and first.value is None
+
+
+@register
+class SimSeedingDiscipline(Rule):
+    code = "WP107"
+    name = "sim-seeding-discipline"
+    rationale = (
+        "The simulator's per-seed reproducibility gate dies the moment "
+        "repro.sim touches numpy's global random stream or an unseeded "
+        "generator."
+    )
+
+    def check(self, module: ModuleInfo) -> Iterable[Diagnostic]:
+        if not in_package(module.module, ("repro.sim",)):
+            return
+        numpy_aliases: set[str] = set()  # import numpy as np  ->  {"np"}
+        random_aliases: set[str] = set()  # from numpy import random as r / np.random
+        ctor_aliases: set[str] = set()  # from numpy.random import default_rng
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "numpy":
+                        numpy_aliases.add(alias.asname or "numpy")
+                    elif alias.name == "numpy.random":
+                        # ``import numpy.random`` binds the root module name.
+                        numpy_aliases.add(alias.asname or "numpy")
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "numpy":
+                    for alias in node.names:
+                        if alias.name == "random":
+                            random_aliases.add(alias.asname or "random")
+                elif node.module == "numpy.random":
+                    for alias in node.names:
+                        if alias.name in SEEDABLE_CTORS:
+                            ctor_aliases.add(alias.asname or alias.name)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            diag = self._check_call(module, node, numpy_aliases, random_aliases, ctor_aliases)
+            if diag is not None:
+                yield diag
+
+    def _check_call(
+        self,
+        module: ModuleInfo,
+        node: ast.Call,
+        numpy_aliases: set[str],
+        random_aliases: set[str],
+        ctor_aliases: set[str],
+    ) -> Diagnostic | None:
+        func = node.func
+        if isinstance(func, ast.Name):
+            # from numpy.random import default_rng; default_rng()
+            if func.id in ctor_aliases and _unseeded(node):
+                return self._diag(
+                    module,
+                    node,
+                    f"{func.id}() without a seed draws OS entropy — pass "
+                    "the config's seed so runs replay bit-identically",
+                )
+            return None
+        if not isinstance(func, ast.Attribute):
+            return None
+        receiver = func.value
+        # <np>.random.<fn>() or <random_alias>.<fn>()
+        is_random_ns = (
+            isinstance(receiver, ast.Attribute)
+            and receiver.attr == "random"
+            and isinstance(receiver.value, ast.Name)
+            and receiver.value.id in numpy_aliases
+        ) or (isinstance(receiver, ast.Name) and receiver.id in random_aliases)
+        if not is_random_ns:
+            return None
+        if func.attr in SEEDABLE_CTORS:
+            if _unseeded(node):
+                return self._diag(
+                    module,
+                    node,
+                    f"{func.attr}() without a seed draws OS entropy — pass "
+                    "the config's seed so runs replay bit-identically",
+                )
+            return None
+        # Any other attribute call on the numpy.random namespace hits the
+        # hidden module-level generator (including ``seed`` itself, which
+        # mutates state shared across every consumer in the process).
+        return self._diag(
+            module,
+            node,
+            f"numpy.random.{func.attr}() uses the hidden global stream — "
+            "draw from a generator seeded with the config's seed",
+        )
+
+    def _diag(self, module: ModuleInfo, node: ast.Call, message: str) -> Diagnostic:
+        return Diagnostic(
+            path=module.path,
+            line=node.lineno,
+            col=node.col_offset,
+            code=self.code,
+            message=message,
+        )

@@ -12,27 +12,46 @@ that methodology, faithfully:
   (user-centric), II.a/II.b (middle grounds), III (broker-centric).
 * :mod:`repro.sim.costs` — micro-operation counts per coarse operation and
   the Table 3 relative CPU weights; message counts for communication load.
-* :mod:`repro.sim.simulator` — the event loop: exponential on/off sessions,
-  per-peer Poisson candidate payments (1 per 5 min) thinned by payee
-  availability, 3-day renewal period, proactive or lazy synchronization.
+* :mod:`repro.sim.simulator` — the reference event loop: exponential on/off
+  sessions, per-peer Poisson candidate payments (1 per 5 min) thinned by
+  payee availability, 3-day renewal period, proactive or lazy
+  synchronization.
+* :mod:`repro.sim.engine` — the scaling engines (``docs/SIMULATOR.md``):
+  the bit-identical calendar-queue "compat" engine and the million-peer
+  "fast" engine (struct-of-arrays state, batched sampling, optional numpy
+  accelerator), selected via :func:`build_simulation`.
 * :mod:`repro.sim.metrics` — per-operation counters and the CPU /
   communication load aggregates of Figures 2–11.
 * :mod:`repro.sim.runner` — parameter sweeps that produce each figure's
-  series.
+  series (engine selection, process-pool fan-out, profiling hooks).
+* :mod:`repro.sim.figures` — one-call regeneration of every figure's data.
 * :mod:`repro.sim.baseline_sim` — the same workload driven against PPay and
   a fully centralized system (ablation comparisons).
 """
 
-from repro.sim.config import SimConfig, setup_a_configs, setup_b_configs
+from repro.sim.config import (
+    SimConfig,
+    setup_a_configs,
+    setup_b_configs,
+    setup_b_point,
+)
+from repro.sim.engine import ENGINES, build_simulation
 from repro.sim.metrics import SimMetrics
 from repro.sim.policies import POLICY_I, POLICY_II_A, POLICY_II_B, POLICY_III, Policy
-from repro.sim.runner import run_availability_sweep, run_scaling_sweep
+from repro.sim.runner import (
+    run_availability_sweep,
+    run_one,
+    run_replicated,
+    run_scaling_sweep,
+    run_sweep_parallel,
+)
 from repro.sim.simulator import SimResult, Simulation
 
 __all__ = [
     "SimConfig",
     "setup_a_configs",
     "setup_b_configs",
+    "setup_b_point",
     "Policy",
     "POLICY_I",
     "POLICY_II_A",
@@ -41,6 +60,11 @@ __all__ = [
     "Simulation",
     "SimResult",
     "SimMetrics",
+    "ENGINES",
+    "build_simulation",
+    "run_one",
+    "run_replicated",
     "run_availability_sweep",
     "run_scaling_sweep",
+    "run_sweep_parallel",
 ]

@@ -199,6 +199,21 @@ OP_COSTS: dict[str, OpCost] = {
     ),
 }
 
+#: Stable enumeration of the coarse operations.  The fast engine
+#: (:mod:`repro.sim.engine`) accumulates counts into a flat list indexed by
+#: position here instead of hashing operation names per event; the list is
+#: folded back into :class:`repro.sim.metrics.SimMetrics` once per run.
+OP_NAMES: tuple[str, ...] = tuple(OP_COSTS)
+
+#: Operation name → index into :data:`OP_NAMES`-shaped flat arrays.
+OP_INDEX: dict[str, int] = {name: index for index, name in enumerate(OP_NAMES)}
+
+#: Stable enumeration of the Table 3 micro-operations (same purpose).
+MICRO_NAMES: tuple[str, ...] = tuple(MICRO_COST)
+
+#: Micro-operation name → index into :data:`MICRO_NAMES`-shaped arrays.
+MICRO_INDEX: dict[str, int] = {name: index for index, name in enumerate(MICRO_NAMES)}
+
 #: Operation types that appear in the broker-load figures (2, 3, 6, 7).
 BROKER_OPS = ("purchase", "deposit", "downtime_transfer", "downtime_renewal", "sync")
 

@@ -90,18 +90,26 @@ _FIGURES: dict[str, dict[str, Any]] = {
 }
 
 
-def generate_all(small: bool = True, out_dir: str | Path | None = None) -> dict[str, dict[str, Any]]:
+def generate_all(
+    small: bool = True,
+    out_dir: str | Path | None = None,
+    engine: str | None = None,
+) -> dict[str, dict[str, Any]]:
     """Run the sweeps and derive every figure's series.
 
     Returns ``{figure_id: {"title", "x_label", "x", series...}}``; when
     ``out_dir`` is given, also writes ``<figure>.csv`` per figure and a
-    combined ``figures.txt`` report there.
+    combined ``figures.txt`` report there.  ``engine`` selects the
+    simulation engine (see :func:`repro.sim.engine.build_simulation`);
+    the default resolves to the reference engine.
     """
     sweeps_a = {
-        cfg: run_availability_sweep(_POLICIES[cfg[0]], cfg[1], small=small) for cfg in CONFIGS
+        cfg: run_availability_sweep(_POLICIES[cfg[0]], cfg[1], small=small, engine=engine)
+        for cfg in CONFIGS
     }
     sweeps_b = {
-        cfg: run_scaling_sweep(_POLICIES[cfg[0]], cfg[1], small=small) for cfg in CONFIGS
+        cfg: run_scaling_sweep(_POLICIES[cfg[0]], cfg[1], small=small, engine=engine)
+        for cfg in CONFIGS
     }
 
     figures: dict[str, dict[str, Any]] = {}

@@ -61,6 +61,11 @@ class SimMetrics:
     #: :meth:`broker_cpu_load`.  Zero when no restarts are modeled, so the
     #: durability extension leaves the paper's figures untouched by default.
     recovery_replay_cost: float = 0.0
+    #: Total simulation events processed (candidate payments, session
+    #: toggles, renewals, broker restarts).  The throughput denominator for
+    #: the scaling benchmark's events/sec figures; identical across engines
+    #: for equivalent runs.
+    events: int = 0
 
     def count_recovery(self, records_replayed: int, replay_cost: float) -> None:
         """Record one broker restart: journal replay plus compaction snapshot."""

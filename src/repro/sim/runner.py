@@ -9,6 +9,18 @@ over a process pool (:func:`run_sweep_parallel`).  Determinism is preserved:
 every point carries its own seed inside its :class:`SimConfig`, workers
 share no state, and results are returned in submission order — the parallel
 path produces bit-identical rows to the sequential one.
+
+Environment knobs (all optional):
+
+* ``WHOPAY_WORKERS`` — pool size (``auto``/empty → CPU count; malformed
+  values warn and fall back instead of killing the sweep);
+* ``WHOPAY_SIM_ENGINE`` — default engine for sweep points (``reference``,
+  ``compat``, or ``fast``; see :mod:`repro.sim.engine`);
+* ``WHOPAY_CHUNK`` — ``pool.map`` chunksize override (default: spread
+  points evenly at ~4 chunks per worker);
+* ``WHOPAY_PROFILE`` — directory for per-point cProfile dumps; also adds
+  ``wall_s`` / ``events_per_sec`` / ``peak_rss_kb`` timing columns to each
+  row.  Off by default so rows stay bit-identical run to run.
 """
 
 from __future__ import annotations
@@ -16,26 +28,73 @@ from __future__ import annotations
 import atexit
 import math
 import os
+import warnings
 from concurrent.futures import ProcessPoolExecutor
+from functools import partial
 from typing import Any, Iterable, Sequence
 
 from repro.core.clock import HOUR
 from repro.sim.config import SimConfig, setup_a_configs, setup_b_configs
+from repro.sim.engine import build_simulation
 from repro.sim.policies import Policy
-from repro.sim.simulator import Simulation
 
 
-def run_one(config: SimConfig) -> dict[str, Any]:
-    """Run a single configuration and flatten its metrics into a row."""
-    result = Simulation(config).run()
+def _resolve_engine(engine: str | None) -> str:
+    """Explicit argument, else the ``WHOPAY_SIM_ENGINE`` env, else reference."""
+    return engine or os.environ.get("WHOPAY_SIM_ENGINE") or "reference"
+
+
+def _peak_rss_kb() -> int | None:
+    """Process peak RSS in KiB, or ``None`` where rusage is unavailable."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-Unix
+        return None
+    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+
+
+def run_one(config: SimConfig, engine: str | None = None) -> dict[str, Any]:
+    """Run a single configuration and flatten its metrics into a row.
+
+    ``engine`` picks the simulation engine (default: the reference event
+    loop, overridable via ``WHOPAY_SIM_ENGINE``).  With ``WHOPAY_PROFILE``
+    set the point runs under cProfile, dumps its stats into that directory,
+    and the row gains wall-clock throughput columns; otherwise the row is a
+    pure function of the config.
+    """
+    engine = _resolve_engine(engine)
+    sim = build_simulation(config, engine)
+    profile_dir = os.environ.get("WHOPAY_PROFILE")
+    if profile_dir:
+        import cProfile
+        import time
+
+        prof = cProfile.Profile()
+        start = time.perf_counter()  # wp-lint: disable=WP102
+        prof.enable()
+        result = sim.run()
+        prof.disable()
+        wall = time.perf_counter() - start  # wp-lint: disable=WP102
+        os.makedirs(profile_dir, exist_ok=True)
+        prof.dump_stats(
+            os.path.join(
+                profile_dir,
+                f"sim_{engine}_n{config.n_peers}_s{config.seed}.prof",
+            )
+        )
+    else:
+        result = sim.run()
+        wall = None
     metrics = result.metrics
     row: dict[str, Any] = {
+        "engine": engine,
         "mu_hours": config.mean_online / HOUR,
         "nu_hours": config.mean_offline / HOUR,
         "n_peers": config.n_peers,
         "policy": config.policy.name,
         "sync": config.sync_mode,
         "availability": config.availability,
+        "events": metrics.events,
         "payments_made": metrics.payments_made,
         "broker_cpu": metrics.broker_cpu_load(),
         "broker_comm": metrics.broker_comm_load(),
@@ -48,6 +107,10 @@ def run_one(config: SimConfig) -> dict[str, Any]:
         row[f"broker_{op}"] = count
     for op, avg in metrics.peer_op_counts_avg().items():
         row[f"peer_avg_{op}"] = avg
+    if wall is not None:
+        row["wall_s"] = wall
+        row["events_per_sec"] = metrics.events / wall if wall > 0 else 0.0
+        row["peak_rss_kb"] = _peak_rss_kb()
     return row
 
 
@@ -62,11 +125,41 @@ _executor_workers: int = 0
 
 
 def default_workers() -> int:
-    """Worker count: ``WHOPAY_WORKERS`` env override, else the CPU count."""
-    env = os.environ.get("WHOPAY_WORKERS")
-    if env:
-        return max(1, int(env))
+    """Worker count: ``WHOPAY_WORKERS`` env override, else the CPU count.
+
+    ``auto`` (case-insensitive) and the empty string mean "use the CPU
+    count".  A malformed value is a configuration slip, not a reason to
+    kill a sweep that may be hours into a queue — warn and fall back.
+    Values below 1 clamp to a single worker.
+    """
+    env = (os.environ.get("WHOPAY_WORKERS") or "").strip()
+    if env and env.lower() != "auto":
+        try:
+            return max(1, int(env))
+        except ValueError:
+            warnings.warn(
+                f"ignoring malformed WHOPAY_WORKERS={env!r} "
+                "(expected an integer or 'auto'); using the CPU count",
+                RuntimeWarning,
+                stacklevel=2,
+            )
     return os.cpu_count() or 1
+
+
+def _default_chunksize(n_points: int, workers: int) -> int:
+    """Chunk sweep points so each worker sees ~4 chunks (amortizes IPC
+    without serializing the tail); ``WHOPAY_CHUNK`` overrides."""
+    env = (os.environ.get("WHOPAY_CHUNK") or "").strip()
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            warnings.warn(
+                f"ignoring malformed WHOPAY_CHUNK={env!r} (expected an integer)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+    return max(1, n_points // (workers * 4))
 
 
 def _pool(max_workers: int) -> ProcessPoolExecutor:
@@ -95,28 +188,43 @@ atexit.register(shutdown_pool)
 def run_sweep_parallel(
     configs: Iterable[SimConfig],
     max_workers: int | None = None,
+    engine: str | None = None,
+    chunksize: int | None = None,
 ) -> list[dict[str, Any]]:
     """Run independent sweep points on a process pool, preserving order.
 
-    Returns exactly what ``[run_one(c) for c in configs]`` would: each point
-    is seeded by its config and workers share no state, so rows are
-    bit-identical to the sequential runner's.  With one config (or one
-    worker available and one config) the pool is skipped entirely.
+    Returns exactly what ``[run_one(c, engine) for c in configs]`` would:
+    each point is seeded by its config and workers share no state, so rows
+    are bit-identical to the sequential runner's.  With one config (or one
+    worker available and one config) the pool is skipped entirely.  Points
+    ship to workers in chunks (see :func:`_default_chunksize`) so short
+    sweep points don't pay one IPC round-trip each.
+
+    The engine name is resolved *here*, in the parent, so a sweep is pinned
+    to one engine even if a worker's environment drifts.
     """
     configs = list(configs)
     if not configs:
         return []
+    engine = _resolve_engine(engine)
     workers = min(max_workers or default_workers(), len(configs))
     if workers <= 1 and len(configs) == 1:
-        return [run_one(configs[0])]
-    # ``map`` yields in submission order regardless of completion order.
-    return list(_pool(workers).map(run_one, configs))
+        return [run_one(configs[0], engine)]
+    chunk = chunksize or _default_chunksize(len(configs), workers)
+    # ``map`` yields in submission order regardless of completion order;
+    # ``partial`` keeps the callable picklable for the worker processes.
+    return list(_pool(workers).map(partial(run_one, engine=engine), configs, chunksize=chunk))
 
 
-def _run_points(configs: Iterable[SimConfig], parallel: bool) -> list[dict[str, Any]]:
+def _run_points(
+    configs: Iterable[SimConfig],
+    parallel: bool,
+    engine: str | None = None,
+) -> list[dict[str, Any]]:
     if parallel:
-        return run_sweep_parallel(configs)
-    return [run_one(config) for config in configs]
+        return run_sweep_parallel(configs, engine=engine)
+    engine = _resolve_engine(engine)
+    return [run_one(config, engine) for config in configs]
 
 
 # -- replication --------------------------------------------------------------
@@ -143,6 +251,7 @@ def run_replicated(
     config: SimConfig,
     seeds: tuple[int, ...],
     parallel: bool = False,
+    engine: str | None = None,
 ) -> dict[str, Any]:
     """Run ``config`` under several seeds; report mean and spread per metric.
 
@@ -157,7 +266,7 @@ def run_replicated(
         raise ValueError("need at least one seed")
     from dataclasses import replace
 
-    rows = _run_points((replace(config, seed=seed) for seed in seeds), parallel)
+    rows = _run_points((replace(config, seed=seed) for seed in seeds), parallel, engine)
     merged: dict[str, Any] = {}
     for key, value in rows[0].items():
         if isinstance(value, bool) or not isinstance(value, (int, float)):
@@ -181,6 +290,7 @@ def run_availability_sweep(
     small: bool = False,
     mean_offline_hours: float = 2.0,
     parallel: bool = False,
+    engine: str | None = None,
 ) -> list[dict[str, Any]]:
     """Setup A (Figures 2–9): sweep µ for one (policy, sync) configuration."""
     return _run_points(
@@ -191,6 +301,7 @@ def run_availability_sweep(
             small=small,
         ),
         parallel,
+        engine,
     )
 
 
@@ -199,9 +310,11 @@ def run_scaling_sweep(
     sync_mode: str,
     small: bool = False,
     parallel: bool = False,
+    engine: str | None = None,
 ) -> list[dict[str, Any]]:
     """Setup B (Figures 10–11): sweep the system size at 50% availability."""
     return _run_points(
         setup_b_configs(policy=policy, sync_mode=sync_mode, small=small),
         parallel,
+        engine,
     )

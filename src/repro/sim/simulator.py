@@ -192,11 +192,13 @@ class Simulation:
         self._initialize()
         duration = self.config.duration
         heap = self._heap
+        events = 0
         while heap:
             time, kind, _seq, subject = heapq.heappop(heap)
             if time > duration:
                 break
             self.now = time
+            events += 1
             if kind == _PAYMENT:
                 self._on_payment(subject)
             elif kind == _TOGGLE:
@@ -205,6 +207,7 @@ class Simulation:
                 self._on_renewal_due(subject)
             else:
                 self._on_broker_restart()
+        self.metrics.events = events
         return SimResult(config=self.config, metrics=self.metrics, final_time=min(self.now, duration))
 
     # -- churn ------------------------------------------------------------------

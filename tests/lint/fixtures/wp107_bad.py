@@ -1,0 +1,26 @@
+# wp-lint: module=repro.sim.fixture_wp107_bad
+"""WP107 bad fixture: global numpy stream and unseeded generators."""
+
+import numpy as np
+from numpy import random as nprandom
+from numpy.random import default_rng
+
+
+def sample_sessions(n):
+    return np.random.exponential(2.0, size=n)  # line 10: WP107 (global stream)
+
+
+def reseed_everything(seed):
+    np.random.seed(seed)  # line 14: WP107 (mutates shared global state)
+
+
+def fresh_generator():
+    return default_rng()  # line 18: WP107 (OS-entropy seed)
+
+
+def fresh_legacy():
+    return np.random.RandomState()  # line 22: WP107 (OS-entropy seed)
+
+
+def explicit_none():
+    return nprandom.default_rng(None)  # line 26: WP107 (None = OS entropy)

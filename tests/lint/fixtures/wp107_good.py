@@ -1,0 +1,20 @@
+# wp-lint: module=repro.sim.fixture_wp107_good
+"""WP107 good fixture: every generator is seeded from the config."""
+
+import random
+
+import numpy as np
+from numpy.random import default_rng
+
+
+class Sampler:
+    def __init__(self, seed):
+        self.rng = random.Random(seed)
+        self.gen = default_rng(seed)
+        # Seeded shell about to receive a transplanted MT19937 state — the
+        # engine's block-stream idiom.
+        self.shell = np.random.RandomState(0)
+        self.named = np.random.default_rng(seed=seed)
+
+    def gaps(self, n):
+        return self.gen.exponential(2.0, size=n)

@@ -151,6 +151,39 @@ class TestWP106DurableFieldDiscipline:
         assert len([d for d in outside.findings if d.code == "WP106"]) == 1
 
 
+class TestWP107SimSeeding:
+    def test_bad_fires_on_global_stream_and_unseeded_ctors(self):
+        found = findings_for("WP107", "wp107_bad.py")
+        assert [diag.line for diag in found] == [10, 14, 18, 22, 26]
+        messages = " ".join(diag.message for diag in found)
+        assert "numpy.random.exponential" in messages
+        assert "numpy.random.seed" in messages
+        assert "default_rng() without a seed" in messages
+        assert "RandomState() without a seed" in messages
+
+    def test_good_is_silent(self):
+        assert findings_for("WP107", "wp107_good.py") == []
+
+    def test_scope_is_repro_sim_only(self):
+        from repro.lint import lint_sources
+
+        source = "import numpy as np\nx = np.random.random()\n"
+        inside = lint_sources([("engine.py", source, "repro.sim.engine_scratch")])
+        outside = lint_sources([("stats.py", source, "repro.analysis.stats_scratch")])
+        assert len([d for d in inside.findings if d.code == "WP107"]) == 1
+        assert [d for d in outside.findings if d.code == "WP107"] == []
+
+    def test_seeded_engine_modules_are_clean(self):
+        src = os.path.join(os.path.dirname(FIXTURES), "..", "..", "src")
+        result = lint_paths(
+            [
+                os.path.join(src, "repro", "sim", "engine.py"),
+                os.path.join(src, "repro", "sim", "simulator.py"),
+            ]
+        )
+        assert [d for d in result.findings if d.code == "WP107"] == []
+
+
 @pytest.mark.parametrize(
     "bad,good",
     [
@@ -159,6 +192,7 @@ class TestWP106DurableFieldDiscipline:
         ("wp103_bad.py", "wp103_good.py"),
         ("wp104_bad.py", "wp104_good.py"),
         ("wp106_bad.py", "wp106_good.py"),
+        ("wp107_bad.py", "wp107_good.py"),
     ],
 )
 def test_every_bad_fixture_fails_and_good_passes(bad, good):

@@ -6,6 +6,7 @@ parallelism may only change wall-clock, never results.
 """
 
 import math
+import os
 from dataclasses import replace
 
 import pytest
@@ -14,7 +15,9 @@ from repro.core.clock import DAY, HOUR
 from repro.sim import runner
 from repro.sim.config import SimConfig
 from repro.sim.runner import (
+    _default_chunksize,
     _spread,
+    default_workers,
     run_one,
     run_replicated,
     run_sweep_parallel,
@@ -59,6 +62,98 @@ class TestParallelDeterminism:
         again = run_sweep_parallel(configs, max_workers=2)
         assert first == again
         assert runner._executor is not None
+
+
+class TestWorkerAndChunkKnobs:
+    def test_default_is_cpu_count(self, monkeypatch):
+        monkeypatch.delenv("WHOPAY_WORKERS", raising=False)
+        assert default_workers() == (os.cpu_count() or 1)
+
+    @pytest.mark.parametrize("value", ["auto", "AUTO", "", "  "])
+    def test_auto_and_empty_mean_cpu_count(self, monkeypatch, value):
+        monkeypatch.setenv("WHOPAY_WORKERS", value)
+        assert default_workers() == (os.cpu_count() or 1)
+
+    def test_explicit_integer_and_clamp(self, monkeypatch):
+        monkeypatch.setenv("WHOPAY_WORKERS", "3")
+        assert default_workers() == 3
+        monkeypatch.setenv("WHOPAY_WORKERS", "0")
+        assert default_workers() == 1
+        monkeypatch.setenv("WHOPAY_WORKERS", "-2")
+        assert default_workers() == 1
+
+    @pytest.mark.parametrize("value", ["lots", "3.5", "auto8"])
+    def test_malformed_warns_and_falls_back(self, monkeypatch, value):
+        monkeypatch.setenv("WHOPAY_WORKERS", value)
+        with pytest.warns(RuntimeWarning, match="malformed WHOPAY_WORKERS"):
+            assert default_workers() == (os.cpu_count() or 1)
+
+    def test_chunksize_default_and_override(self, monkeypatch):
+        monkeypatch.delenv("WHOPAY_CHUNK", raising=False)
+        assert _default_chunksize(32, 4) == 2
+        assert _default_chunksize(3, 8) == 1  # never zero
+        monkeypatch.setenv("WHOPAY_CHUNK", "5")
+        assert _default_chunksize(32, 4) == 5
+        monkeypatch.setenv("WHOPAY_CHUNK", "bogus")
+        with pytest.warns(RuntimeWarning, match="malformed WHOPAY_CHUNK"):
+            assert _default_chunksize(32, 4) == 2
+
+    def test_explicit_chunksize_matches_default_rows(self):
+        configs = [replace(TINY, seed=s) for s in (31, 32, 33, 34)]
+        assert run_sweep_parallel(configs, max_workers=2, chunksize=2) == [
+            run_one(c) for c in configs
+        ]
+
+
+class TestEngineSelection:
+    def test_rows_carry_engine_and_events(self):
+        row = run_one(replace(TINY, seed=41))
+        assert row["engine"] == "reference"
+        assert row["events"] > 0
+
+    def test_env_default_engine(self, monkeypatch):
+        monkeypatch.setenv("WHOPAY_SIM_ENGINE", "compat")
+        assert run_one(replace(TINY, seed=41))["engine"] == "compat"
+
+    def test_explicit_engine_beats_env(self, monkeypatch):
+        monkeypatch.setenv("WHOPAY_SIM_ENGINE", "fast")
+        row = run_one(replace(TINY, seed=41), engine="reference")
+        assert row["engine"] == "reference"
+
+    def test_compat_rows_identical_to_reference(self):
+        config = replace(TINY, seed=42)
+        ref = run_one(config, engine="reference")
+        compat = run_one(config, engine="compat")
+        assert {k: v for k, v in ref.items() if k != "engine"} == {
+            k: v for k, v in compat.items() if k != "engine"
+        }
+
+    def test_parallel_pins_engine_in_parent(self, monkeypatch):
+        # The engine resolves before configs ship to workers, so rows agree
+        # with the sequential run even though workers re-read the env.
+        monkeypatch.setenv("WHOPAY_SIM_ENGINE", "compat")
+        configs = [replace(TINY, seed=s) for s in (51, 52)]
+        rows = run_sweep_parallel(configs, max_workers=2)
+        assert [row["engine"] for row in rows] == ["compat", "compat"]
+
+
+class TestProfileHooks:
+    def test_profile_adds_timing_columns_and_dump(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("WHOPAY_PROFILE", str(tmp_path))
+        config = replace(TINY, seed=61)
+        row = run_one(config, engine="fast")
+        assert row["wall_s"] > 0
+        assert row["events_per_sec"] > 0
+        rss = row["peak_rss_kb"]
+        assert rss is None or rss > 0
+        dumps = list(tmp_path.glob("sim_fast_n15_s61.prof"))
+        assert len(dumps) == 1 and dumps[0].stat().st_size > 0
+
+    def test_rows_stay_pure_without_profile(self, monkeypatch):
+        monkeypatch.delenv("WHOPAY_PROFILE", raising=False)
+        row = run_one(replace(TINY, seed=61))
+        assert "wall_s" not in row and "events_per_sec" not in row
+        assert "peak_rss_kb" not in row
 
 
 class TestReplicatedSpread:
