@@ -1,49 +1,70 @@
-"""Throughput of the real protocol stack (engineering instrumentation).
+"""Full-crypto protocol throughput smoke (engineering instrumentation).
 
-Not a paper artifact: end-to-end payments per second through the actual
-cryptographic implementation (key generation, DSA, group signatures, full
-message exchanges) at the 512-bit test size and at the paper's 1024-bit
-production size.  Useful for sizing the full-crypto stack against the
-operation-level simulator's cost model.
+Not a paper artifact: a paper-size sanity check that the real
+cryptographic stack sustains end-to-end payments, now expressed as a thin
+wrapper over the pipeline load generator (:mod:`repro.pipeline.loadgen`)
+instead of the old two-holder ping-pong.  The generator drives the same
+signed wire envelopes through the broker that the throughput benchmark
+(``bench_throughput.py``) sweeps; here we run one small configuration per
+parameter size and assert the workload is fully accepted.
 """
 
-import pytest
+import tempfile
 
-from repro.core.network import WhoPayNetwork
 from repro.crypto.params import PARAMS_1024_160, PARAMS_TEST_512
+from repro.pipeline import LoadGenerator, ThroughputEngine, VerificationPool
+from repro.store.groupcommit import GroupCommitter
 
 
-def run_payment_cycle(params, payments: int) -> WhoPayNetwork:
-    net = WhoPayNetwork(params=params)
-    alice = net.add_peer("alice", balance=payments + 1)
-    bob = net.add_peer("bob")
-    carol = net.add_peer("carol")
-    state = alice.purchase()
-    alice.issue("bob", state.coin_y)
-    holders = [bob, carol]
-    for i in range(payments):
-        payer = holders[i % 2]
-        payee = holders[(i + 1) % 2]
-        payer.transfer(payee.address, state.coin_y)
-    return net
+def run_pipeline_smoke(params, ops: int, rounds: int = 2):
+    """One pipeline configuration over the seeded workload; returns stats."""
+    with tempfile.TemporaryDirectory() as tmp:
+        generator = LoadGenerator(
+            peers=4, coins_per_peer=2, params=params, store_dir=tmp, seed=11
+        )
+        pool = VerificationPool(
+            generator.params, generator.broker.public_key, [generator._gpk], workers=0
+        )
+        committer = GroupCommitter(generator.broker.store, max_batch=16)
+        engine = ThroughputEngine(
+            generator.broker, pool=pool, committer=committer, verify_batch=16
+        )
+        accepted = processed = fsyncs = 0
+        for _ in range(rounds):
+            requests = generator.make_round(ops)
+            records, stats = engine.run(
+                [(r.kind, r.src, r.data, r.idem) for r in requests]
+            )
+            generator.absorb(records)
+            accepted += stats.accepted
+            processed += stats.processed
+            fsyncs += stats.fsyncs
+        return accepted, processed, fsyncs
 
 
 def test_throughput_transfers_512(benchmark):
-    net = benchmark.pedantic(run_payment_cycle, args=(PARAMS_TEST_512, 20), rounds=1, iterations=1)
-    assert net.peers["bob"].counts.transfers_sent + net.peers["carol"].counts.transfers_sent == 20
+    accepted, processed, fsyncs = benchmark.pedantic(
+        run_pipeline_smoke, args=(PARAMS_TEST_512, 16), rounds=1, iterations=1
+    )
+    assert accepted == processed == 32
+    assert fsyncs < processed  # group commit actually amortized the fsyncs
     seconds = benchmark.stats.stats.mean
-    print(f"\n512-bit full-crypto transfers: {20 / seconds:.1f} payments/s")
+    print(f"\n512-bit full-crypto pipeline: {processed / seconds:.1f} payments/s")
 
 
 def test_throughput_transfers_1024(benchmark):
-    net = benchmark.pedantic(run_payment_cycle, args=(PARAMS_1024_160, 10), rounds=1, iterations=1)
-    total = net.peers["bob"].counts.transfers_sent + net.peers["carol"].counts.transfers_sent
-    assert total == 10
+    accepted, processed, fsyncs = benchmark.pedantic(
+        run_pipeline_smoke, args=(PARAMS_1024_160, 6, 1), rounds=1, iterations=1
+    )
+    assert accepted == processed == 6
     seconds = benchmark.stats.stats.mean
-    print(f"\n1024-bit (paper-size) full-crypto transfers: {10 / seconds:.1f} payments/s")
+    print(f"\n1024-bit (paper-size) full-crypto pipeline: {processed / seconds:.1f} payments/s")
 
 
 def test_throughput_detection_overhead(benchmark):
+    """Detection keeps working alongside the pipeline (publish on re-bind)."""
+    from repro.core.network import WhoPayNetwork
+
     def run_with_detection():
         net = WhoPayNetwork(params=PARAMS_TEST_512, enable_detection=True, dht_size=4)
         alice = net.add_peer("alice", balance=25)

@@ -22,6 +22,7 @@ Security duties implemented here:
 
 from __future__ import annotations
 
+import hashlib
 import hmac
 import secrets
 from dataclasses import dataclass, field
@@ -48,6 +49,7 @@ from repro.net.node import Node
 from repro.net.rpc import unwrap_idempotent
 from repro.net.transport import Transport
 from repro.store import apply as store_apply
+from repro.store.groupcommit import GroupCommitter
 from repro.store.journal import DurableStore
 
 
@@ -127,6 +129,20 @@ class Broker(Node):
         self.detection = None  # set by WhoPayNetwork when the DHT is enabled
         self.store: DurableStore | None = None
         self._staged: list[dict[str, Any]] = []
+        #: Optional group committer (set by the throughput engine).  When
+        #: present, :meth:`handle` stages its journal record there instead
+        #: of appending per request; the engine owns flushing and must hold
+        #: each staged request's reply until the covering fsync.
+        self.committer: GroupCommitter | None = None
+        #: One-shot ``on_durable`` callback for the *next* staged request
+        #: (consumed by :meth:`handle`; set by the engine before each call).
+        self.on_durable: Any = None
+        #: Whether the most recent :meth:`handle` staged a journal record
+        #: (i.e. whether its reply must wait for a covering fsync).
+        self.last_request_staged: bool = False
+        # SHA-256 digests of raw requests whose *cryptographic* checks a
+        # verification pool already performed; consumed on first sight.
+        self._preverified: set[bytes] = set()
         if store is not None:
             self.bind_store(store)
 
@@ -203,15 +219,22 @@ class Broker(Node):
             self._staged = []
             raise
         staged, self._staged = self._staged, []
+        on_durable, self.on_durable = self.on_durable, None
+        self.last_request_staged = bool(staged)
         if staged:
-            self.store.append(
-                {
-                    "kind": kind,
-                    "idem": idem,
-                    "reply": result if idem is not None else None,
-                    "muts": staged,
-                }
-            )
+            record = {
+                "kind": kind,
+                "idem": idem,
+                "reply": result if idem is not None else None,
+                "muts": staged,
+            }
+            if self.committer is not None:
+                # Group commit: the record becomes durable at the next
+                # flush; the caller must sit on the reply until then (the
+                # ``on_durable`` callback is its release signal).
+                self.committer.stage(record, on_durable=on_durable)
+            else:
+                self.store.append(record)
         return result
 
     # -- accounts ---------------------------------------------------------------
@@ -292,6 +315,30 @@ class Broker(Node):
 
     # -- verification helpers -----------------------------------------------------
 
+    def mark_preverified(self, digests: set[bytes] | list[bytes]) -> None:
+        """Record raw requests whose signatures a verification pool checked.
+
+        ``digests`` are SHA-256 digests of the exact request bytes.  The
+        next time each request arrives, the broker skips re-running its
+        *cryptographic* checks (group signature, DSA signatures) — every
+        structural and state check (circulation, double-spend, holdership
+        binding, expiry, balances) still runs in the broker, because only
+        the broker holds that state.  Entries are consumed on first use, so
+        the set cannot grow without bound and a digest can never vouch for
+        more than one admission.
+        """
+        self._preverified.update(digests)
+
+    def _crypto_preverified(self, data: bytes) -> bool:
+        """Consume and report a pool pre-verification for ``data``."""
+        if not self._preverified:
+            return False
+        digest = hashlib.sha256(data).digest()
+        if digest in self._preverified:
+            self._preverified.discard(digest)
+            return True
+        return False
+
     def _gpk_at(self, version: int):
         if version not in self._gpk_cache:
             self._gpk_cache[version] = self.judge.group_public_key_at(version)
@@ -303,7 +350,14 @@ class Broker(Node):
         Returns the decoded operation, its envelope, the coin, and the
         holder's (verified) proof binding.  Raises a protocol error subclass
         on any failure.
+
+        When the request was pre-verified by a verification pool
+        (:meth:`mark_preverified`), the signature checks — the group
+        signature here and the DSA batch at the end — are skipped; the pool
+        already ran them (unconditionally, including the proof-binding
+        signature) on these exact bytes.  All state checks below still run.
         """
+        crypto_done = self._crypto_preverified(data)
         try:
             envelope = protocol.decode_dual(data, self.params)
             operation = protocol.HolderOperation.from_payload(envelope.payload)
@@ -315,7 +369,7 @@ class Broker(Node):
                 "group signature predates the latest expulsion (revoked snapshot)"
             )
         gpk = self._gpk_at(envelope.roster_version)
-        if not envelope.verify_group(gpk):
+        if not crypto_done and not envelope.verify_group(gpk):
             raise VerificationFailed("holder envelope signatures invalid")
         # The request's DSA signatures (inner holder envelope, coin cert,
         # proof binding) are collected here and checked together with one
@@ -366,7 +420,7 @@ class Broker(Node):
             raise NotHolder("request not signed with the bound holder key")
         if self.clock.now() > proof.exp_date:
             raise CoinExpired(f"coin {coin.coin_y:#x} expired")
-        if not dsa_batch_verify(dsa_batch):
+        if not crypto_done and not dsa_batch_verify(dsa_batch):
             # Re-check individually for a precise error message.
             if not envelope.inner.verify():
                 raise VerificationFailed("holder envelope signatures invalid")
@@ -399,7 +453,7 @@ class Broker(Node):
             request = protocol.PurchaseRequest.from_payload(signed.payload)
         except (ValueError, KeyError) as exc:
             raise ProtocolError(f"malformed purchase: {exc}") from exc
-        if not signed.verify():
+        if not self._crypto_preverified(data) and not signed.verify():
             raise VerificationFailed("purchase signature invalid")
         account = self.accounts.get(request.account)
         if account is None or account.identity.y != signed.signer.y:
@@ -455,7 +509,7 @@ class Broker(Node):
             request = protocol.BatchPurchaseRequest.from_payload(signed.payload)
         except (ValueError, KeyError) as exc:
             raise ProtocolError(f"malformed batch purchase: {exc}") from exc
-        if not signed.verify():
+        if not self._crypto_preverified(data) and not signed.verify():
             raise VerificationFailed("batch purchase signature invalid")
         account = self.accounts.get(request.account)
         if account is None or account.identity.y != signed.signer.y:

@@ -40,7 +40,7 @@ from repro.core.errors import (
     VerificationFailed,
 )
 from repro.core.judge import Judge
-from repro.crypto.dsa import dsa_batch_verify
+from repro.crypto.dsa import DsaSignature, dsa_batch_verify
 from repro.crypto.group_signature import GroupMemberKey
 from repro.crypto.keys import KeyPair, PublicKey
 from repro.crypto.params import DlogParams
@@ -399,12 +399,31 @@ class Peer(Node):
             raise VerificationFailed("broker returned the wrong number of coins")
         states: list[OwnedCoinState] = []
         by_y = {kp.public.y: kp for kp in keypairs}
+        # One randomized batch verification covers every certificate in the
+        # reply — the broker attaches ``sig_c`` commit hints precisely so
+        # receivers can do this.  Structural checks stay per coin; on a
+        # batch failure, re-check individually to name the bad certificate
+        # without rejecting the honest ones alongside it.
+        dsa_batch: list[tuple[PublicKey, bytes, DsaSignature]] = []
+        coins: list[Coin] = []
         for coin_bytes in minted:
             coin = Coin(cert=protocol.decode_signed(coin_bytes, self.params))
             keypair = by_y.get(coin.coin_y)
-            if keypair is None or not coin.verify(self.broker_key):
+            if (
+                keypair is None
+                or coin.cert.signer.y != self.broker_key.y
+                or not coin.verify_unsigned()
+            ):
                 raise VerificationFailed("broker returned an invalid batch coin")
-            state = OwnedCoinState(coin=coin, coin_keypair=keypair)
+            dsa_batch.append((coin.cert.signer, coin.cert.payload_bytes, coin.cert.signature))
+            coins.append(coin)
+        if not dsa_batch_verify(dsa_batch):
+            bad = [coin for coin in coins if not coin.verify(self.broker_key)]
+            raise VerificationFailed(
+                f"broker returned {len(bad)} invalid batch coin certificate(s)"
+            )
+        for coin in coins:
+            state = OwnedCoinState(coin=coin, coin_keypair=by_y[coin.coin_y])
             self.owned[coin.coin_y] = state
             states.append(state)
         if self.store is not None:

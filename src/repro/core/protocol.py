@@ -75,19 +75,27 @@ def decode_signed(data: bytes, params: DlogParams) -> SignedMessage:
 
 
 def encode_dual(message: DualSignedMessage) -> bytes:
-    """Bytes form of a dual-signed (holder) envelope."""
+    """Bytes form of a dual-signed (holder) envelope.
+
+    ``gs_t`` carries the group signature's per-clause commitment hints so
+    the broker can batch-verify holder envelopes
+    (:func:`repro.crypto.group_signature.group_batch_verify`); like
+    ``sig_c`` on the inner envelope it is untrusted accelerator metadata —
+    stripping it merely costs the receiver exact verification.
+    """
     gs = message.group_signature
-    return encode(
-        {
-            "inner": message.inner.encode(),
-            "roster_version": message.roster_version,
-            "gs_c1": gs.ciphertext.c1,
-            "gs_c2": gs.ciphertext.c2,
-            "gs_challenges": list(gs.challenges),
-            "gs_responses_r": list(gs.responses_r),
-            "gs_responses_x": list(gs.responses_x),
-        }
-    )
+    fields = {
+        "inner": message.inner.encode(),
+        "roster_version": message.roster_version,
+        "gs_c1": gs.ciphertext.c1,
+        "gs_c2": gs.ciphertext.c2,
+        "gs_challenges": list(gs.challenges),
+        "gs_responses_r": list(gs.responses_r),
+        "gs_responses_x": list(gs.responses_x),
+    }
+    if gs.commitments is not None:
+        fields["gs_t"] = [list(hint) for hint in gs.commitments]
+    return encode(fields)
 
 
 def decode_dual(data: bytes, params: DlogParams) -> DualSignedMessage:
@@ -96,11 +104,13 @@ def decode_dual(data: bytes, params: DlogParams) -> DualSignedMessage:
 
     fields = decode(data)
     inner = decode_signed(fields["inner"], params)
+    hints = fields.get("gs_t")
     signature = GroupSignature(
         ciphertext=ElGamalCiphertext(c1=fields["gs_c1"], c2=fields["gs_c2"]),
         challenges=tuple(fields["gs_challenges"]),
         responses_r=tuple(fields["gs_responses_r"]),
         responses_x=tuple(fields["gs_responses_x"]),
+        commitments=None if hints is None else tuple(tuple(hint) for hint in hints),
     )
     return DualSignedMessage(
         inner=inner,

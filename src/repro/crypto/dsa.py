@@ -194,7 +194,7 @@ def dsa_batch_verify(
 
     p, q, g = params.p, params.q, params.g
     leftover: list[int] = []  # indices that need individual verification
-    commit_product = 1
+    commits: list[tuple[int, int]] = []  # (commit hint R_i, multiplier l_i)
     g_exponent = 0
     y_exponents: dict[int, int] = {}  # signer y -> accumulated exponent mod q
     for index, ((public, message, signature), digest) in enumerate(zip(items, digest_list)):
@@ -215,19 +215,25 @@ def dsa_batch_verify(
         u1 = (digest * w) % q
         u2 = (r * w) % q
         multiplier = secrets.randbits(BATCH_RANDOMIZER_BITS) | 1
-        commit_product = (commit_product * pow(commit, multiplier, p)) % p
+        commits.append((commit, multiplier))
         g_exponent = (g_exponent + multiplier * u1) % q
         y = public.y
         y_exponents[y] = (y_exponents.get(y, 0) + multiplier * u2) % q
 
-    if y_exponents or g_exponent or commit_product != 1:
-        expected = fastexp.multi_exp(
-            [(g, g_exponent)] + list(y_exponents.items()), p, order=q
-        )
+    if commits:
+        # One multi-exponentiation for the whole equation: the commit hints
+        # ride along with their 64-bit multipliers (ad hoc bases — Pippenger
+        # buckets them far cheaper than a native pow each) and the known
+        # order-q bases ``g`` and the signer keys fold in with *negated*
+        # exponents, so the product is the LHS/RHS ratio directly.
+        # ``promote=False``: commit hints are one-shot bases, not worth
+        # learning tables for (existing tables for g/y still get used).
+        pairs = commits + [(g, (q - g_exponent) % q)]
+        pairs.extend((y, (q - exponent) % q) for y, exponent in y_exponents.items())
+        ratio = fastexp.multi_exp(pairs, p, order=q, promote=False)
         # Compare up to the cofactor subgroup: commit hints are adversarial,
         # so their order-dividing-cofactor components must be projected away
         # before the equality means anything.
-        ratio = (commit_product * primitives.modinv(expected, p)) % p
         if pow(ratio, params.cofactor, p) != 1:
             return False
 

@@ -45,6 +45,8 @@ __all__ = [
     "multi_exp",
     "is_member",
     "clear_caches",
+    "export_cache",
+    "install_cache",
 ]
 
 #: Build-and-cache a table for a base after this many uses with the same
@@ -64,6 +66,12 @@ EPHEMERAL_WINDOW = 4
 
 #: Straus interleaving window for ad-hoc simultaneous exponentiation.
 _STRAUS_WINDOW = 4
+
+#: Ad-hoc base count at which the bucket (Pippenger) method overtakes Straus.
+#: Straus pays a per-base window table (``2**w - 1`` multiplications) that the
+#: bucket method does not; past a dozen-odd bases the buckets win and keep
+#: winning — the batched group-signature test routinely brings hundreds.
+_PIPPENGER_MIN = 16
 
 _MAX_TABLES = 256  # cached FixedBaseTable entries (LRU)
 _MAX_COUNTS = 8192  # promotion counters before mass eviction
@@ -117,6 +125,36 @@ class FixedBaseTable:
             # Next row's base is base**(2**window) relative to this row.
             b = (row[span - 1] * b) % modulus
         self._rows = rows
+
+    @classmethod
+    def restore(
+        cls,
+        base: int,
+        modulus: int,
+        max_bits: int,
+        window: int,
+        order: int | None,
+        rows: list[list[int]],
+    ) -> FixedBaseTable:
+        """Rebuild a table from serialized rows without recomputing them.
+
+        The counterpart of :func:`export_cache`: a worker process installs
+        tables its parent already paid to build.  Rows are trusted input
+        (they come from this process family, not the network) — only their
+        shape is checked.
+        """
+        span = 1 << window
+        n_digits = (max_bits + window - 1) // window
+        if len(rows) != n_digits or any(len(row) != span for row in rows):
+            raise ValueError("serialized table shape does not match its header")
+        table = cls.__new__(cls)
+        table.base = base
+        table.modulus = modulus
+        table.order = order
+        table.window = window
+        table.max_bits = max_bits
+        table._rows = rows
+        return table
 
     def pow(self, exponent: int) -> int:
         """``base ** exponent mod modulus`` via table lookups only."""
@@ -254,23 +292,76 @@ def _straus(pairs: list[tuple[int, int]], modulus: int) -> int:
     return result
 
 
+def _bucket_window(n_bases: int, max_bits: int) -> int:
+    """Bucket width minimizing the estimated multiplication count."""
+    best_c = 1
+    best_cost: int | None = None
+    for c in range(1, 17):
+        windows = (max_bits + c - 1) // c
+        cost = n_bases * windows + windows * 2 * (1 << c) + max_bits
+        if best_cost is None or cost < best_cost:
+            best_c, best_cost = c, cost
+    return best_c
+
+
+def _pippenger(pairs: list[tuple[int, int]], modulus: int) -> int:
+    """Bucket-method product of ``base**exp`` for *many* ad-hoc bases.
+
+    Per window, each base is multiplied into the bucket of its exponent
+    digit (one multiplication per base per window, no per-base tables), and
+    the buckets collapse with the running-sum trick (two multiplications
+    per occupied digit level).  For the hundreds of 64-bit-exponent bases a
+    batched signature check produces, this costs a fraction of Straus.
+    """
+    max_bits = max(e.bit_length() for _, e in pairs)
+    c = _bucket_window(len(pairs), max_bits)
+    mask = (1 << c) - 1
+    result = 1
+    for i in range((max_bits + c - 1) // c - 1, -1, -1):
+        if result != 1:
+            for _ in range(c):
+                result = (result * result) % modulus
+        shift = c * i
+        buckets: dict[int, int] = {}
+        for base, exponent in pairs:
+            digit = (exponent >> shift) & mask
+            if digit:
+                held = buckets.get(digit)
+                buckets[digit] = base if held is None else (held * base) % modulus
+        if buckets:
+            acc = 1
+            running = 1
+            for digit in range(max(buckets), 0, -1):
+                held = buckets.get(digit)
+                if held is not None:
+                    acc = (acc * held) % modulus
+                running = (running * acc) % modulus
+            result = (result * running) % modulus
+    return result
+
+
 def multi_exp(
     pairs,
     modulus: int,
     order: int | None = None,
     tables: dict[int, FixedBaseTable] | None = None,
+    promote: bool = True,
 ) -> int:
     """``prod(base**exp) mod modulus`` for a sequence of ``(base, exp)``.
 
     The workhorse behind ``dsa_verify``'s ``g**u1 * y**u2`` and the
     group-signature clause equations.  Each base is resolved in order of
     preference: caller-supplied ephemeral ``tables`` (keyed by base), the
-    global fixed-base cache, then one shared Straus loop for whatever is
-    left (a single leftover base falls back to native ``pow``).
+    global fixed-base cache, then one shared loop for whatever is left —
+    Straus interleaving for a few bases, the bucket method
+    (:func:`_pippenger`) once there are :data:`_PIPPENGER_MIN` or more (a
+    single leftover base falls back to native ``pow``).
 
     ``order`` (the common multiplicative order of the bases, when known)
     reduces every exponent first — this is what lets callers write inverses
-    as ``base**(order - c)`` and stay inversion-free.
+    as ``base**(order - c)`` and stay inversion-free.  ``promote=False``
+    skips use-counting for uncached bases: batch verifiers pass throwaway
+    per-signature bases that would only churn the promotion counters.
     """
     result = 1
     adhoc: list[tuple[int, int]] = []
@@ -286,7 +377,7 @@ def multi_exp(
         table = tables.get(base) if tables else None
         if table is None:
             table = _lookup(base, modulus)
-            if table is None and exponent.bit_length() <= max_bits:
+            if table is None and promote and exponent.bit_length() <= max_bits:
                 table = _note_use(base, modulus, max_bits, order)
         if table is not None:
             result = (result * table.pow(exponent)) % modulus
@@ -295,9 +386,66 @@ def multi_exp(
     if len(adhoc) == 1:
         base, exponent = adhoc[0]
         result = (result * pow(base, exponent, modulus)) % modulus
+    elif len(adhoc) >= _PIPPENGER_MIN:
+        result = (result * _pippenger(adhoc, modulus)) % modulus
     elif adhoc:
         result = (result * _straus(adhoc, modulus)) % modulus
     return result
+
+
+def export_cache() -> bytes:
+    """Serialize every cached fixed-base table into one canonical blob.
+
+    The tables for long-lived bases (generator, opening key, roster keys,
+    broker key) cost several native exponentiations each to build; a worker
+    pool that forks per run would otherwise rebuild all of them per process.
+    The parent calls this once and ships the blob through the worker
+    initializer, where :func:`install_cache` maps it back in.
+    """
+    from repro.messages.codec import encode
+
+    entries = []
+    for (base, modulus), table in _tables.items():
+        entries.append(
+            {
+                "base": base,
+                "modulus": modulus,
+                "order": table.order,
+                "window": table.window,
+                "max_bits": table.max_bits,
+                "rows": tuple(tuple(row) for row in table._rows),
+            }
+        )
+    return encode(tuple(entries))
+
+
+def install_cache(blob: bytes) -> int:
+    """Install tables serialized by :func:`export_cache`; returns the count.
+
+    Existing entries for the same ``(base, modulus)`` are kept if they cover
+    at least as many bits (a rebuilt local table is never downgraded).
+    """
+    from repro.messages.codec import decode
+
+    installed = 0
+    for entry in decode(blob):
+        key = (entry["base"], entry["modulus"])
+        held = _tables.get(key)
+        if held is not None and held.max_bits >= entry["max_bits"]:
+            continue
+        _tables[key] = FixedBaseTable.restore(
+            base=entry["base"],
+            modulus=entry["modulus"],
+            max_bits=entry["max_bits"],
+            window=entry["window"],
+            order=entry["order"],
+            rows=[list(row) for row in entry["rows"]],
+        )
+        _tables.move_to_end(key)
+        installed += 1
+    while len(_tables) > _MAX_TABLES:
+        _tables.popitem(last=False)
+    return installed
 
 
 def is_member(x: int, q: int, p: int) -> bool:

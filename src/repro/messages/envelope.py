@@ -35,8 +35,12 @@ class SignedMessage:
 
     @property
     def payload(self) -> Any:
-        """The decoded payload value."""
-        return decode(self.payload_bytes)
+        """The decoded payload value (memoized: the fields are frozen)."""
+        cached = self.__dict__.get("_payload_memo")
+        if cached is None:
+            cached = decode(self.payload_bytes)
+            object.__setattr__(self, "_payload_memo", cached)
+        return cached
 
     def verify(self) -> bool:
         """True iff the signature matches the payload and claimed signer."""
@@ -51,15 +55,19 @@ class SignedMessage:
         instead of per-envelope verification.  It is untrusted metadata:
         dropping or corrupting it can never turn an invalid signature valid.
         """
-        return encode(
-            {
-                "payload": self.payload_bytes,
-                "signer_y": self.signer.y,
-                "sig_r": self.signature.r,
-                "sig_s": self.signature.s,
-                "sig_c": self.signature.commit,
-            }
-        )
+        cached = self.__dict__.get("_encode_memo")
+        if cached is None:
+            cached = encode(
+                {
+                    "payload": self.payload_bytes,
+                    "signer_y": self.signer.y,
+                    "sig_r": self.signature.r,
+                    "sig_s": self.signature.s,
+                    "sig_c": self.signature.commit,
+                }
+            )
+            object.__setattr__(self, "_encode_memo", cached)
+        return cached
 
 
 @dataclass(frozen=True)

@@ -11,6 +11,8 @@ production deployment would put under that assumption:
 * :mod:`repro.store.crashpoints` — deterministic crash injection at every
   fsync boundary, so tests can kill the broker at each point where a real
   process could die;
+* :mod:`repro.store.groupcommit` — group commit: stage many records, fsync
+  them as one atomic group frame, release replies only afterwards;
 * :mod:`repro.store.apply` — the single mutation-application layer shared
   by the live broker path and recovery replay (the only code outside
   :mod:`repro.core.persistence` allowed to touch durable broker fields —
@@ -25,11 +27,13 @@ See ``docs/DURABILITY.md`` for the journal format and crash-point model.
 """
 
 from repro.store.crashpoints import CrashPointPlan, SimulatedCrash
+from repro.store.groupcommit import GroupCommitter
 from repro.store.journal import DurableStore, JournalCorrupt
 
 __all__ = [
     "CrashPointPlan",
     "DurableStore",
+    "GroupCommitter",
     "JournalCorrupt",
     "SimulatedCrash",
 ]

@@ -2,7 +2,7 @@
 
 On-disk layout of a store directory::
 
-    journal.wal     frame*            (append-only; fsync per record)
+    journal.wal     frame*            (append-only; fsync per frame)
     snapshot.bin    MAGIC frame       (atomic: write temp, fsync, rename)
 
 where ``frame`` is::
@@ -10,7 +10,11 @@ where ``frame`` is::
     4-byte big-endian payload length | canonical-codec payload | SHA-256(payload)
 
 Every journal payload is a dict carrying an ``lsn`` (log sequence number,
-monotonically increasing from 1).  A snapshot records ``covers_lsn``: the
+monotonically increasing from 1).  A frame holds either one record
+(:meth:`DurableStore.append`) or a *group* of consecutively-stamped records
+(:meth:`DurableStore.append_many` — group commit: one fsync covers the
+batch, and because the batch shares one checksummed frame, a torn write
+loses it atomically).  A snapshot records ``covers_lsn``: the
 highest LSN whose effects it already contains.  Loading applies the
 snapshot and replays only records with ``lsn > covers_lsn``, which makes
 snapshot + compaction crash-safe at *every* interleaving — a crash between
@@ -57,6 +61,16 @@ class JournalCorrupt(Exception):
 
 def _frame(payload: bytes) -> bytes:
     return _LEN.pack(len(payload)) + payload + hashlib.sha256(payload).digest()
+
+
+def _is_group_frame(record: Any) -> bool:
+    """True iff ``record`` is an :meth:`DurableStore.append_many` group frame.
+
+    Group frames have *exactly* the keys ``{"lsn", "group"}``, so a caller
+    record that merely happens to contain a ``"group"`` field (it would also
+    carry its own payload keys) can never be mistaken for one.
+    """
+    return isinstance(record, dict) and set(record) == {"lsn", "group"}
 
 
 class DurableStore:
@@ -128,6 +142,43 @@ class DurableStore:
         self._crossing("journal.append.post_sync")
         return lsn
 
+    def append_many(self, records: list[dict[str, Any]]) -> list[int]:
+        """Durably append several records with ONE fsync; returns their LSNs.
+
+        Group commit: the records are stamped with consecutive LSNs and
+        encoded into a *single* journal frame (``{"lsn": <last>, "group":
+        (<stamped>, ...)}``), so the frame checksum covers the whole batch
+        and a torn write loses the batch atomically — there is no
+        interleaving where a prefix of the batch survives a crash.  Loading
+        expands the group back into its member records transparently.
+
+        Write-ahead discipline is unchanged, just amortized: callers may
+        release the replies for *all* covered requests once this returns.
+        A batch of one degenerates to :meth:`append` (same frame layout,
+        same crash sites), so crash-point enumeration is stable for
+        harnesses that flush per record.
+        """
+        if not records:
+            return []
+        if len(records) == 1:
+            return [self.append(records[0])]
+        first = self.next_lsn
+        stamped = []
+        for offset, record in enumerate(records):
+            entry = dict(record)
+            entry["lsn"] = first + offset
+            stamped.append(entry)
+        last = first + len(records) - 1
+        frame = _frame(encode({"lsn": last, "group": tuple(stamped)}))
+        self._crossing("journal.group.pre_sync", pending_frame=frame)
+        with open(self.journal_path, "ab") as fh:
+            fh.write(frame)
+            fh.flush()
+            os.fsync(fh.fileno())
+        self.next_lsn = last + 1
+        self._crossing("journal.group.post_sync")
+        return list(range(first, last + 1))
+
     def snapshot(self, state: bytes) -> int:
         """Atomically install ``state`` as the snapshot and compact the log.
 
@@ -152,10 +203,25 @@ class DurableStore:
         return covers
 
     def _compact(self, covers: int) -> None:
-        """Drop journal records the snapshot already covers."""
+        """Drop journal records the snapshot already covers.
+
+        A group-commit frame whose members straddle ``covers`` is re-framed
+        with only the uncovered members (its stored ``lsn`` is the last
+        member's, so the covered/uncovered decision is per member).
+        """
         frames: list[bytes] = []
         for payload in self._raw_frames():
-            if decode(payload)["lsn"] > covers:
+            record = decode(payload)
+            if _is_group_frame(record):
+                members = record["group"]
+                keep = tuple(member for member in members if member["lsn"] > covers)
+                if not keep:
+                    continue
+                if len(keep) == len(members):
+                    frames.append(_frame(payload))
+                else:
+                    frames.append(_frame(encode({"lsn": keep[-1]["lsn"], "group": keep})))
+            elif record["lsn"] > covers:
                 frames.append(_frame(payload))
         self._crossing("journal.compact.pre_sync")
         tmp = self.journal_path.with_name(self.journal_path.name + ".tmp")
@@ -208,12 +274,24 @@ class DurableStore:
                 raise JournalCorrupt(f"record decodes to garbage: {exc}") from exc
             if not isinstance(record, dict) or "lsn" not in record:
                 raise JournalCorrupt("journal record is missing its LSN")
-            lsn = record["lsn"]
-            if last_lsn is not None and lsn <= last_lsn:
-                raise JournalCorrupt(f"non-monotonic LSN {lsn} after {last_lsn}")
-            last_lsn = lsn
-            if lsn > covers:
-                records.append(record)
+            # A group-commit frame carries several records; expand it so
+            # callers replay exactly what they would have with per-record
+            # appends (the frame is the atomicity unit, not the interface).
+            if _is_group_frame(record):
+                members = record["group"]
+                if not isinstance(members, tuple) or not members:
+                    raise JournalCorrupt("group-commit frame has a malformed member list")
+            else:
+                members = (record,)
+            for member in members:
+                if not isinstance(member, dict) or "lsn" not in member:
+                    raise JournalCorrupt("group-commit member is missing its LSN")
+                lsn = member["lsn"]
+                if last_lsn is not None and lsn <= last_lsn:
+                    raise JournalCorrupt(f"non-monotonic LSN {lsn} after {last_lsn}")
+                last_lsn = lsn
+                if lsn > covers:
+                    records.append(member)
         torn = self._has_torn_tail()
         state = None if snapshot is None else snapshot["state"]
         return state, records, torn

@@ -17,6 +17,12 @@ from repro.crypto.dsa import (
     dsa_sign,
     dsa_verify,
 )
+from repro.crypto.group_signature import (
+    GroupManager,
+    group_batch_verify,
+    group_sign,
+    group_verify,
+)
 from repro.crypto.params import PARAMS_1024_160, PARAMS_2048_256, PARAMS_TEST_512
 from repro.crypto.schnorr import schnorr_batch_verify, schnorr_prove, schnorr_verify
 
@@ -181,3 +187,81 @@ class TestSchnorrBatch:
         items[1] = (pk, proof, ctx + b"!")
         assert not schnorr_batch_verify(items)
         assert schnorr_batch_verify([])
+
+
+@pytest.fixture(scope="module")
+def group():
+    manager = GroupManager(PARAMS_TEST_512)
+    members = {name: manager.register(name) for name in ("alice", "bob", "carol")}
+    return manager, members
+
+
+def _group_batch(group, n):
+    manager, members = group
+    gpk = manager.public_key()
+    keys = list(members.values())
+    items = []
+    for i in range(n):
+        msg = b"group-msg-%d" % i
+        items.append((msg, group_sign(gpk, keys[i % len(keys)], msg)))
+    return gpk, items
+
+
+class TestGroupBatchAgreement:
+    def test_agrees_with_individual_verify(self, group):
+        gpk, items = _group_batch(group, 5)
+        assert all(group_verify(gpk, msg, sig) for msg, sig in items)
+        assert group_batch_verify(gpk, items)
+
+    def test_empty_and_single(self, group):
+        gpk, items = _group_batch(group, 1)
+        assert group_batch_verify(gpk, [])
+        assert group_batch_verify(gpk, items)
+
+    def test_stripped_hints_still_verify(self, group):
+        # Transports may drop the commitments accelerator; the batch path
+        # must fall back to exact verification, never reject.
+        gpk, items = _group_batch(group, 3)
+        stripped = [(msg, replace(sig, commitments=None)) for msg, sig in items]
+        assert group_batch_verify(gpk, stripped)
+
+    def test_corrupted_hint_on_valid_signature_still_verifies(self, group):
+        # A mangled hint is untrusted metadata: the signature itself is
+        # valid, so the pair must be routed to exact verification and pass.
+        gpk, items = _group_batch(group, 3)
+        msg, sig = items[1]
+        t1, t2, t3 = sig.commitments[0]
+        bad = sig.commitments[:1][:0] + (((t1 * 2) % gpk.params.p, t2, t3),) + sig.commitments[1:]
+        items[1] = (msg, replace(sig, commitments=bad))
+        assert group_batch_verify(gpk, items)
+
+
+class TestGroupBatchAdversarial:
+    def test_one_forged_member_rejects(self, group):
+        gpk, items = _group_batch(group, 4)
+        msg, sig = items[2]
+        forged = replace(
+            sig, responses_r=(sig.responses_r[0] ^ 1,) + sig.responses_r[1:]
+        )
+        items[2] = (msg, forged)
+        assert not group_verify(gpk, msg, forged)
+        assert not group_batch_verify(gpk, items)
+
+    def test_wrong_message_rejects(self, group):
+        gpk, items = _group_batch(group, 3)
+        msg, sig = items[0]
+        items[0] = (msg + b"!", sig)
+        assert not group_batch_verify(gpk, items)
+
+    def test_forged_member_without_hint_rejects(self, group):
+        # Stripping the hint must not smuggle a forgery past the batch: the
+        # exact-fallback path verifies it individually.
+        gpk, items = _group_batch(group, 3)
+        msg, sig = items[1]
+        forged = replace(
+            sig,
+            responses_x=(sig.responses_x[0] ^ 1,) + sig.responses_x[1:],
+            commitments=None,
+        )
+        items[1] = (msg, forged)
+        assert not group_batch_verify(gpk, items)

@@ -144,3 +144,40 @@ class TestCaches:
         q2, p2, g2 = PARAMS_1024_160.q, PARAMS_1024_160.p, PARAMS_1024_160.g
         e = secrets.randbelow(q2)
         assert fastexp.mod_pow(g2, e, p2, order=q2) == pow(g2, e, p2)
+
+
+class TestCacheSharing:
+    """export_cache/install_cache: how worker pools inherit parent tables."""
+
+    def test_export_install_round_trip(self):
+        fastexp.precompute(P.g, P.p, P.q.bit_length(), order=P.q)
+        blob = fastexp.export_cache()
+        assert blob
+        fastexp.clear_caches()
+        assert fastexp.fixed_base(P.g, P.p) is None
+        assert fastexp.install_cache(blob) == 1
+        table = fastexp.fixed_base(P.g, P.p)
+        assert table is not None and table.order == P.q
+        e = secrets.randbelow(P.q)
+        assert table.pow(e) == pow(P.g, e, P.p)
+
+    def test_install_never_downgrades_a_wider_local_table(self):
+        fastexp.precompute(P.g, P.p, 16)
+        blob = fastexp.export_cache()  # narrow table in the blob
+        fastexp.clear_caches()
+        fastexp.precompute(P.g, P.p, P.q.bit_length(), order=P.q)
+        wide = fastexp.fixed_base(P.g, P.p)
+        assert fastexp.install_cache(blob) == 0
+        assert fastexp.fixed_base(P.g, P.p) is wide
+
+    def test_install_upgrades_a_narrower_local_table(self):
+        fastexp.precompute(P.g, P.p, P.q.bit_length(), order=P.q)
+        blob = fastexp.export_cache()
+        fastexp.clear_caches()
+        fastexp.precompute(P.g, P.p, 16)
+        assert fastexp.install_cache(blob) == 1
+        table = fastexp.fixed_base(P.g, P.p)
+        assert table is not None and table.max_bits >= P.q.bit_length()
+
+    def test_empty_cache_round_trips(self):
+        assert fastexp.install_cache(fastexp.export_cache()) == 0

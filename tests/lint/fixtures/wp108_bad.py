@@ -1,0 +1,15 @@
+"""WP108 bad fixture: raw fsync calls outside the journal layer."""
+
+import os
+from os import fsync  # line 4: imports the primitive directly
+
+
+def checkpoint(path):
+    fd = os.open(path, os.O_WRONLY)
+    os.write(fd, b"state")
+    os.fsync(fd)  # line 10: raw fsync bypasses group-commit accounting
+    os.close(fd)
+
+
+def lazy_checkpoint(fd):
+    os.fdatasync(fd)  # line 15: fdatasync is the same side channel

@@ -1,0 +1,17 @@
+"""WP108 good fixture: durability goes through the journal API."""
+
+
+def checkpoint(store, record):
+    return store.append(record)
+
+
+def checkpoint_batch(committer, records):
+    for record in records:
+        committer.stage(record)
+    return committer.flush()
+
+
+def unrelated_os_use(path):
+    import os
+
+    return os.path.basename(path)

@@ -99,9 +99,11 @@ class TestDiagnostics:
 
 
 class TestRegistry:
-    def test_all_seven_domain_rules_registered(self):
+    def test_all_eight_domain_rules_registered(self):
         codes = [rule.code for rule in get_rules()]
-        assert codes == ["WP101", "WP102", "WP103", "WP104", "WP105", "WP106", "WP107"]
+        assert codes == [
+            "WP101", "WP102", "WP103", "WP104", "WP105", "WP106", "WP107", "WP108",
+        ]
 
     def test_every_rule_has_rationale_and_scope(self):
         for rule in get_rules():

@@ -199,3 +199,25 @@ def test_every_bad_fixture_fails_and_good_passes(bad, good):
     code = "WP" + bad[2:5]
     assert findings_for(code, bad), f"{bad} should produce {code} findings"
     assert not findings_for(code, good), f"{good} should be clean of {code}"
+
+
+class TestWP108FsyncDiscipline:
+    def test_bad_fires_on_calls_and_imports(self):
+        found = findings_for("WP108", "wp108_bad.py")
+        assert [diag.line for diag in found] == [4, 10, 15]
+        messages = " ".join(diag.message for diag in found)
+        assert "from os import fsync" in messages
+        assert "os.fsync()" in messages
+        assert "os.fdatasync()" in messages
+
+    def test_good_is_silent(self):
+        assert findings_for("WP108", "wp108_good.py") == []
+
+    def test_the_journal_layer_is_exempt(self):
+        from repro.lint import lint_sources
+
+        source = "import os\n\ndef sync(fd):\n    os.fsync(fd)\n"
+        inside = lint_sources([("journal.py", source, "repro.store.journal")])
+        outside = lint_sources([("broker.py", source, "repro.core.broker")])
+        assert [d for d in inside.findings if d.code == "WP108"] == []
+        assert len([d for d in outside.findings if d.code == "WP108"]) == 1
