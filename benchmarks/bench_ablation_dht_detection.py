@@ -12,7 +12,7 @@ stack (actual crypto, Chord routing, push notifications):
 
 from repro.analysis.tables import format_table
 from repro.core.coin import CoinBinding
-from repro.core.network import WhoPayNetwork
+from repro.core.network import PeerConfig, WhoPayNetwork
 from repro.crypto.params import PARAMS_TEST_512
 
 from _common import emit
@@ -24,7 +24,7 @@ def run_scenarios():
     results = {}
     for enable in (False, True):
         net = WhoPayNetwork(params=PARAMS_TEST_512, enable_detection=enable, dht_size=6)
-        alice = net.add_peer("alice", balance=100)
+        alice = net.add_peer("alice", PeerConfig(balance=100))
         bob = net.add_peer("bob")
         carol = net.add_peer("carol")
         dave = net.add_peer("dave")

@@ -12,7 +12,7 @@ bit faster (layered boxes nest), and the protocol outcome is identical.
 
 from repro.analysis.tables import format_table
 from repro.anonymity.onion import OnionOverlay, anonymize_node
-from repro.core.network import WhoPayNetwork
+from repro.core.network import PeerConfig, WhoPayNetwork
 from repro.crypto.params import PARAMS_TEST_512
 
 from _common import emit
@@ -22,7 +22,7 @@ PAYMENTS = 8
 
 def run_at_hops(hop_count: int) -> dict:
     net = WhoPayNetwork(params=PARAMS_TEST_512)
-    alice = net.add_peer("alice", balance=50)
+    alice = net.add_peer("alice", PeerConfig(balance=50))
     bob = net.add_peer("bob")
     carol = net.add_peer("carol")
     if hop_count:

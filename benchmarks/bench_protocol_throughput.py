@@ -14,6 +14,7 @@ import tempfile
 from repro.crypto.params import PARAMS_1024_160, PARAMS_TEST_512
 from repro.pipeline import LoadGenerator, ThroughputEngine, VerificationPool
 from repro.store.groupcommit import GroupCommitter
+from repro.core.network import PeerConfig
 
 
 def run_pipeline_smoke(params, ops: int, rounds: int = 2):
@@ -67,7 +68,7 @@ def test_throughput_detection_overhead(benchmark):
 
     def run_with_detection():
         net = WhoPayNetwork(params=PARAMS_TEST_512, enable_detection=True, dht_size=4)
-        alice = net.add_peer("alice", balance=25)
+        alice = net.add_peer("alice", PeerConfig(balance=25))
         bob = net.add_peer("bob")
         carol = net.add_peer("carol")
         state = alice.purchase()

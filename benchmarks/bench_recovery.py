@@ -26,7 +26,7 @@ from pathlib import Path
 
 from _common import OUT_DIR
 
-from repro.core.network import WhoPayNetwork
+from repro.core.network import PeerConfig, WhoPayNetwork
 from repro.crypto.params import PARAMS_TEST_512
 
 SIZES = (8, 32, 128)
@@ -36,7 +36,7 @@ QUICK_SIZES = (4, 16)
 def _build_net(store_root, n_records: int) -> WhoPayNetwork:
     """A broker whose journal holds ``n_records`` mint records."""
     net = WhoPayNetwork(params=PARAMS_TEST_512, store_dir=store_root)
-    peer = net.add_peer("buyer", balance=n_records)
+    peer = net.add_peer("buyer", PeerConfig(balance=n_records))
     for _ in range(n_records):
         peer.purchase()
     return net

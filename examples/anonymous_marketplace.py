@@ -13,7 +13,7 @@ substantive ones side by side:
 Run:  python examples/anonymous_marketplace.py
 """
 
-from repro import PARAMS_TEST_512, WhoPayNetwork
+from repro import PARAMS_TEST_512, PeerConfig, WhoPayNetwork
 from repro.core.anonymous_owner import AnonymousOwnerPeer
 from repro.core.coinshop import CoinShop, buy_coin_from_shop
 from repro.indirection.i3 import I3Overlay
@@ -31,7 +31,7 @@ def coin_shop_market(net: WhoPayNetwork) -> None:
     net.peers["coin-shop"] = shop
     shop.restock(4)
 
-    buyer = net.add_peer("buyer", balance=10)
+    buyer = net.add_peer("buyer", PeerConfig(balance=10))
     bookstore = net.add_peer("bookstore")
 
     coin_y = buy_coin_from_shop(buyer, shop)

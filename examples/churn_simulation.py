@@ -18,6 +18,7 @@ import os
 
 from repro.analysis.tables import format_series_table
 from repro.sim import POLICY_I, run_availability_sweep
+from repro.core.network import PeerConfig
 
 
 def chaos_demo() -> None:
@@ -32,7 +33,7 @@ def chaos_demo() -> None:
     # replies were lost are answered from the replay cache, never re-run.
     policy = RetryPolicy(max_attempts=6, base_delay=0.01, max_delay=0.1)
     net = WhoPayNetwork(params=PARAMS_TEST_512, retry_policy=policy)
-    peers = [net.add_peer(f"p{i}", balance=10) for i in range(4)]
+    peers = [net.add_peer(f"p{i}", PeerConfig(balance=10)) for i in range(4)]
     for i, peer in enumerate(peers):
         coins = [peer.purchase() for _ in range(3)]
         peer.issue(peers[(i + 1) % 4].address, coins[0].coin_y)

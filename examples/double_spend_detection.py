@@ -16,7 +16,7 @@ Run:  python examples/double_spend_detection.py
 
 import copy
 
-from repro import PARAMS_TEST_512, WhoPayNetwork
+from repro import PARAMS_TEST_512, PeerConfig, WhoPayNetwork
 from repro.core.audit import adjudicate_double_deposit
 from repro.core.coin import CoinBinding
 from repro.core.errors import DoubleSpendDetected
@@ -24,7 +24,7 @@ from repro.core.errors import DoubleSpendDetected
 
 def real_time_owner_fraud(net: WhoPayNetwork) -> None:
     print("== scenario 1: cheating OWNER, caught in real time ==")
-    mallory = net.add_peer("mallory-owner", balance=10)
+    mallory = net.add_peer("mallory-owner", PeerConfig(balance=10))
     victim = net.add_peer("victim")
     accomplice = net.add_peer("accomplice")
 
@@ -50,7 +50,7 @@ def real_time_owner_fraud(net: WhoPayNetwork) -> None:
 
 def deposit_time_holder_fraud(net: WhoPayNetwork) -> None:
     print("== scenario 2: cheating HOLDER, convicted from the audit trail ==")
-    owner = net.add_peer("owner", balance=10)
+    owner = net.add_peer("owner", PeerConfig(balance=10))
     cheat = net.add_peer("cheat")
     merchant = net.add_peer("merchant")
 

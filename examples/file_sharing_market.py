@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import random
 
-from repro import PARAMS_TEST_512, WhoPayNetwork
+from repro import PARAMS_TEST_512, PeerConfig, WhoPayNetwork
 from repro.core.errors import ProtocolError
 
 #: Policy I's preference order (paper Section 6.1), as Peer.pay methods.
@@ -53,9 +53,9 @@ def main() -> None:
 
     seeders = []
     for i in range(SEEDERS):
-        peer = net.add_peer(f"seeder-{i}", balance=5)
+        peer = net.add_peer(f"seeder-{i}", PeerConfig(balance=5))
         seeders.append(SeederService(peer, chunks=set(range(FILE_CHUNKS))))
-    leechers = [net.add_peer(f"leecher-{i}", balance=20) for i in range(LEECHERS)]
+    leechers = [net.add_peer(f"leecher-{i}", PeerConfig(balance=20)) for i in range(LEECHERS)]
 
     downloads: dict[str, set[int]] = {peer.address: set() for peer in leechers}
     failed_payments = 0

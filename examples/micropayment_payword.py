@@ -8,13 +8,13 @@ units, the window settles with one real WhoPay coin payment.
 Run:  python examples/micropayment_payword.py
 """
 
-from repro import PARAMS_TEST_512, WhoPayNetwork
+from repro import PARAMS_TEST_512, PeerConfig, WhoPayNetwork
 from repro.baselines.payword import PaywordCreditWindow
 
 
 def main() -> None:
     net = WhoPayNetwork(params=PARAMS_TEST_512)
-    listener = net.add_peer("listener", balance=50)
+    listener = net.add_peer("listener", PeerConfig(balance=50))
     station = net.add_peer("radio-station")
 
     window = PaywordCreditWindow(listener, station, chain_length=120, threshold=10)

@@ -9,13 +9,13 @@ the actual transport traffic to show what each party observed.
 Run:  python examples/network_anonymity.py
 """
 
-from repro import PARAMS_TEST_512, WhoPayNetwork
+from repro import PARAMS_TEST_512, PeerConfig, WhoPayNetwork
 from repro.anonymity.onion import OnionOverlay, anonymize_node
 
 
 def main() -> None:
     net = WhoPayNetwork(params=PARAMS_TEST_512)
-    whistleblower = net.add_peer("whistleblower", balance=10)
+    whistleblower = net.add_peer("whistleblower", PeerConfig(balance=10))
     newsroom = net.add_peer("newsroom")
     overlay = OnionOverlay(net.transport, net.params, size=3)
 

@@ -7,14 +7,14 @@ printing what each party can (and provably cannot) see along the way.
 Run:  python examples/quickstart.py
 """
 
-from repro import PARAMS_TEST_512, WhoPayNetwork
+from repro import PARAMS_TEST_512, PeerConfig, WhoPayNetwork
 
 
 def main() -> None:
     # A complete deployment: transport + judge + broker, on the fast test
     # group (use PARAMS_1024_160 for the paper's production key size).
     net = WhoPayNetwork(params=PARAMS_TEST_512)
-    alice = net.add_peer("alice", balance=10)  # will own coins
+    alice = net.add_peer("alice", PeerConfig(balance=10))  # will own coins
     bob = net.add_peer("bob")
     carol = net.add_peer("carol")
 

@@ -14,13 +14,13 @@ Run:  python examples/threshold_judges.py
 
 import itertools
 
-from repro import PARAMS_TEST_512, WhoPayNetwork
+from repro import PARAMS_TEST_512, PeerConfig, WhoPayNetwork
 from repro.core import protocol
 
 
 def main() -> None:
     net = WhoPayNetwork(params=PARAMS_TEST_512)
-    alice = net.add_peer("alice", balance=10)
+    alice = net.add_peer("alice", PeerConfig(balance=10))
     bob = net.add_peer("bob")
     carol = net.add_peer("carol")
 

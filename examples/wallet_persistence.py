@@ -14,7 +14,7 @@ Run:  python examples/wallet_persistence.py
 import tempfile
 from pathlib import Path
 
-from repro import PARAMS_TEST_512, WhoPayNetwork
+from repro import PARAMS_TEST_512, PeerConfig, WhoPayNetwork
 from repro.core.persistence import save_peer_snapshot
 
 
@@ -25,8 +25,8 @@ def main() -> None:
 
 def run(store_dir: Path) -> None:
     net = WhoPayNetwork(params=PARAMS_TEST_512, store_dir=store_dir)
-    alice = net.add_peer("alice", balance=10)
-    bob = net.add_peer("bob", durable=True)  # journals to <store_dir>/bob
+    alice = net.add_peer("alice", PeerConfig(balance=10))
+    bob = net.add_peer("bob", PeerConfig(durable=True))  # journals to <store_dir>/bob
     carol = net.add_peer("carol")
 
     state = alice.purchase(value=4)

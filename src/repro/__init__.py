@@ -9,10 +9,10 @@ simulator that regenerates every table and figure of the paper's evaluation.
 
 Quickstart::
 
-    from repro import WhoPayNetwork, PARAMS_TEST_512
+    from repro import PeerConfig, WhoPayNetwork, PARAMS_TEST_512
 
     net = WhoPayNetwork(params=PARAMS_TEST_512)
-    alice = net.add_peer("alice", balance=10)
+    alice = net.add_peer("alice", PeerConfig(balance=10))
     bob = net.add_peer("bob")
     coin = alice.purchase()          # coins are public keys
     alice.issue("bob", coin.coin_y)  # pay by (semi-anonymous) issue
@@ -24,6 +24,7 @@ paper-versus-measured record.
 
 from repro.core import (
     Broker,
+    BrokerTopology,
     Clock,
     Coin,
     CoinBinding,
@@ -31,6 +32,7 @@ from repro.core import (
     Judge,
     OwnedCoinState,
     Peer,
+    PeerConfig,
     WhoPayNetwork,
 )
 from repro.crypto.params import PARAMS_1024_160, PARAMS_2048_256, PARAMS_TEST_512, DlogParams
@@ -40,6 +42,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "WhoPayNetwork",
+    "BrokerTopology",
+    "PeerConfig",
     "Peer",
     "Broker",
     "Judge",

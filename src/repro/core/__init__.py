@@ -33,7 +33,7 @@ from repro.core.errors import (
     VerificationFailed,
 )
 from repro.core.judge import Judge
-from repro.core.network import WhoPayNetwork
+from repro.core.network import BrokerTopology, PeerConfig, WhoPayNetwork
 from repro.core.peer import Peer
 
 __all__ = [
@@ -46,6 +46,8 @@ __all__ = [
     "Broker",
     "Peer",
     "WhoPayNetwork",
+    "BrokerTopology",
+    "PeerConfig",
     "ProtocolError",
     "VerificationFailed",
     "NotHolder",

@@ -41,16 +41,28 @@ from repro.core.errors import (
     VerificationFailed,
 )
 from repro.core.judge import Judge
+from repro.core.sharding import ShardMap
 from repro.crypto.dsa import DsaSignature, dsa_batch_verify
 from repro.crypto.keys import KeyPair, PublicKey
 from repro.crypto.params import DlogParams
 from repro.messages.envelope import DualSignedMessage
 from repro.net.node import Node
-from repro.net.rpc import unwrap_idempotent
+from repro.net.rpc import RetryPolicy, RpcClient, unwrap_idempotent, wrap_idempotent
 from repro.net.transport import Transport
 from repro.store import apply as store_apply
 from repro.store.groupcommit import GroupCommitter
 from repro.store.journal import DurableStore
+
+
+def handoff_id(op: str, data: bytes) -> str:
+    """Deterministic cross-shard handoff id for one client request.
+
+    Derived from the exact request bytes, so a client retry (same bytes)
+    re-drives the *same* handoff instead of starting a second one — the
+    dedupe key that makes the two-step protocol exactly-once across
+    crashes on either side.
+    """
+    return hashlib.sha256(b"whopay-handoff|" + op.encode() + b"|" + data).hexdigest()[:32]
 
 
 @dataclass
@@ -71,9 +83,12 @@ class OperationCounts:
     downtime_renewals: int = 0
     syncs: int = 0
     binding_queries: int = 0
+    #: Cross-shard prepares served *for other shards* (federation overhead,
+    #: not client-facing verified ops — deliberately outside :meth:`total`).
+    handoffs: int = 0
 
     def total(self) -> int:
-        """All broker operations."""
+        """All client-facing broker operations (the paper's load measure)."""
         return (
             self.purchases
             + self.deposits
@@ -82,6 +97,16 @@ class OperationCounts:
             + self.syncs
             + self.binding_queries
         )
+
+    def merge(self, other: "OperationCounts") -> None:
+        """Accumulate another counter set (federation-wide aggregation)."""
+        self.purchases += other.purchases
+        self.deposits += other.deposits
+        self.downtime_transfers += other.downtime_transfers
+        self.downtime_renewals += other.downtime_renewals
+        self.syncs += other.syncs
+        self.binding_queries += other.binding_queries
+        self.handoffs += other.handoffs
 
 
 class Broker(Node):
@@ -107,13 +132,16 @@ class Broker(Node):
         address: str = "broker",
         renewal_period: float = DEFAULT_RENEWAL_PERIOD,
         store: DurableStore | None = None,
+        keypair: KeyPair | None = None,
     ) -> None:
         super().__init__(transport, address)
         self.params = params
         self.judge = judge
         self.clock = clock
         self.renewal_period = renewal_period
-        self.keypair = KeyPair.generate(params)
+        # Federated shards share one signing key so a coin minted on any
+        # shard verifies against the system-wide ``pk_B``.
+        self.keypair = keypair if keypair is not None else KeyPair.generate(params)
 
         self.accounts: dict[str, Account] = {}
         self.valid_coins: dict[int, Coin] = {}
@@ -122,6 +150,16 @@ class Broker(Node):
         self.owner_coins: dict[str, set[int]] = {}
         self.pending_sync: dict[str, set[int]] = {}  # owner -> coins changed offline
         self.total_opened = 0  # conservation baseline: value ever opened
+        #: Source-side cross-shard handoffs begun but not yet committed
+        #: (h -> the journaled ``handoff_begin`` mutation).  Durable: a
+        #: crash between prepare and commit recovers with the handoff still
+        #: pending, and either the client's retry or an explicit
+        #: :meth:`complete_pending_handoffs` re-drives it to completion.
+        self.pending_handoffs: dict[str, dict[str, Any]] = {}
+        #: Destination-side guard: prepare ids already applied.  Durable so
+        #: a re-driven prepare stays exactly-once even after the replay
+        #: cache evicted the original entry.
+        self.handoffs_seen: set[str] = set()
         self.fraud_events: list[DoubleSpendDetected] = []
         self.counts = OperationCounts()
         self._sync_nonces: dict[str, bytes] = {}
@@ -143,6 +181,15 @@ class Broker(Node):
         # SHA-256 digests of raw requests whose *cryptographic* checks a
         # verification pool already performed; consumed on first sight.
         self._preverified: set[bytes] = set()
+        #: Federation wiring (set by :meth:`attach_federation`): the ring
+        #: that maps coins/accounts to shards, and the retry policy used for
+        #: shard-to-shard prepares.  ``None`` means standalone broker — every
+        #: cross-shard branch below collapses to the local path.
+        self.shard_map: ShardMap | None = None
+        self._shard_rpc: RpcClient | None = None
+        #: Precomputed-nonce pool for broker-signed bindings (set by the
+        #: throughput engine per flush window; see DsaNoncePool).
+        self.nonce_pool: Any = None
         if store is not None:
             self.bind_store(store)
 
@@ -155,6 +202,7 @@ class Broker(Node):
         self.on(protocol.SYNC_CHALLENGE, self._handle_sync_challenge)
         self.on(protocol.SYNC, self._handle_sync)
         self.on(protocol.BINDING_QUERY, self._handle_binding_query)
+        self.on(protocol.XSHARD_PREPARE, self._handle_xshard_prepare)
 
     # -- durability -------------------------------------------------------------
 
@@ -310,8 +358,191 @@ class Broker(Node):
                 "downtime_renewals": self.counts.downtime_renewals,
                 "syncs": self.counts.syncs,
                 "binding_queries": self.counts.binding_queries,
+                "handoffs": self.counts.handoffs,
             },
+            "pending_handoffs": len(self.pending_handoffs),
         }
+
+    # -- federation (cross-shard handoffs) ---------------------------------------
+
+    def attach_federation(self, shard_map: ShardMap, policy: RetryPolicy | None = None) -> None:
+        """Join a broker federation: this shard owns the keys the ring maps
+        to its address and forwards the rest as two-step handoffs.
+
+        ``policy`` governs shard-to-shard prepare RPCs (retries ride the
+        same idempotency discipline as client calls).
+        """
+        self.shard_map = shard_map
+        self._shard_rpc = RpcClient(node=self, policy=policy)
+
+    def _account_home(self, name: str) -> str | None:
+        """Home shard address for an account, or ``None`` when it is ours
+        (or there is no federation)."""
+        if self.shard_map is None:
+            return None
+        home = self.shard_map.shard_for_account(name)
+        return None if home == self.address else home
+
+    def _coin_home(self, coin_y: int) -> str | None:
+        """Home shard address for a coin key, or ``None`` when it is ours."""
+        if self.shard_map is None:
+            return None
+        home = self.shard_map.shard_for_coin(coin_y)
+        return None if home == self.address else home
+
+    def _send_prepares(self, record: dict[str, Any]) -> None:
+        """Drive every prepare of one pending handoff to its destination.
+
+        Each prepare payload is pre-wrapped in the idempotency envelope
+        keyed by its handoff id, so destination-side dedupe works across
+        retries, crashes, and replay-cache eviction.  A destination's
+        *validation* rejection triggers compensation (cancelling prepares
+        already applied) and re-raises; transport-level failure
+        (``RetriesExhausted``) leaves the handoff pending for a later
+        re-drive and propagates.
+        """
+        assert self._shard_rpc is not None
+        sent = 0
+        try:
+            for prep in record["prepares"]:
+                payload = dict(prep["payload"])
+                payload["h"] = prep["h"]
+                self._shard_rpc.call(
+                    prep["dest"],
+                    protocol.XSHARD_PREPARE,
+                    wrap_idempotent(payload, prep["h"]),
+                )
+                sent += 1
+        except ProtocolError:
+            self._cancel_prepares(record, sent)
+            raise
+
+    def _cancel_prepares(self, record: dict[str, Any], upto: int) -> None:
+        """Compensate already-applied mint prepares after a later rejection.
+
+        Only mints need undoing (credits/debits are single-prepare
+        handoffs, so a rejection means nothing was applied).  The cancel is
+        itself an idempotent prepare (``op: unmint``) keyed off the original
+        prepare id, so re-driving it is safe.
+        """
+        assert self._shard_rpc is not None
+        for prep in record["prepares"][:upto]:
+            if prep["payload"].get("op") != "mint":
+                continue
+            cancel = {
+                "h": prep["h"] + "#cancel",
+                "op": "unmint",
+                "coins": prep["payload"]["coins"],
+            }
+            self._shard_rpc.call(
+                prep["dest"],
+                protocol.XSHARD_PREPARE,
+                wrap_idempotent(cancel, cancel["h"]),
+            )
+
+    def _finish_handoff(self, h: str, staged: bool) -> None:
+        """Second step of a handoff: drive prepares, then commit locally.
+
+        ``staged=True`` rides the current request's journal record (commit
+        and reply become durable in one fsync); ``staged=False`` is the
+        out-of-request re-drive path (:meth:`complete_pending_handoffs`).
+        On a destination *validation* rejection the handoff is aborted
+        (journaled) and the error propagates to the client.
+        """
+        record = self.pending_handoffs[h]
+        try:
+            self._send_prepares(record)
+        except ProtocolError:
+            # The handler is about to re-raise, which discards staged muts —
+            # the abort must be journaled immediately instead.
+            self._commit_local({"type": "handoff_abort", "h": h})
+            raise
+        commit = {"type": "handoff_commit", "h": h}
+        if staged:
+            self._stage(commit)
+        else:
+            self._commit_local(commit)
+
+    def complete_pending_handoffs(self) -> int:
+        """Re-drive handoffs orphaned by a crash between prepare and commit.
+
+        Deliberately *not* run automatically at recovery: a client whose
+        request started the handoff may still be retrying, and its retry
+        completes the handoff naturally (same handoff id).  Call this after
+        the dust settles — e.g. at the end of a chaos storm — to guarantee
+        no value is stuck in flight.  Returns the number completed.
+        """
+        completed = 0
+        for h in sorted(self.pending_handoffs):
+            try:
+                self._finish_handoff(h, staged=False)
+            except ProtocolError:
+                continue  # aborted (journaled); value never left the source
+            completed += 1
+        return completed
+
+    def _begin_handoff(self, h: str, begin: dict[str, Any]) -> None:
+        """First step: journal the handoff intent *before* any prepare RPC.
+
+        Idempotent across client retries — a pending ``h`` means the begin
+        record is already durable and must not be re-applied.
+        """
+        if h not in self.pending_handoffs:
+            self._commit_local(dict(begin, type="handoff_begin", h=h))
+
+    def _handle_xshard_prepare(self, src: str, payload: Any) -> dict[str, Any]:
+        """Destination side of a cross-shard handoff (see docs/FEDERATION.md).
+
+        Validates the op against local state and applies it via a journaled
+        ``xshard_apply`` mutation.  The durable ``handoffs_seen`` set makes
+        re-driven prepares no-ops even if the replay cache evicted the
+        original reply.
+        """
+        self.counts.handoffs += 1
+        if (
+            not isinstance(payload, dict)
+            or not isinstance(payload.get("h"), str)
+            or not isinstance(payload.get("op"), str)
+        ):
+            raise ProtocolError("malformed cross-shard prepare")
+        h, op = payload["h"], payload["op"]
+        if h in self.handoffs_seen:
+            return {"ok": True, "replayed": True}
+        if op == "mint":
+            for coin_bytes in payload.get("coins", ()):
+                coin = Coin(cert=protocol.decode_signed(coin_bytes, self.params))
+                if coin.cert.signer.y != self.public_key.y or not coin.verify_unsigned():
+                    raise VerificationFailed("cross-shard mint carries an invalid certificate")
+                if not coin.cert.verify():
+                    raise VerificationFailed("cross-shard mint certificate signature invalid")
+                if not self.params.is_element(coin.coin_y):
+                    raise ProtocolError("cross-shard mint coin key is not a group element")
+                existing = self.valid_coins.get(coin.coin_y)
+                if existing is not None and existing.encode() != coin_bytes:
+                    raise ProtocolError("coin key collision across shards")
+        elif op == "credit":
+            credited = payload.get("credited")
+            if not isinstance(credited, int) or credited <= 0:
+                raise ProtocolError("cross-shard credit must be positive")
+            if not isinstance(payload.get("payout_to"), str):
+                raise ProtocolError("cross-shard credit without payout account")
+        elif op == "debit":
+            amount = payload.get("amount")
+            if not isinstance(amount, int) or amount <= 0:
+                raise ProtocolError("cross-shard debit must be positive")
+            account = self.accounts.get(payload.get("account"))
+            if account is None or account.identity.y != payload.get("auth_identity_y"):
+                raise VerificationFailed(
+                    "funding authorization not signed by the account identity"
+                )
+            if account.balance < amount:
+                raise InsufficientFunds("funding account cannot cover the top-up")
+        elif op == "unmint":
+            pass  # compensation: always applicable (per-coin no-op if absent)
+        else:
+            raise ProtocolError(f"unknown cross-shard op {op!r}")
+        self._stage(dict(payload, type="xshard_apply"))
+        return {"ok": True}
 
     # -- verification helpers -----------------------------------------------------
 
@@ -460,7 +691,8 @@ class Broker(Node):
             raise VerificationFailed("purchase not signed by the account identity")
         if account.balance < request.value:
             raise InsufficientFunds(f"account {request.account!r} cannot cover {request.value}")
-        if request.coin_y in self.valid_coins:
+        dest = self._coin_home(request.coin_y)
+        if dest is None and request.coin_y in self.valid_coins:
             raise ProtocolError("coin key collision (resubmitted purchase?)")
         if not self.params.is_element(request.coin_y):
             raise ProtocolError("coin key is not a valid group element")
@@ -486,15 +718,42 @@ class Broker(Node):
                 owner_y=signed.signer.y,
                 handle=None,
             )
-        self._stage(
-            {
-                "type": "mint",
-                "account": request.account,
-                "debit": request.value,
-                "coins": [coin.encode()],
-            }
-        )
-        return coin.encode()
+        if dest is None:
+            self._stage(
+                {
+                    "type": "mint",
+                    "account": request.account,
+                    "debit": request.value,
+                    "coins": [coin.encode()],
+                }
+            )
+            return coin.encode()
+        # Cross-shard purchase: this shard (the account's home) debits; the
+        # coin's home shard records circulation.  Two-step handoff — begin
+        # journaled before the prepare RPC, commit staged with the reply.
+        h = handoff_id("purchase", data)
+        if h not in self.pending_handoffs:
+            self._begin_handoff(
+                h,
+                {
+                    "op": "purchase",
+                    "account": request.account,
+                    "debit": request.value,
+                    "remote_value": request.value,
+                    "local_coins": [],
+                    "reply_coins": [coin.encode()],
+                    "prepares": [
+                        {
+                            "h": h + "#0",
+                            "dest": dest,
+                            "payload": {"op": "mint", "coins": [coin.encode()]},
+                        }
+                    ],
+                },
+            )
+        reply = self.pending_handoffs[h]["reply_coins"][0]
+        self._finish_handoff(h, staged=True)
+        return reply
 
     def _handle_purchase_batch(self, src: str, data: bytes) -> list[bytes]:
         """Batch purchase: one signed request, many coins (Section 4.2).
@@ -520,25 +779,66 @@ class Broker(Node):
                 f"account {request.account!r} cannot cover batch total {total}"
             )
         for coin_y, _value in request.coins:
-            if coin_y in self.valid_coins:
+            if self._coin_home(coin_y) is None and coin_y in self.valid_coins:
                 raise ProtocolError("coin key collision in batch")
             if not self.params.is_element(coin_y):
                 raise ProtocolError("batch contains an invalid coin key")
-        minted: list[bytes] = []
-        for coin_y, value in request.coins:
-            coin = Coin.build(
-                self.keypair,
-                coin_y=coin_y,
-                value=value,
-                owner_address=src,
-                owner_y=signed.signer.y,
-                handle=None,
-            )
-            minted.append(coin.encode())
-        self._stage(
-            {"type": "mint", "account": request.account, "debit": total, "coins": minted}
+        coins = Coin.build_batch(
+            self.keypair,
+            [
+                {
+                    "coin_y": coin_y,
+                    "value": value,
+                    "owner_address": src,
+                    "owner_y": signed.signer.y,
+                    "handle": None,
+                }
+                for coin_y, value in request.coins
+            ],
         )
-        return minted
+        minted = [coin.encode() for coin in coins]
+        local: list[bytes] = []
+        remote: dict[str, list[bytes]] = {}
+        remote_value = 0
+        for coin, raw in zip(coins, minted):
+            coin_dest = self._coin_home(coin.coin_y)
+            if coin_dest is None:
+                local.append(raw)
+            else:
+                remote.setdefault(coin_dest, []).append(raw)
+                remote_value += coin.value
+        if not remote:
+            self._stage(
+                {"type": "mint", "account": request.account, "debit": total, "coins": minted}
+            )
+            return minted
+        # Cross-shard batch: one handoff, one prepare per destination shard.
+        # A later destination's rejection triggers unmint compensation on the
+        # earlier ones (see _cancel_prepares), keeping the batch atomic.
+        h = handoff_id("purchase_batch", data)
+        if h not in self.pending_handoffs:
+            self._begin_handoff(
+                h,
+                {
+                    "op": "purchase",
+                    "account": request.account,
+                    "debit": total,
+                    "remote_value": remote_value,
+                    "local_coins": local,
+                    "reply_coins": minted,
+                    "prepares": [
+                        {
+                            "h": f"{h}#{index}",
+                            "dest": shard,
+                            "payload": {"op": "mint", "coins": shard_coins},
+                        }
+                        for index, (shard, shard_coins) in enumerate(sorted(remote.items()))
+                    ],
+                },
+            )
+        reply = list(self.pending_handoffs[h]["reply_coins"])
+        self._finish_handoff(h, staged=True)
+        return reply
 
     def _handle_deposit(self, src: str, data: bytes) -> dict[str, Any]:
         """Deposit: verify holdership + membership, credit, retire the coin."""
@@ -552,16 +852,44 @@ class Broker(Node):
         # Unknown payout names open a pseudonymous bearer account on the fly
         # (the depositor stays anonymous; the account token is its claim).
         value = self.valid_coins[coin.coin_y].value
-        self._stage(
+        dest = self._account_home(operation.payout_to)
+        if dest is None:
+            self._stage(
+                {
+                    "type": "deposit",
+                    "coin_y": coin.coin_y,
+                    "envelope": data,
+                    "payout_to": operation.payout_to,
+                    "payout_identity_y": envelope.coin_signer.y,
+                    "credited": value,
+                }
+            )
+            return {"ok": True, "credited": value}
+        # Cross-shard deposit: this shard (the coin's home) retires the coin;
+        # the payout account's home shard credits it.
+        h = handoff_id("deposit", data)
+        self._begin_handoff(
+            h,
             {
-                "type": "deposit",
+                "op": "deposit",
                 "coin_y": coin.coin_y,
                 "envelope": data,
-                "payout_to": operation.payout_to,
-                "payout_identity_y": envelope.coin_signer.y,
                 "credited": value,
-            }
+                "prepares": [
+                    {
+                        "h": h + "#0",
+                        "dest": dest,
+                        "payload": {
+                            "op": "credit",
+                            "payout_to": operation.payout_to,
+                            "payout_identity_y": envelope.coin_signer.y,
+                            "credited": value,
+                        },
+                    }
+                ],
+            },
         )
+        self._finish_handoff(h, staged=True)
         return {"ok": True, "credited": value}
 
     def _fresh_binding(self, coin: Coin, holder_y: int, previous_seq: int) -> CoinBinding:
@@ -572,6 +900,7 @@ class Broker(Node):
             seq=previous_seq + 1,
             exp_date=self.clock.now() + self.renewal_period,
             via_broker=True,
+            nonce_pool=self.nonce_pool,
         )
 
     def _handle_downtime_transfer(self, src: str, data: bytes) -> bytes:
@@ -621,11 +950,20 @@ class Broker(Node):
             or auth_payload.get("amount") != operation.delta
         ):
             raise ProtocolError("malformed funding authorization")
-        account = self.accounts.get(auth_payload.get("account"))
-        if account is None or auth.signer.y != account.identity.y or not auth.verify():
-            raise VerificationFailed("funding authorization not signed by the account identity")
-        if account.balance < operation.delta:
-            raise InsufficientFunds("funding account cannot cover the top-up")
+        account_name = str(auth_payload.get("account"))
+        dest = self._account_home(account_name)
+        if dest is None:
+            account = self.accounts.get(account_name)
+            if account is None or auth.signer.y != account.identity.y or not auth.verify():
+                raise VerificationFailed(
+                    "funding authorization not signed by the account identity"
+                )
+            if account.balance < operation.delta:
+                raise InsufficientFunds("funding account cannot cover the top-up")
+        elif not auth.verify():
+            # Identity/balance checks happen at the funding account's home
+            # shard (the debit prepare); the signature is checked here.
+            raise VerificationFailed("funding authorization signature invalid")
         payload = coin.payload
         new_coin = Coin.build(
             self.keypair,
@@ -635,16 +973,45 @@ class Broker(Node):
             owner_y=payload["owner_y"],
             handle=payload["handle"],
         )
-        self._stage(
-            {
-                "type": "top_up",
-                "coin_y": coin.coin_y,
-                "coin": new_coin.encode(),
-                "account": auth_payload["account"],
-                "delta": operation.delta,
-            }
-        )
-        return new_coin.encode()
+        if dest is None:
+            self._stage(
+                {
+                    "type": "top_up",
+                    "coin_y": coin.coin_y,
+                    "coin": new_coin.encode(),
+                    "account": account_name,
+                    "delta": operation.delta,
+                }
+            )
+            return new_coin.encode()
+        # Cross-shard top-up: this shard (the coin's home) re-mints; the
+        # funding account's home shard validates identity and debits.
+        h = handoff_id("top_up", data)
+        if h not in self.pending_handoffs:
+            self._begin_handoff(
+                h,
+                {
+                    "op": "top_up",
+                    "coin_y": coin.coin_y,
+                    "coin": new_coin.encode(),
+                    "delta": operation.delta,
+                    "prepares": [
+                        {
+                            "h": h + "#0",
+                            "dest": dest,
+                            "payload": {
+                                "op": "debit",
+                                "account": account_name,
+                                "amount": operation.delta,
+                                "auth_identity_y": auth.signer.y,
+                            },
+                        }
+                    ],
+                },
+            )
+        reply = self.pending_handoffs[h]["coin"]
+        self._finish_handoff(h, staged=True)
+        return reply
 
     def _handle_sync_challenge(self, src: str, _payload: Any) -> bytes:
         """First half of sync: hand out a fresh challenge nonce."""

@@ -90,6 +90,14 @@ class BrokerClient(EndpointClient):
     Mutating operations (everything that moves value or commits broker
     state — including :meth:`sync_challenge`, whose handler mints a pending
     nonce) carry idempotency keys when the policy retries.
+
+    Federation-aware: when constructed with a ``shard_map``, each call
+    routes to the shard owning the operation's anchor key — purchases to
+    the *account's* home (it debits there), holder operations and binding
+    queries to the *coin's* home (circulation state lives there), syncs to
+    an explicit shard (owners fan out over :meth:`shard_addresses`).
+    Without a map every call goes to ``broker_address``, byte-identical to
+    the standalone wire format.
     """
 
     def __init__(
@@ -97,74 +105,132 @@ class BrokerClient(EndpointClient):
         node: "Node",
         broker_address: str,
         policy: RetryPolicy | None = None,
+        shard_map: Any = None,
     ) -> None:
         super().__init__(node, policy=policy)
         self.broker_address = broker_address
+        self.shard_map = shard_map
 
-    def purchase(self, signed_request: bytes, timeout: float | None = None) -> bytes:
+    def shard_addresses(self) -> tuple[str, ...]:
+        """Every shard a federation spreads state over (one entry if none)."""
+        if self.shard_map is None:
+            return (self.broker_address,)
+        return tuple(self.shard_map.addresses)
+
+    def _route_account(self, account: str | None) -> str:
+        if self.shard_map is None or account is None:
+            return self.broker_address
+        return self.shard_map.shard_for_account(account)
+
+    def _route_coin(self, coin_y: int | None) -> str:
+        if self.shard_map is None or coin_y is None:
+            return self.broker_address
+        return self.shard_map.shard_for_coin(coin_y)
+
+    def purchase(
+        self, signed_request: bytes, timeout: float | None = None, *, account: str | None = None
+    ) -> bytes:
         """Mint one coin; returns the encoded coin certificate."""
         return self._call(
-            self.broker_address, protocol.PURCHASE, signed_request, mutating=True, timeout=timeout
+            self._route_account(account),
+            protocol.PURCHASE,
+            signed_request,
+            mutating=True,
+            timeout=timeout,
         )
 
-    def purchase_batch(self, signed_request: bytes, timeout: float | None = None) -> Any:
+    def purchase_batch(
+        self, signed_request: bytes, timeout: float | None = None, *, account: str | None = None
+    ) -> Any:
         """Mint a batch of coins; returns the list of encoded certificates."""
         return self._call(
-            self.broker_address,
+            self._route_account(account),
             protocol.PURCHASE_BATCH,
             signed_request,
             mutating=True,
             timeout=timeout,
         )
 
-    def deposit(self, dual_envelope: bytes, timeout: float | None = None) -> dict[str, Any]:
+    def deposit(
+        self, dual_envelope: bytes, timeout: float | None = None, *, coin_y: int | None = None
+    ) -> dict[str, Any]:
         """Redeem a held coin; returns the broker's result dict."""
         return self._call(
-            self.broker_address, protocol.DEPOSIT, dual_envelope, mutating=True, timeout=timeout
+            self._route_coin(coin_y),
+            protocol.DEPOSIT,
+            dual_envelope,
+            mutating=True,
+            timeout=timeout,
         )
 
-    def top_up(self, dual_envelope: bytes, timeout: float | None = None) -> bytes:
+    def top_up(
+        self, dual_envelope: bytes, timeout: float | None = None, *, coin_y: int | None = None
+    ) -> bytes:
         """Increase a coin's value; returns the re-certified coin."""
         return self._call(
-            self.broker_address, protocol.TOP_UP, dual_envelope, mutating=True, timeout=timeout
+            self._route_coin(coin_y),
+            protocol.TOP_UP,
+            dual_envelope,
+            mutating=True,
+            timeout=timeout,
         )
 
-    def downtime_transfer(self, dual_envelope: bytes, timeout: float | None = None) -> bytes:
+    def downtime_transfer(
+        self, dual_envelope: bytes, timeout: float | None = None, *, coin_y: int | None = None
+    ) -> bytes:
         """Broker-served transfer (owner offline); returns the new binding."""
         return self._call(
-            self.broker_address,
+            self._route_coin(coin_y),
             protocol.DOWNTIME_TRANSFER,
             dual_envelope,
             mutating=True,
             timeout=timeout,
         )
 
-    def downtime_renewal(self, dual_envelope: bytes, timeout: float | None = None) -> bytes:
+    def downtime_renewal(
+        self, dual_envelope: bytes, timeout: float | None = None, *, coin_y: int | None = None
+    ) -> bytes:
         """Broker-served renewal (owner offline); returns the new binding."""
         return self._call(
-            self.broker_address,
+            self._route_coin(coin_y),
             protocol.DOWNTIME_RENEWAL,
             dual_envelope,
             mutating=True,
             timeout=timeout,
         )
 
-    def sync_challenge(self, timeout: float | None = None) -> bytes:
+    def sync_challenge(
+        self, timeout: float | None = None, *, shard: str | None = None
+    ) -> bytes:
         """Start a proactive sync; returns the broker's freshness nonce."""
         return self._call(
-            self.broker_address, protocol.SYNC_CHALLENGE, None, mutating=True, timeout=timeout
+            shard or self.broker_address,
+            protocol.SYNC_CHALLENGE,
+            None,
+            mutating=True,
+            timeout=timeout,
         )
 
-    def sync(self, signed_challenge: bytes, timeout: float | None = None) -> Any:
+    def sync(
+        self, signed_challenge: bytes, timeout: float | None = None, *, shard: str | None = None
+    ) -> Any:
         """Complete a proactive sync; returns the missed-binding list."""
         return self._call(
-            self.broker_address, protocol.SYNC, signed_challenge, mutating=True, timeout=timeout
+            shard or self.broker_address,
+            protocol.SYNC,
+            signed_challenge,
+            mutating=True,
+            timeout=timeout,
         )
 
     def binding_query(self, coin_y: int, timeout: float | None = None) -> bytes | None:
         """Lazy-sync read of one coin's authoritative binding (idempotent read)."""
         return self._call(
-            self.broker_address, protocol.BINDING_QUERY, coin_y, mutating=False, timeout=timeout
+            self._route_coin(coin_y),
+            protocol.BINDING_QUERY,
+            coin_y,
+            mutating=False,
+            timeout=timeout,
         )
 
 

@@ -6,7 +6,7 @@ real-time detection service — with sane defaults, so examples and tests can
 say::
 
     net = WhoPayNetwork(params=PARAMS_TEST_512)
-    alice = net.add_peer("alice", balance=10)
+    alice = net.add_peer("alice", PeerConfig(balance=10))
     bob = net.add_peer("bob")
     coin = alice.purchase()
     alice.issue("bob", coin.coin_y)
@@ -14,13 +14,18 @@ say::
 
 from __future__ import annotations
 
+import warnings
+from dataclasses import dataclass
 from pathlib import Path
 
 from repro.core.broker import Broker
+from repro.core.brokerapi import BrokerAPI, ShardRouter
 from repro.core.clock import DEFAULT_RENEWAL_PERIOD, Clock
 from repro.core.detection import DetectionService
 from repro.core.judge import Judge
 from repro.core.peer import Peer
+from repro.core.sharding import DEFAULT_POINTS_PER_SHARD, ShardMap
+from repro.crypto.keys import KeyPair
 from repro.crypto.params import DlogParams, default_params
 from repro.dht.binding_store import BindingStore
 from repro.dht.chord import ChordRing
@@ -30,6 +35,55 @@ from repro.net.transport import FaultPlan, Transport
 from repro.store.crashpoints import CrashPointPlan, SimulatedCrash
 from repro.store.journal import DurableStore
 from repro.store.recovery import RecoveryManager, RecoveryResult
+
+
+@dataclass(frozen=True)
+class BrokerTopology:
+    """How the mint side of the network is laid out.
+
+    ``shards=1`` (default) builds the classic standalone broker at
+    ``base_address`` — byte-identical wire behavior to every earlier PR.
+    ``shards=M`` builds a federation of ``M`` shard brokers
+    (``base_address-0`` … ``base_address-{M-1}``) sharing one signing key,
+    partitioned by the consistent-hash ring in :mod:`repro.core.sharding`,
+    and fronted by a :class:`~repro.core.brokerapi.ShardRouter`.
+    """
+
+    shards: int = 1
+    points_per_shard: int = DEFAULT_POINTS_PER_SHARD
+    base_address: str = "broker"
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ValueError("a topology needs at least one shard")
+        if self.points_per_shard < 1:
+            raise ValueError("points_per_shard must be >= 1")
+
+    def addresses(self) -> tuple[str, ...]:
+        """The shard addresses this topology creates."""
+        if self.shards == 1:
+            return (self.base_address,)
+        return tuple(f"{self.base_address}-{index}" for index in range(self.shards))
+
+
+@dataclass(frozen=True)
+class PeerConfig:
+    """Per-peer setup options for :meth:`WhoPayNetwork.add_peer`.
+
+    Replaces the old positional/boolean parameter list — call sites name
+    what they configure (``PeerConfig(balance=10, durable=True)``) instead
+    of threading flags positionally.
+    """
+
+    balance: int = 0
+    sync_mode: str | None = None
+    durable: bool = False
+
+    def __post_init__(self) -> None:
+        if self.balance < 0:
+            raise ValueError("opening balance cannot be negative")
+        if self.sync_mode not in (None, "proactive", "lazy"):
+            raise ValueError("sync_mode must be 'proactive', 'lazy', or None")
 
 
 class WhoPayNetwork:
@@ -45,6 +99,7 @@ class WhoPayNetwork:
         renewal_period: float = DEFAULT_RENEWAL_PERIOD,
         retry_policy: RetryPolicy | None = None,
         store_dir: str | Path | None = None,
+        topology: BrokerTopology | None = None,
     ) -> None:
         self.params = params or default_params()
         self.transport = Transport()
@@ -53,20 +108,43 @@ class WhoPayNetwork:
         self.transport.clock = self.clock
         self.retry_policy = retry_policy
         self.judge = Judge(self.params)
-        # Durability: with a store_dir the broker journals every mutation
-        # to <store_dir>/broker and can be killed/recovered mid-run.
+        # Durability: with a store_dir each broker shard journals every
+        # mutation to <store_dir>/<address> and can be killed/recovered.
         self.store_dir = None if store_dir is None else Path(store_dir)
-        broker_store = None
-        if self.store_dir is not None:
-            broker_store = DurableStore(self.store_dir / "broker")
-        self.broker = Broker(
-            self.transport,
-            judge=self.judge,
-            params=self.params,
-            clock=self.clock,
-            renewal_period=renewal_period,
-            store=broker_store,
-        )
+        self.topology = topology or BrokerTopology()
+        addresses = self.topology.addresses()
+        # One signing key for the whole federation: a coin minted by any
+        # shard verifies against the same system-wide pk_B.
+        signing_key = KeyPair.generate(self.params)
+        self.shard_map: ShardMap | None = None
+        if self.topology.shards > 1:
+            self.shard_map = ShardMap(
+                list(addresses), points_per_shard=self.topology.points_per_shard
+            )
+        self.shards: list[Broker] = []
+        for address in addresses:
+            shard_store = None
+            if self.store_dir is not None:
+                shard_store = DurableStore(self.store_dir / address)
+            shard = Broker(
+                self.transport,
+                judge=self.judge,
+                params=self.params,
+                clock=self.clock,
+                address=address,
+                renewal_period=renewal_period,
+                store=shard_store,
+                keypair=signing_key,
+            )
+            if self.shard_map is not None:
+                shard.attach_federation(self.shard_map, policy=retry_policy)
+            self.shards.append(shard)
+        self.router: ShardRouter | None = None
+        if self.shard_map is not None:
+            self.router = ShardRouter(self.shards, self.shard_map)
+        #: The unified broker surface (BrokerAPI): the single Broker when
+        #: shards == 1, the ShardRouter facade otherwise.
+        self.broker: BrokerAPI = self.router if self.router is not None else self.shards[0]
         self.broker_restarts = 0
         self.last_recovery: RecoveryResult | None = None
         self.sync_mode = sync_mode
@@ -91,23 +169,50 @@ class WhoPayNetwork:
             store = BindingStore(fabric, self.params, self.broker.public_key)
             hub = NotificationHub(store)
             self.detection = DetectionService(store, hub, self.params)
-            self.broker.detection = self.detection
+            for shard in self.shards:
+                shard.detection = self.detection
 
     def add_peer(
         self,
         address: str,
-        balance: int = 0,
-        sync_mode: str | None = None,
-        durable: bool = False,
+        config: "PeerConfig | int | None" = None,
+        **legacy,
     ) -> Peer:
         """Register a user: judge enrollment, broker account, transport node.
 
-        ``durable=True`` (requires ``store_dir``) gives the peer a journaled
-        wallet at ``<store_dir>/<address>`` so it can be killed and recovered
-        with :meth:`restart_peer`.
+        Pass a :class:`PeerConfig` for per-peer options.
+        ``PeerConfig(durable=True)`` (requires ``store_dir``) gives the peer
+        a journaled wallet at ``<store_dir>/<address>`` so it can be killed
+        and recovered with :meth:`restart_peer`.
+
+        Deprecation shim: the pre-PR-7 keyword/positional form
+        (``add_peer("alice", 10)`` / ``add_peer("alice", balance=10,
+        durable=True)``) still works but warns; new code builds a
+        :class:`PeerConfig`.
         """
+        if isinstance(config, int):
+            warnings.warn(
+                "add_peer(address, balance) is deprecated; pass PeerConfig(balance=...)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            config = PeerConfig(balance=config)
+        if legacy:
+            unknown = set(legacy) - {"balance", "sync_mode", "durable"}
+            if unknown:
+                raise TypeError(f"add_peer got unexpected keyword(s) {sorted(unknown)}")
+            warnings.warn(
+                "add_peer(balance=..., sync_mode=..., durable=...) is deprecated; "
+                "pass a PeerConfig instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if config is not None:
+                raise TypeError("pass either a PeerConfig or legacy keywords, not both")
+            config = PeerConfig(**legacy)
+        config = config or PeerConfig()
         store = None
-        if durable:
+        if config.durable:
             if self.store_dir is None:
                 raise ValueError("durable peers need the network built with store_dir")
             store = DurableStore(self.store_dir / address)
@@ -119,16 +224,17 @@ class WhoPayNetwork:
             clock=self.clock,
             judge=self.judge,
             member_key=member_key,
-            broker_address=self.broker.address,
+            broker_address=self.shards[0].address,
             broker_key=self.broker.public_key,
-            sync_mode=sync_mode if sync_mode is not None else self.sync_mode,
+            sync_mode=config.sync_mode if config.sync_mode is not None else self.sync_mode,
             renewal_period=self.renewal_period,
             retry_policy=self.retry_policy,
             store=store,
+            shard_map=self.shard_map,
         )
         peer.detection = self.detection
         peer.certificate = self.ca.issue(address, peer.identity.public, self.clock.now())
-        self.broker.open_account_from_certificate(peer.certificate, self.ca.public_key, balance)
+        self.broker.open_account_from_certificate(peer.certificate, self.ca.public_key, config.balance)
         self.peers[address] = peer
         return peer
 
@@ -146,66 +252,101 @@ class WhoPayNetwork:
 
     # -- durability / crash-recovery ---------------------------------------
 
-    def arm_crash_points(self, plan: CrashPointPlan | None) -> None:
-        """Attach a crash-point plan to the broker's store.
+    def _shard_at(self, shard: int | None) -> Broker:
+        """Resolve a shard index (``None`` means the sole shard)."""
+        if shard is None:
+            if len(self.shards) > 1:
+                raise ValueError("federated network: pass an explicit shard index")
+            return self.shards[0]
+        return self.shards[shard]
+
+    def arm_crash_points(self, plan: CrashPointPlan | None, shard: int | None = None) -> None:
+        """Attach a crash-point plan to a broker shard's store.
 
         Arm *after* setup traffic so crash-point indices enumerate
         steady-state fsync boundaries (the chaos sweep relies on a stable
-        numbering across runs with the same seed).
+        numbering across runs with the same seed).  ``shard`` selects the
+        federation member to arm (omit for a standalone broker).
         """
-        if self.broker.store is None:
+        target = self._shard_at(shard)
+        if target.store is None:
             raise ValueError("the network was not built with store_dir")
-        self.broker.store.crash_points = plan
+        target.store.crash_points = plan
 
-    def snapshot_broker(self) -> int:
-        """Snapshot the broker into its store and compact the journal."""
+    def snapshot_broker(self, shard: int | None = None) -> int:
+        """Snapshot a broker shard into its store and compact the journal."""
         from repro.core.persistence import save_broker_snapshot
 
-        if self.broker.store is None:
+        target = self._shard_at(shard)
+        if target.store is None:
             raise ValueError("the network was not built with store_dir")
-        return save_broker_snapshot(self.broker, self.broker.store)
+        return save_broker_snapshot(target, target.store)
 
     def supervise_broker(self) -> None:
-        """Auto-restart the broker when a crash point kills it mid-request.
+        """Auto-restart any broker shard a crash point kills mid-request.
 
         The transport runs the restart *before* the in-flight sender sees
         ``ReplyLost``, so the sender's retry — carrying the same idempotency
-        key — lands on the recovered broker and is deduplicated against the
-        journal-refilled replay cache.
+        key — lands on the recovered shard and is deduplicated against the
+        journal-refilled replay cache.  Cross-shard prepares ride the same
+        mechanism: a source shard's retry of a prepare hits the recovered
+        destination with the same handoff id.
         """
+        for index in range(len(self.shards)):
 
-        def on_crash(_crash: SimulatedCrash) -> None:
-            self.restart_broker()
+            def on_crash(_crash: SimulatedCrash, index: int = index) -> None:
+                self.restart_shard(index)
 
-        self.transport.set_crash_handler(self.broker.address, on_crash)
+            self.transport.set_crash_handler(self.shards[index].address, on_crash)
 
     def restart_broker(self) -> RecoveryResult:
-        """Kill the current broker instance and recover a new one from disk.
+        """Kill the standalone broker and recover it from disk (1-shard form)."""
+        if len(self.shards) > 1:
+            raise ValueError("federated network: use restart_shard(index)")
+        return self.restart_shard(0)
+
+    def restart_shard(self, index: int) -> RecoveryResult:
+        """Kill one broker shard and recover a new instance from its journal.
 
         The armed crash-point plan is detached during recovery (recovery's
         own journal repair must not re-crash) and re-attached — minus the
-        already-fired point — afterwards.
+        already-fired point — afterwards.  The recovered shard rejoins the
+        federation (same shard map, same retry policy) and replaces the old
+        instance in the router, so peers' routed calls hit it seamlessly.
         """
-        store = self.broker.store
+        shard = self.shards[index]
+        store = shard.store
         if store is None:
             raise ValueError("the network was not built with store_dir")
         plan, store.crash_points = store.crash_points, None
-        detection = self.broker.detection
-        self.transport.unregister(self.broker.address)
+        detection = shard.detection
+        self.transport.unregister(shard.address)
         result = RecoveryManager(store).recover_broker(
             self.transport,
             judge=self.judge,
             params=self.params,
             clock=self.clock,
             renewal_period=self.renewal_period,
-            address=self.broker.address,
+            address=shard.address,
         )
-        self.broker = result.entity
-        self.broker.detection = detection
+        recovered = result.entity
+        recovered.detection = detection
+        if self.shard_map is not None:
+            recovered.attach_federation(self.shard_map, policy=self.retry_policy)
         store.crash_points = plan
+        self.shards[index] = recovered
+        if self.router is not None:
+            self.router.shards[index] = recovered
+            self.router._by_address[recovered.address] = recovered
+        else:
+            self.broker = recovered
         self.broker_restarts += 1
         self.last_recovery = result
         return result
+
+    def complete_handoffs(self) -> int:
+        """Re-drive cross-shard handoffs orphaned by crashes; returns count."""
+        return self.broker.complete_pending_handoffs()
 
     def restart_peer(self, address: str) -> RecoveryResult:
         """Kill a durable peer and recover it from its journaled wallet."""
@@ -226,6 +367,7 @@ class WhoPayNetwork:
             sync_mode=self.sync_mode,
             renewal_period=self.renewal_period,
             retry_policy=self.retry_policy,
+            shard_map=self.shard_map,
         )
         recovered = result.entity
         recovered.detection = detection

@@ -112,6 +112,7 @@ class Peer(Node):
         renewal_period: float = DEFAULT_RENEWAL_PERIOD,
         retry_policy: RetryPolicy | None = None,
         store: DurableStore | None = None,
+        shard_map: Any = None,
     ) -> None:
         if sync_mode not in ("proactive", "lazy"):
             raise ValueError("sync_mode must be 'proactive' or 'lazy'")
@@ -127,8 +128,12 @@ class Peer(Node):
         self.renewal_period = renewal_period
         # All outbound protocol traffic goes through the typed facades; the
         # retry policy (default: single attempt) is threaded here once.
+        # ``shard_map`` makes the broker facade federation-aware — each call
+        # routes straight to the shard owning the coin/account it touches.
         self.retry_policy = retry_policy
-        self.broker_client = BrokerClient(self, broker_address, policy=retry_policy)
+        self.broker_client = BrokerClient(
+            self, broker_address, policy=retry_policy, shard_map=shard_map
+        )
         self.peer_client = PeerClient(self, policy=retry_policy)
 
         self.wallet: dict[int, HeldCoin] = {}
@@ -294,21 +299,30 @@ class Peer(Node):
         only a failing batch falls back to per-binding checks to surface the
         precise offender.
         """
-        nonce = self.broker_client.sync_challenge()
-        signed = seal(self.identity, {"kind": "whopay.sync", "nonce": nonce})
-        updates = self.broker_client.sync(signed.encode())
-        self.counts.syncs += 1
+        # Federation: an owner's coins live on the shards the ring assigns
+        # them to, so sync only the shards that actually hold some of ours
+        # (one exchange per such shard; standalone brokers collapse to one).
+        shard_map = self.broker_client.shard_map
+        if shard_map is None or not self.owned:
+            shards: list[str] = [self.broker_address]
+        else:
+            shards = sorted({shard_map.shard_for_coin(coin_y) for coin_y in self.owned})
         accepted: list[tuple[OwnedCoinState, CoinBinding]] = []
-        for coin_y, binding_bytes in updates:
-            state = self.owned.get(coin_y)
-            if state is None:
-                continue
-            binding = CoinBinding(
-                signed=protocol.decode_signed(binding_bytes, self.params), via_broker=True
-            )
-            if not binding.verify_unsigned(state.coin_keypair.public, self.broker_key):
-                raise VerificationFailed("broker sync returned an invalid binding")
-            accepted.append((state, binding))
+        for shard in shards:
+            nonce = self.broker_client.sync_challenge(shard=shard)
+            signed = seal(self.identity, {"kind": "whopay.sync", "nonce": nonce})
+            updates = self.broker_client.sync(signed.encode(), shard=shard)
+            for coin_y, binding_bytes in updates:
+                state = self.owned.get(coin_y)
+                if state is None:
+                    continue
+                binding = CoinBinding(
+                    signed=protocol.decode_signed(binding_bytes, self.params), via_broker=True
+                )
+                if not binding.verify_unsigned(state.coin_keypair.public, self.broker_key):
+                    raise VerificationFailed("broker sync returned an invalid binding")
+                accepted.append((state, binding))
+        self.counts.syncs += 1
         batch = [
             (binding.signed.signer, binding.signed.payload_bytes, binding.signed.signature)
             for _, binding in accepted
@@ -370,7 +384,7 @@ class Peer(Node):
             account=account if account is not None else self.address,
         )
         signed = seal(self.identity, request.to_payload())
-        coin_bytes = self.broker_client.purchase(signed.encode())
+        coin_bytes = self.broker_client.purchase(signed.encode(), account=request.account)
         coin = Coin(cert=protocol.decode_signed(coin_bytes, self.params))
         if not coin.verify(self.broker_key) or coin.coin_y != coin_keypair.public.y:
             raise VerificationFailed("broker returned an invalid coin")
@@ -394,7 +408,7 @@ class Peer(Node):
             account=account if account is not None else self.address,
         )
         signed = seal(self.identity, request.to_payload())
-        minted = self.broker_client.purchase_batch(signed.encode())
+        minted = self.broker_client.purchase_batch(signed.encode(), account=request.account)
         if len(minted) != count:
             raise VerificationFailed("broker returned the wrong number of coins")
         states: list[OwnedCoinState] = []
@@ -594,7 +608,9 @@ class Peer(Node):
             held, "transfer", new_holder_y=offer["holder_y"], nonce=offer["nonce"]
         )
         self._expected_rebinds.add(held.coin_y)
-        binding_bytes = self.broker_client.downtime_transfer(protocol.encode_dual(envelope))
+        binding_bytes = self.broker_client.downtime_transfer(
+            protocol.encode_dual(envelope), coin_y=held.coin_y
+        )
         binding = CoinBinding(
             signed=protocol.decode_signed(binding_bytes, self.params), via_broker=True
         )
@@ -635,7 +651,7 @@ class Peer(Node):
         held = self._pick_held(coin_y)
         account = payout_to if payout_to is not None else "bearer-" + secrets.token_hex(8)
         envelope = self._holder_envelope(held, "deposit", payout_to=account)
-        result = self.broker_client.deposit(protocol.encode_dual(envelope))
+        result = self.broker_client.deposit(protocol.encode_dual(envelope), coin_y=held.coin_y)
         if not result.get("ok"):
             raise ProtocolError("broker rejected the deposit")
         if self.detection is not None:
@@ -671,7 +687,7 @@ class Peer(Node):
         envelope = self._holder_envelope(
             held, "top_up", delta=delta, funding_auth=auth.encode()
         )
-        new_cert = self.broker_client.top_up(protocol.encode_dual(envelope))
+        new_cert = self.broker_client.top_up(protocol.encode_dual(envelope), coin_y=coin_y)
         new_coin = Coin(cert=protocol.decode_signed(new_cert, self.params))
         if (
             not new_coin.verify(self.broker_key)
@@ -697,7 +713,9 @@ class Peer(Node):
             )
             self.counts.renewals_sent += 1
         else:
-            response = self.broker_client.downtime_renewal(protocol.encode_dual(envelope))
+            response = self.broker_client.downtime_renewal(
+                protocol.encode_dual(envelope), coin_y=coin_y
+            )
             binding = CoinBinding(
                 signed=protocol.decode_signed(response, self.params), via_broker=True
             )

@@ -78,6 +78,13 @@ def export_broker_state(broker, encryption_key: bytes | None = None) -> bytes:
                 {"kind": kind, "idem": idem, "result": result}
                 for (kind, idem), result in broker.replay_cache.snapshot_entries()
             ],
+            # Federation state: in-flight cross-shard handoffs (source side)
+            # and applied prepare ids (destination side).  Both must survive
+            # a snapshot+restart or exactly-once handoffs break.
+            "pending_handoffs": [
+                broker.pending_handoffs[h] for h in sorted(broker.pending_handoffs)
+            ],
+            "handoffs_seen": sorted(broker.handoffs_seen),
         }
     )
     if encryption_key is not None:
@@ -148,6 +155,11 @@ def restore_broker_state(broker, blob: bytes, encryption_key: bytes | None = Non
             for entry in state.get("replay_cache", [])
         ]
     )
+    broker.pending_handoffs.clear()
+    for record in state.get("pending_handoffs", []):
+        broker.pending_handoffs[record["h"]] = record
+    broker.handoffs_seen.clear()
+    broker.handoffs_seen.update(state.get("handoffs_seen", []))
 
 
 def export_peer_state(peer: Peer, encryption_key: bytes | None = None) -> bytes:

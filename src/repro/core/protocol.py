@@ -37,6 +37,9 @@ SYNC_CHALLENGE = "whopay.sync_challenge"
 SYNC = "whopay.sync"
 BINDING_QUERY = "whopay.binding_query"  # lazy-sync check against the broker
 
+# broker shard -> broker shard (federation; see docs/FEDERATION.md)
+XSHARD_PREPARE = "whopay.xshard_prepare"
+
 # peer -> peer
 ISSUE_OFFER = "whopay.issue_offer"
 ISSUE_COMPLETE = "whopay.issue_complete"

@@ -107,15 +107,35 @@ def _derive_nonce(params: DlogParams, x: int, digest: int) -> int:
         counter += 1
 
 
-def dsa_sign(keypair: KeyPair, message: bytes, digest: int | None = None) -> DsaSignature:
+def dsa_sign(
+    keypair: KeyPair,
+    message: bytes,
+    digest: int | None = None,
+    pool: "DsaNoncePool | None" = None,
+) -> DsaSignature:
     """Sign ``message`` (Table 2 row 2: "DSA signature generation").
 
     ``digest`` may be precomputed with :func:`dsa_digest`; otherwise it is
-    derived here.
+    derived here.  With ``pool`` given and non-empty, the nonce, its
+    commitment, and its inverse come precomputed from the
+    :class:`DsaNoncePool` (flush-amortized signing); a dry pool falls back
+    to the deterministic derivation below.
     """
     params = keypair.params
     if digest is None:
         digest = dsa_digest(params, message)
+    if pool is not None:
+        if pool.keypair.x != keypair.x:
+            raise ValueError("nonce pool belongs to a different signing key")
+        triple = pool.take()
+        if triple is not None:
+            k, commit, r_s_k_inv = triple
+            r = commit % params.q
+            s = (r_s_k_inv * (digest + keypair.x * r)) % params.q
+            if r != 0 and s != 0:
+                return DsaSignature(r=r, s=s, commit=commit)
+            # r/s == 0 (astronomically unlikely): discard the triple and
+            # fall through to the deterministic re-derivation path.
     while True:
         k = _derive_nonce(params, keypair.x, digest)
         commit = params.pow_g(k)
@@ -129,6 +149,138 @@ def dsa_sign(keypair: KeyPair, message: bytes, digest: int | None = None) -> Dsa
             digest = (digest + 1) % params.q
             continue
         return DsaSignature(r=r, s=s, commit=commit)
+
+
+def _batch_modinv(values: Sequence[int], modulus: int) -> list[int]:
+    """Montgomery batch inversion: n inverses for the price of one.
+
+    Prefix-product trick: invert the running product once, then peel the
+    individual inverses off backwards with two multiplications each.
+    Every value must be invertible (nonces are in ``[1, q)`` with prime
+    ``q``, so they always are).
+    """
+    prefix: list[int] = []
+    running = 1
+    for value in values:
+        running = (running * value) % modulus
+        prefix.append(running)
+    inverse = primitives.modinv(running, modulus)
+    out = [0] * len(values)
+    for index in range(len(values) - 1, -1, -1):
+        if index == 0:
+            out[0] = inverse
+        else:
+            out[index] = (inverse * prefix[index - 1]) % modulus
+            inverse = (inverse * values[index]) % modulus
+    return out
+
+
+def dsa_sign_batch(
+    keypair: KeyPair, messages: Sequence[bytes], digests: Sequence[int] | None = None
+) -> list[DsaSignature]:
+    """Sign many messages, bit-identical to per-message :func:`dsa_sign`.
+
+    Nonces stay the deterministic RFC 6979-flavoured derivation (so the
+    output is byte-for-byte what sequential signing would produce — replay
+    fingerprints don't move), but the per-signature modular inversion of
+    ``k`` is done for the whole batch with one :func:`_batch_modinv` call.
+    The vanishingly-unlikely ``r == 0`` / ``s == 0`` re-derivation cases
+    fall back to :func:`dsa_sign` for just that message.
+    """
+    params = keypair.params
+    if digests is None:
+        digest_list = [dsa_digest(params, message) for message in messages]
+    else:
+        digest_list = list(digests)
+        if len(digest_list) != len(messages):
+            raise ValueError("digests, when given, must match messages 1:1")
+    nonces = [_derive_nonce(params, keypair.x, digest) for digest in digest_list]
+    commits = [params.pow_g(k) for k in nonces]
+    inverses = _batch_modinv(nonces, params.q)
+    signatures: list[DsaSignature] = []
+    for message, digest, commit, k_inv in zip(messages, digest_list, commits, inverses):
+        r = commit % params.q
+        s = (k_inv * (digest + keypair.x * r)) % params.q if r else 0
+        if r == 0 or s == 0:
+            signatures.append(dsa_sign(keypair, message, digest=digest))
+            continue
+        signatures.append(DsaSignature(r=r, s=s, commit=commit))
+    return signatures
+
+
+class DsaNoncePool:
+    """Precomputed signing nonces: the flush-amortized half of reply signing.
+
+    Each entry is a ready ``(k, R = g**k, k_inv)`` triple, so a pooled
+    :func:`dsa_sign` costs two modular multiplications — the expensive
+    exponentiation and inversion were done in bulk by :meth:`ensure`
+    (fixed-base tables for the commits, Montgomery batch inversion for the
+    inverses), once per group-commit flush.
+
+    Nonce safety: entries derive from an HMAC chain keyed by the secret
+    exponent *and* a per-pool random salt, so nonces are unpredictable and
+    can never repeat across pools (process restarts, crash recoveries) —
+    the classic counter-only pitfall of reusing ``k`` against two different
+    messages, which leaks the key, is structurally excluded.  The cost is
+    that pooled signatures are not RFC 6979-reproducible; only the
+    throughput pipeline installs a pool, so the deterministic default path
+    (and the chaos suite's bit-identical replay fingerprints) are
+    untouched.
+    """
+
+    def __init__(self, keypair: KeyPair, salt: bytes | None = None) -> None:
+        self.keypair = keypair
+        self._salt = secrets.token_bytes(16) if salt is None else salt
+        self._counter = 0
+        self._triples: list[tuple[int, int, int]] = []
+        self.refills = 0
+        self.generated = 0
+        self.served = 0
+
+    def __len__(self) -> int:
+        return len(self._triples)
+
+    def _next_nonce(self) -> int:
+        """Next chain nonce in ``[1, q)`` (bits2int + rejection, as signing)."""
+        params = self.keypair.params
+        key = primitives.int_to_bytes(self.keypair.x).rjust(32, b"\x00") + self._salt
+        qlen = params.q.bit_length()
+        shift = max(0, 256 - qlen)
+        while True:
+            mac = hmac.new(
+                key, b"nonce-pool|" + self._counter.to_bytes(8, "big"), hashlib.sha256
+            ).digest()
+            self._counter += 1
+            k = int.from_bytes(mac, "big") >> shift
+            if 0 < k < params.q:
+                return k
+
+    def ensure(self, count: int) -> int:
+        """Top the pool up to at least ``count`` entries; returns how many
+        triples were generated (0 when the pool already covers the need)."""
+        need = count - len(self._triples)
+        if need <= 0:
+            return 0
+        params = self.keypair.params
+        nonces: list[int] = []
+        commits: list[int] = []
+        while len(nonces) < need:
+            k = self._next_nonce()
+            commit = params.pow_g(k)
+            if commit % params.q == 0:
+                continue  # r would be 0; astronomically unlikely, skip
+            nonces.append(k)
+            commits.append(commit)
+        inverses = _batch_modinv(nonces, params.q)
+        self._triples.extend(zip(nonces, commits, inverses))
+        self.refills += 1
+        self.generated += need
+        return need
+
+    def take(self) -> tuple[int, int, int] | None:
+        """Pop one ready triple, or ``None`` when the pool is dry."""
+        self.served += 1 if self._triples else 0
+        return self._triples.pop() if self._triples else None
 
 
 def dsa_verify(

@@ -1,6 +1,7 @@
 """Built-in rules — importing this package registers all of them."""
 
 from repro.lint.rules import (  # noqa: F401
+    construction,
     crypto,
     determinism,
     durability,

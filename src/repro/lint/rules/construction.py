@@ -1,0 +1,77 @@
+"""WP109 — brokers are built by factories, not ad hoc.
+
+A :class:`~repro.core.broker.Broker` constructed directly is a federation
+hazard: PR 7 made broker identity a *topology* concern.  The network
+factory (:mod:`repro.core.network`) is what threads the shared signing
+key, the shard map, the per-shard durable store, and the detection service
+through every shard consistently; crash recovery
+(:mod:`repro.store.recovery`) is the one other legitimate birthplace,
+rebuilding an existing identity from its journal.  A ``Broker(...)`` call
+anywhere else produces a mint that signs coins nobody else trusts, or a
+shard the router does not know about — bugs that surface far from the
+construction site.
+
+Tests may construct brokers directly (unit tests of the broker itself
+must), so the rule exempts ``tests.*`` modules along with the factory
+packages.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.asthelpers import dotted_name, in_package
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.engine import ModuleInfo
+from repro.lint.registry import Rule, register
+
+#: The only modules allowed to call ``Broker(...)``: the topology factory
+#: and the journal-replay recovery path.
+EXEMPT_PACKAGES = ("repro.core.network", "repro.store.recovery", "tests")
+
+
+def _is_broker_ctor(name: str | None) -> bool:
+    """Whether a dotted callee name denotes the core Broker class."""
+    if name is None:
+        return False
+    if name == "Broker":
+        return True
+    # Module-qualified spellings: ``broker.Broker``, ``core.broker.Broker``,
+    # ``repro.core.broker.Broker``.
+    return name.endswith(".Broker") and name.rsplit(".", 2)[-2] == "broker"
+
+
+@register
+class BrokerConstructionDiscipline(Rule):
+    code = "WP109"
+    name = "broker-factory-discipline"
+    rationale = (
+        "Direct Broker construction bypasses the topology factory that "
+        "threads the federation's shared signing key, shard map, and "
+        "durable store; rogue instances mint coins the rest of the "
+        "federation rejects."
+    )
+
+    def check(self, module: ModuleInfo) -> Iterable[Diagnostic]:
+        if in_package(module.module, EXEMPT_PACKAGES):
+            return
+        # The defining module may reference its own class freely.
+        if module.module == "repro.core.broker":
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if _is_broker_ctor(dotted_name(node.func)):
+                yield Diagnostic(
+                    path=module.path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    code=self.code,
+                    message=(
+                        "direct Broker(...) construction outside the "
+                        "repro.core.network factories / repro.store.recovery — "
+                        "build a WhoPayNetwork (optionally with a "
+                        "BrokerTopology) or recover from a journal instead"
+                    ),
+                )

@@ -1,7 +1,8 @@
 """WP106/WP108 — durable broker state must flow through the journal API.
 
-The broker's six durable fields (``accounts``, ``valid_coins``,
-``deposited``, ``downtime_bindings``, ``owner_coins``, ``pending_sync``)
+The broker's durable fields (``accounts``, ``valid_coins``, ``deposited``,
+``downtime_bindings``, ``owner_coins``, ``pending_sync``, and the
+federation pair ``pending_handoffs``/``handoffs_seen``)
 are crash-consistent only because every mutation is described by a record
 and applied via :mod:`repro.store.apply` *after* being staged for the
 write-ahead journal.  A direct assignment — ``self.deposited[y] = data``
@@ -36,6 +37,9 @@ DURABLE_FIELDS = frozenset(
         "downtime_bindings",
         "owner_coins",
         "pending_sync",
+        # Federation (PR 7): exactly-once cross-shard handoff state.
+        "pending_handoffs",
+        "handoffs_seen",
     }
 )
 

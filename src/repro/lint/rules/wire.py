@@ -9,7 +9,9 @@ protocol surface nobody exercises.
 Send sites recognized:
 
 * ``<facade>._call(dst, KIND, ...)`` — the typed-facade plumbing;
-* ``<x>.rpc.call(dst, KIND, ...)`` / ``<x>._rpc.call(...)`` — RPC clients;
+* ``<x>.rpc.call(dst, KIND, ...)`` / ``<x>._rpc.call(...)`` /
+  ``<x>._shard_rpc.call(...)`` — RPC clients (the last is the broker's
+  federation-internal shard-to-shard sender);
 * ``self.request(dst, KIND, ...)`` — a node's convenience sender.
 
 Handler sites: ``<node>.on(KIND, handler)``.
@@ -34,7 +36,7 @@ from repro.lint.engine import ModuleInfo, Program
 from repro.lint.registry import Rule, register
 from repro.lint.resolve import ConstantResolver
 
-_RPC_RECEIVERS = {"rpc", "_rpc"}
+_RPC_RECEIVERS = {"rpc", "_rpc", "_shard_rpc"}
 
 
 @dataclass(frozen=True)

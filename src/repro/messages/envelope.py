@@ -118,13 +118,18 @@ class DualSignedMessage:
         return group_verify(gpk, self.inner.encode(), self.group_signature)
 
 
-def seal(keypair: KeyPair, payload: Any) -> SignedMessage:
-    """Encode ``payload`` and sign it with ``keypair``."""
+def seal(keypair: KeyPair, payload: Any, nonce_pool: Any = None) -> SignedMessage:
+    """Encode ``payload`` and sign it with ``keypair``.
+
+    ``nonce_pool`` (a :class:`repro.crypto.dsa.DsaNoncePool`) lets hot
+    signers — the broker minting bindings per group-commit flush — draw a
+    precomputed nonce triple instead of deriving one per signature.
+    """
     payload_bytes = encode(payload)
     return SignedMessage(
         payload_bytes=payload_bytes,
         signer=keypair.public,
-        signature=dsa_sign(keypair, payload_bytes),
+        signature=dsa_sign(keypair, payload_bytes, pool=nonce_pool),
     )
 
 

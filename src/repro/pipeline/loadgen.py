@@ -33,7 +33,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
 
-from repro.core import protocol
+from repro.core import PeerConfig, protocol
 from repro.core.coin import Coin, CoinBinding
 from repro.core.network import WhoPayNetwork
 from repro.crypto.keys import KeyPair
@@ -108,7 +108,7 @@ class LoadGenerator:
         self.held: dict[int, _Held] = {}
         self._zipf_weights: list[float] = []
         self._peers = [
-            self.network.add_peer(f"peer{index:03d}", balance=balance)
+            self.network.add_peer(f"peer{index:03d}", PeerConfig(balance=balance))
             for index in range(peers)
         ]
         self._gpk = self.network.judge.group_public_key()

@@ -122,6 +122,15 @@ class SimConfig:
     #: 0 (the default) models an uninterrupted broker and leaves every load
     #: figure exactly as before.
     broker_restarts: int = 0
+    #: Number of broker federation shards to model (PR 7).  With ``1`` (the
+    #: default) every broker op lands on the single broker and all figures
+    #: are exactly as before.  With ``M > 1`` the reference engine
+    #: attributes each broker operation to the shard owning its anchor key
+    #: — purchases to the buyer's account shard, coin ops to the coin's
+    #: shard, syncs fan out over the shards owning the peer's coins — so
+    #: fig2/fig6-style series regenerate *per shard* (``broker_shard{i}_*``
+    #: columns; the fast engines keep aggregate counts only).
+    broker_shards: int = 1
     seed: int = 20060704  # ICDCS 2006 vintage
 
     def __post_init__(self) -> None:
@@ -142,6 +151,8 @@ class SimConfig:
             raise ValueError("rpc_max_attempts must be >= 1")
         if self.broker_restarts < 0:
             raise ValueError("broker_restarts must be >= 0")
+        if self.broker_shards < 1:
+            raise ValueError("broker_shards must be >= 1")
 
     @property
     def availability(self) -> float:

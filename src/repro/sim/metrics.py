@@ -66,6 +66,17 @@ class SimMetrics:
     #: the scaling benchmark's events/sec figures; identical across engines
     #: for equivalent runs.
     events: int = 0
+    #: Broker federation shards modeled (SimConfig.broker_shards); the
+    #: per-shard counters below stay empty at 1 so the single-broker
+    #: figures are untouched.
+    broker_shards: int = 1
+    #: Per-shard broker operation counters (index = shard); filled by the
+    #: reference engine via :meth:`count_broker` when ``broker_shards > 1``.
+    shard_ops: list = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.broker_shards > 1 and not self.shard_ops:
+            self.shard_ops = [Counter() for _ in range(self.broker_shards)]
 
     def count_recovery(self, records_replayed: int, replay_cost: float) -> None:
         """Record one broker restart: journal replay plus compaction snapshot."""
@@ -92,6 +103,12 @@ class SimMetrics:
             raise ValueError(f"unknown operation {op!r}")
         self.ops[op] += times
 
+    def count_broker(self, op: str, shard: int = 0, times: int = 1) -> None:
+        """Record a broker-side operation, attributed to federation ``shard``."""
+        self.count(op, times)
+        if self.shard_ops:
+            self.shard_ops[shard][op] += times
+
     def count_micro(self, micro: str, times: int = 1) -> None:
         """Record peer-side micro-operations priced outside the op table."""
         if micro not in MICRO_COST:
@@ -103,6 +120,22 @@ class SimMetrics:
     def broker_op_counts(self) -> dict[str, int]:
         """Counts of the operations the broker participates in."""
         return {op: self.ops[op] for op in BROKER_OPS}
+
+    def per_shard_op_counts(self) -> list[dict[str, int]]:
+        """Figure-2-shaped op counts, one dict per federation shard."""
+        return [{op: ops[op] for op in BROKER_OPS} for ops in self.shard_ops]
+
+    def per_shard_cpu_load(self) -> list[float]:
+        """Figure-6-shaped CPU load per federation shard (Table 3 units).
+
+        Recovery replay cost is not shard-attributed (restarts are modeled
+        against the aggregate), so these sum to :meth:`broker_cpu_load`
+        only in runs without modeled restarts.
+        """
+        return [
+            float(sum(OP_COSTS[op].broker_cpu * count for op, count in ops.items()))
+            for ops in self.shard_ops
+        ]
 
     # -- figure 4/5: average peer operation counts ------------------------------
 

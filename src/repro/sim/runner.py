@@ -105,6 +105,13 @@ def run_one(config: SimConfig, engine: str | None = None) -> dict[str, Any]:
     }
     for op, count in metrics.broker_op_counts().items():
         row[f"broker_{op}"] = count
+    # Federation (broker_shards > 1, reference engine): the fig2/fig6
+    # series again, but per shard — the load-flattening evidence.
+    for shard, ops in enumerate(metrics.per_shard_op_counts()):
+        for op, count in ops.items():
+            row[f"broker_shard{shard}_{op}"] = count
+    for shard, load in enumerate(metrics.per_shard_cpu_load()):
+        row[f"broker_shard{shard}_cpu"] = load
     for op, avg in metrics.peer_op_counts_avg().items():
         row[f"peer_avg_{op}"] = avg
     if wall is not None:

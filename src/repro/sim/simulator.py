@@ -103,6 +103,7 @@ class Simulation:
         self.metrics = SimMetrics(
             n_peers=config.n_peers,
             msg_overhead=expected_attempts(config.message_loss, config.rpc_max_attempts),
+            broker_shards=config.broker_shards,
         )
         self.now = 0.0
         balance = float("inf") if config.initial_balance is None else config.initial_balance
@@ -112,6 +113,7 @@ class Simulation:
         self._seq = 0
         self._lazy = config.sync_mode == "lazy"
         self._track = config.track_per_peer
+        self._shards = config.broker_shards
         self._detection = config.detection
         # Broker ops already covered by a snapshot; ops beyond this backlog
         # sit in the write-ahead journal and must be replayed on restart.
@@ -172,6 +174,20 @@ class Simulation:
     def _exp(self, mean: float) -> float:
         return self.rng.expovariate(1.0 / mean)
 
+    # -- federation shard attribution (PR 7) --------------------------------
+    #
+    # The event-level model does not hash real key material; a multiplicative
+    # (Knuth) mix of the integer id stands in for the consistent-hash ring,
+    # giving the same statistically uniform spread the real ShardMap does.
+
+    def _coin_shard(self, coin_id: int) -> int:
+        """The federation shard owning coin ``coin_id``."""
+        return ((coin_id * 2654435761) & 0xFFFFFFFF) % self._shards
+
+    def _peer_shard(self, index: int) -> int:
+        """The federation shard owning peer ``index``'s account."""
+        return (((index + 1013904223) * 2654435761) & 0xFFFFFFFF) % self._shards
+
     # -- setup ------------------------------------------------------------------
 
     def _initialize(self) -> None:
@@ -227,8 +243,17 @@ class Simulation:
         if self._lazy:
             for coin_id in peer.owned:
                 self.coins[coin_id].needs_check = True
+        elif self._shards == 1:
+            self.metrics.count_broker("sync")
+            for coin_id in peer.owned:
+                self.coins[coin_id].broker_dirty = False
         else:
-            self.metrics.count("sync")
+            # Federated: one sync per shard owning any of the peer's coins
+            # (matching Peer.sync_with_broker's fan-out; a coinless peer
+            # still pings its account's home shard).
+            targets = {self._coin_shard(coin_id) for coin_id in peer.owned}
+            for shard in sorted(targets) if targets else (self._peer_shard(index),):
+                self.metrics.count_broker("sync", shard)
             for coin_id in peer.owned:
                 self.coins[coin_id].broker_dirty = False
         # Catch up on renewals that fell due while offline.
@@ -281,7 +306,7 @@ class Simulation:
             if self._track:
                 self.metrics.count_served(coin.owner)
         else:
-            self.metrics.count("downtime_renewal")
+            self.metrics.count_broker("downtime_renewal", self._coin_shard(coin.id))
             coin.broker_dirty = True
         self._detection_update()
         self._schedule_renewal(coin)
@@ -380,7 +405,7 @@ class Simulation:
             if self._track:
                 self.metrics.count_served(coin.owner)
         else:
-            self.metrics.count("downtime_transfer")
+            self.metrics.count_broker("downtime_transfer", self._coin_shard(coin.id))
             coin.broker_dirty = True
         self._detection_update(reads=1)  # payee verifies the public binding
         # Owner- or broker-served operations collapse any layered chain into
@@ -443,7 +468,7 @@ class Simulation:
         self.coins.append(coin)
         peer.wallet.add(coin.id)
         peer.unissued.append(coin.id)
-        self.metrics.count("purchase")
+        self.metrics.count_broker("purchase", self._peer_shard(payer))
         self.metrics.coins_created += 1
         return True
 
@@ -463,6 +488,6 @@ class Simulation:
         coin.layers = 0
         self.peers[coin.owner].owned.discard(coin.id)
         peer.balance += self.config.coin_value
-        self.metrics.count("deposit")
+        self.metrics.count_broker("deposit", self._coin_shard(coin.id))
         self.metrics.coins_retired += 1
         return self._purchase_issue(payer, payee)

@@ -17,6 +17,15 @@ Mutation types:
 ``downtime_binding``   downtime transfer/renewal: record binding + pending sync
 ``top_up``             re-mint a coin at a higher value, debit the funder
 ``sync_consumed``      an owner's pending-sync set was delivered and cleared
+``handoff_begin``      cross-shard intent journaled before the prepare RPC
+``handoff_commit``     cross-shard source-side effects (pops the pending record)
+``handoff_abort``      destination rejected: drop the pending record
+``xshard_apply``       cross-shard destination-side effects (mint/credit/debit/unmint)
+
+Federation conservation: ``total_opened`` is per-shard, so every cross-shard
+mutation adjusts it by the value that crossed the shard boundary — each
+shard then conserves *locally* at every crash point, and the shard-wide sum
+equals the externally opened value once no handoffs are in flight.
 """
 
 from __future__ import annotations
@@ -94,6 +103,94 @@ def _apply_sync_consumed(broker: "Broker", mut: dict[str, Any]) -> None:
     broker.pending_sync.pop(mut["owner"], None)
 
 
+def _apply_handoff_begin(broker: "Broker", mut: dict[str, Any]) -> None:
+    broker.pending_handoffs[mut["h"]] = mut
+
+
+def _apply_handoff_abort(broker: "Broker", mut: dict[str, Any]) -> None:
+    broker.pending_handoffs.pop(mut["h"], None)
+
+
+def _apply_handoff_commit(broker: "Broker", mut: dict[str, Any]) -> None:
+    record = broker.pending_handoffs.pop(mut["h"], None)
+    if record is None:
+        # Re-applied commit (retry after the original became durable but the
+        # replay cache was refilled oddly); nothing left to do.
+        return
+    op = record["op"]
+    if op == "purchase":
+        # Account home: debit for the whole batch, mint the locally-homed
+        # coins; value handed to other shards leaves this shard's baseline.
+        broker.accounts[record["account"]].balance -= record["debit"]
+        for coin_bytes in record["local_coins"]:
+            coin = Coin(cert=decode_signed(coin_bytes, broker.params))
+            broker.valid_coins[coin.coin_y] = coin
+            owner = coin.owner_address
+            if owner is not None:
+                broker.owner_coins.setdefault(owner, set()).add(coin.coin_y)
+        broker.total_opened -= record["remote_value"]
+    elif op == "deposit":
+        # Coin home: retire the coin; the credited value moved to the payout
+        # account's shard.
+        coin_y = record["coin_y"]
+        broker.deposited[coin_y] = record["envelope"]
+        broker.downtime_bindings.pop(coin_y, None)
+        broker.total_opened -= record["credited"]
+    elif op == "top_up":
+        # Coin home: re-mint at the higher value; the delta was debited on
+        # the funding account's shard and enters this shard's baseline.
+        coin = Coin(cert=decode_signed(record["coin"], broker.params))
+        broker.valid_coins[coin.coin_y] = coin
+        broker.total_opened += record["delta"]
+    else:  # pragma: no cover - handoffs are only begun by the ops above
+        raise UnknownMutation(f"no commit applier for handoff op {op!r}")
+
+
+def _apply_xshard(broker: "Broker", mut: dict[str, Any]) -> None:
+    if mut["h"] in broker.handoffs_seen:
+        return
+    broker.handoffs_seen.add(mut["h"])
+    op = mut["op"]
+    if op == "mint":
+        for coin_bytes in mut["coins"]:
+            coin = Coin(cert=decode_signed(coin_bytes, broker.params))
+            if coin.coin_y in broker.valid_coins:
+                continue  # idempotent re-drive of the same certificate
+            broker.valid_coins[coin.coin_y] = coin
+            owner = coin.owner_address
+            if owner is not None:
+                broker.owner_coins.setdefault(owner, set()).add(coin.coin_y)
+            broker.total_opened += coin.value
+    elif op == "credit":
+        from repro.core.broker import Account
+
+        payout = broker.accounts.get(mut["payout_to"])
+        if payout is None:
+            broker.accounts[mut["payout_to"]] = Account(
+                identity=PublicKey(params=broker.params, y=mut["payout_identity_y"]),
+                balance=mut["credited"],
+            )
+        else:
+            payout.balance += mut["credited"]
+        broker.total_opened += mut["credited"]
+    elif op == "debit":
+        broker.accounts[mut["account"]].balance -= mut["amount"]
+        broker.total_opened -= mut["amount"]
+    elif op == "unmint":
+        for coin_bytes in mut["coins"]:
+            coin = Coin(cert=decode_signed(coin_bytes, broker.params))
+            existing = broker.valid_coins.get(coin.coin_y)
+            if existing is None or existing.encode() != coin_bytes:
+                continue  # never minted here (prepare was rejected/unsent)
+            del broker.valid_coins[coin.coin_y]
+            owner = coin.owner_address
+            if owner is not None:
+                broker.owner_coins.get(owner, set()).discard(coin.coin_y)
+            broker.total_opened -= coin.value
+    else:
+        raise UnknownMutation(f"no applier for cross-shard op {op!r}")
+
+
 _APPLIERS: dict[str, Callable[["Broker", dict[str, Any]], None]] = {
     "broker_init": _apply_broker_init,
     "open_account": _apply_open_account,
@@ -102,6 +199,10 @@ _APPLIERS: dict[str, Callable[["Broker", dict[str, Any]], None]] = {
     "downtime_binding": _apply_downtime_binding,
     "top_up": _apply_top_up,
     "sync_consumed": _apply_sync_consumed,
+    "handoff_begin": _apply_handoff_begin,
+    "handoff_commit": _apply_handoff_commit,
+    "handoff_abort": _apply_handoff_abort,
+    "xshard_apply": _apply_xshard,
 }
 
 
@@ -140,4 +241,24 @@ def verifiable_signatures(broker: "Broker", mut: dict[str, Any]) -> list[tuple[A
         triples.append(
             (envelope.coin_signer, envelope.inner.payload_bytes, envelope.inner.signature)
         )
+    elif kind == "handoff_begin":
+        # The begin record carries every signed artifact the later commit
+        # applies (the commit record itself is just an ``h`` pointer).
+        for coin_bytes in mut.get("local_coins", ()):
+            signed = decode_signed(coin_bytes, broker.params)
+            triples.append((signed.signer, signed.payload_bytes, signed.signature))
+        if isinstance(mut.get("coin"), bytes):
+            signed = decode_signed(mut["coin"], broker.params)
+            triples.append((signed.signer, signed.payload_bytes, signed.signature))
+        if isinstance(mut.get("envelope"), bytes):
+            from repro.core.protocol import decode_dual
+
+            envelope = decode_dual(mut["envelope"], broker.params)
+            triples.append(
+                (envelope.coin_signer, envelope.inner.payload_bytes, envelope.inner.signature)
+            )
+    elif kind == "xshard_apply" and mut.get("op") == "mint":
+        for coin_bytes in mut["coins"]:
+            signed = decode_signed(coin_bytes, broker.params)
+            triples.append((signed.signer, signed.payload_bytes, signed.signature))
     return triples

@@ -175,6 +175,7 @@ class RecoveryManager:
         renewal_period: float = DEFAULT_RENEWAL_PERIOD,
         retry_policy=None,
         encryption_key: bytes | None = None,
+        shard_map=None,
     ) -> RecoveryResult:
         """Build a fresh :class:`~repro.core.peer.Peer` from the store.
 
@@ -213,6 +214,7 @@ class RecoveryManager:
             sync_mode=sync_mode,
             renewal_period=renewal_period,
             retry_policy=retry_policy,
+            shard_map=shard_map,
         )
         if blob is not None:
             restore_peer_state(peer, blob)

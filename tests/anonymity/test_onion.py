@@ -6,6 +6,7 @@ from repro.anonymity.onion import OnionOverlay, anonymize_node
 from repro.crypto.params import PARAMS_TEST_512
 from repro.net.node import Node
 from repro.net.transport import NetworkError, Transport
+from repro.core.network import PeerConfig
 
 P = PARAMS_TEST_512
 
@@ -110,7 +111,7 @@ class TestWhoPayIntegration:
         from repro.core.network import WhoPayNetwork
 
         net = WhoPayNetwork(params=P)
-        alice = net.add_peer("alice", balance=10)
+        alice = net.add_peer("alice", PeerConfig(balance=10))
         bob = net.add_peer("bob")
         overlay = OnionOverlay(net.transport, P, size=3)
 
@@ -139,7 +140,7 @@ class TestWhoPayIntegration:
         from repro.core.network import WhoPayNetwork
 
         net = WhoPayNetwork(params=P)
-        alice = net.add_peer("alice", balance=10)
+        alice = net.add_peer("alice", PeerConfig(balance=10))
         bob = net.add_peer("bob")
         carol = net.add_peer("carol")
         overlay = OnionOverlay(net.transport, P, size=2)

@@ -24,7 +24,7 @@ from collections import Counter
 
 import pytest
 
-from repro.core.network import WhoPayNetwork
+from repro.core.network import PeerConfig, WhoPayNetwork
 from repro.crypto.params import PARAMS_TEST_512
 from repro.net.rpc import RetryPolicy
 from repro.net.transport import FaultPlan, NodeOffline
@@ -57,7 +57,7 @@ def run_storm(seed: int, store_root, n_payments: int = N_PAYMENTS, fire_at: int 
     net = WhoPayNetwork(
         params=PARAMS_TEST_512, retry_policy=CHAOS_POLICY, store_dir=store_root
     )
-    peers = [net.add_peer(f"p{i}", balance=BALANCE) for i in range(N_PEERS)]
+    peers = [net.add_peer(f"p{i}", PeerConfig(balance=BALANCE)) for i in range(N_PEERS)]
     for i, peer in enumerate(peers):
         coins = [peer.purchase() for _ in range(SEED_COINS)]
         for state in coins[:SEED_ISSUES]:
@@ -204,7 +204,7 @@ class TestUnsupervisedCrash:
         net = WhoPayNetwork(
             params=PARAMS_TEST_512, retry_policy=CHAOS_POLICY, store_dir=tmp_path
         )
-        peers = [net.add_peer(f"p{i}", balance=BALANCE) for i in range(N_PEERS)]
+        peers = [net.add_peer(f"p{i}", PeerConfig(balance=BALANCE)) for i in range(N_PEERS)]
         for peer in peers:
             peer.purchase()
         net.arm_crash_points(CrashPointPlan(fire_at=0, seed=SEED))

@@ -20,7 +20,7 @@ from collections import Counter
 import pytest
 
 from repro.core.errors import ServiceUnavailable
-from repro.core.network import WhoPayNetwork
+from repro.core.network import PeerConfig, WhoPayNetwork
 from repro.crypto.params import PARAMS_TEST_512
 from repro.net.rpc import RetryPolicy
 from repro.net.transport import FaultPlan
@@ -51,7 +51,7 @@ def run_workload(seed: int, n_payments: int):
     deposited back to named accounts.
     """
     net = WhoPayNetwork(params=PARAMS_TEST_512, retry_policy=CHAOS_POLICY)
-    peers = [net.add_peer(f"p{i}", balance=BALANCE) for i in range(N_PEERS)]
+    peers = [net.add_peer(f"p{i}", PeerConfig(balance=BALANCE)) for i in range(N_PEERS)]
     for i, peer in enumerate(peers):
         coins = [peer.purchase() for _ in range(SEED_COINS)]
         for state in coins[:SEED_ISSUES]:
@@ -153,7 +153,7 @@ class TestRetriedRequestDedupe:
 
     def _network(self):
         net = WhoPayNetwork(params=PARAMS_TEST_512, retry_policy=CHAOS_POLICY)
-        alice = net.add_peer("alice", balance=10)
+        alice = net.add_peer("alice", PeerConfig(balance=10))
         bob = net.add_peer("bob")
         return net, alice, bob
 

@@ -19,7 +19,7 @@ if _SRC not in sys.path:
 
 import pytest
 
-from repro.core.network import WhoPayNetwork
+from repro.core.network import PeerConfig, WhoPayNetwork
 from repro.crypto.keys import KeyPair
 from repro.crypto.params import PARAMS_TEST_512
 
@@ -51,7 +51,7 @@ def detection_network():
 @pytest.fixture()
 def funded_trio(network):
     """(net, alice, bob, carol) with alice funded."""
-    alice = network.add_peer("alice", balance=25)
-    bob = network.add_peer("bob", balance=10)
+    alice = network.add_peer("alice", PeerConfig(balance=25))
+    bob = network.add_peer("bob", PeerConfig(balance=10))
     carol = network.add_peer("carol")
     return network, alice, bob, carol

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import protocol
+from repro.core import PeerConfig, protocol
 from repro.core.errors import InsufficientFunds, ProtocolError, VerificationFailed
 from repro.crypto.keys import KeyPair
 from repro.messages.envelope import seal
@@ -10,7 +10,7 @@ from repro.messages.envelope import seal
 
 class TestBatchPurchase:
     def test_batch_mints_all_coins(self, network):
-        alice = network.add_peer("alice", balance=10)
+        alice = network.add_peer("alice", PeerConfig(balance=10))
         states = alice.purchase_batch(count=4, value=2)
         assert len(states) == 4
         assert network.broker.balance("alice") == 2
@@ -19,12 +19,12 @@ class TestBatchPurchase:
             assert state.coin.value == 2
 
     def test_batch_is_one_broker_operation(self, network):
-        alice = network.add_peer("alice", balance=10)
+        alice = network.add_peer("alice", PeerConfig(balance=10))
         alice.purchase_batch(count=5)
         assert network.broker.counts.purchases == 1
 
     def test_batch_amortizes_messages(self, network):
-        alice = network.add_peer("alice", balance=20)
+        alice = network.add_peer("alice", PeerConfig(balance=20))
         network.transport.reset_counters()
         alice.purchase_batch(count=10)
         batched = network.transport.total_messages
@@ -36,7 +36,7 @@ class TestBatchPurchase:
         assert individual == 20
 
     def test_batch_atomic_on_insufficient_funds(self, network):
-        alice = network.add_peer("alice", balance=3)
+        alice = network.add_peer("alice", PeerConfig(balance=3))
         with pytest.raises(InsufficientFunds):
             alice.purchase_batch(count=4, value=1)
         # Nothing minted, nothing debited.
@@ -45,7 +45,7 @@ class TestBatchPurchase:
         assert not alice.owned
 
     def test_batch_coins_are_spendable(self, network):
-        alice = network.add_peer("alice", balance=10)
+        alice = network.add_peer("alice", PeerConfig(balance=10))
         bob = network.add_peer("bob")
         states = alice.purchase_batch(count=2)
         alice.issue("bob", states[0].coin_y)
@@ -53,12 +53,12 @@ class TestBatchPurchase:
         assert len(bob.wallet) == 2
 
     def test_empty_batch_rejected(self, network):
-        alice = network.add_peer("alice", balance=10)
+        alice = network.add_peer("alice", PeerConfig(balance=10))
         with pytest.raises(ValueError):
             alice.purchase_batch(count=0)
 
     def test_duplicate_keys_rejected(self, network):
-        alice = network.add_peer("alice", balance=10)
+        alice = network.add_peer("alice", PeerConfig(balance=10))
         keypair = KeyPair.generate(network.params)
         request = protocol.BatchPurchaseRequest(
             coins=((keypair.public.y, 1), (keypair.public.y, 1)), account="alice"
@@ -68,8 +68,8 @@ class TestBatchPurchase:
             alice.request(network.broker.address, protocol.PURCHASE_BATCH, signed.encode())
 
     def test_wrong_identity_rejected(self, network):
-        alice = network.add_peer("alice", balance=10)
-        bob = network.add_peer("bob", balance=0)
+        alice = network.add_peer("alice", PeerConfig(balance=10))
+        bob = network.add_peer("bob", PeerConfig(balance=0))
         keypair = KeyPair.generate(network.params)
         request = protocol.BatchPurchaseRequest(coins=((keypair.public.y, 1),), account="alice")
         signed = seal(bob.identity, request.to_payload())

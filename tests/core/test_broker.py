@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import protocol
+from repro.core import PeerConfig, protocol
 from repro.core.errors import (
     DoubleSpendDetected,
     InsufficientFunds,
@@ -15,7 +15,7 @@ from repro.messages.envelope import seal
 
 class TestAccounts:
     def test_open_and_balance(self, network):
-        peer = network.add_peer("alice", balance=7)
+        peer = network.add_peer("alice", PeerConfig(balance=7))
         assert network.broker.balance("alice") == 7
         assert network.broker.balance("nobody") == 0
 
@@ -27,19 +27,19 @@ class TestAccounts:
 
 class TestPurchase:
     def test_purchase_debits_account(self, network):
-        alice = network.add_peer("alice", balance=5)
+        alice = network.add_peer("alice", PeerConfig(balance=5))
         alice.purchase(value=2)
         assert network.broker.balance("alice") == 3
         assert network.broker.counts.purchases == 1
 
     def test_insufficient_funds(self, network):
-        alice = network.add_peer("alice", balance=1)
+        alice = network.add_peer("alice", PeerConfig(balance=1))
         with pytest.raises(InsufficientFunds):
             alice.purchase(value=2)
 
     def test_purchase_requires_account_identity(self, network):
-        alice = network.add_peer("alice", balance=5)
-        bob = network.add_peer("bob", balance=0)
+        alice = network.add_peer("alice", PeerConfig(balance=5))
+        bob = network.add_peer("bob", PeerConfig(balance=0))
         # Bob signs a purchase against alice's account: rejected.
         coin_keypair = KeyPair.generate(network.params)
         request = protocol.PurchaseRequest(
@@ -50,13 +50,13 @@ class TestPurchase:
             bob.request(network.broker.address, protocol.PURCHASE, signed.encode())
 
     def test_coin_added_to_valid_list(self, network):
-        alice = network.add_peer("alice", balance=5)
+        alice = network.add_peer("alice", PeerConfig(balance=5))
         state = alice.purchase()
         assert state.coin_y in network.broker.valid_coins
         assert state.coin_y in network.broker.owner_coins["alice"]
 
     def test_duplicate_coin_key_rejected(self, network):
-        alice = network.add_peer("alice", balance=5)
+        alice = network.add_peer("alice", PeerConfig(balance=5))
         state = alice.purchase()
         request = protocol.PurchaseRequest(coin_y=state.coin_y, value=1, account="alice")
         signed = seal(alice.identity, request.to_payload())
@@ -64,7 +64,7 @@ class TestPurchase:
             alice.request(network.broker.address, protocol.PURCHASE, signed.encode())
 
     def test_invalid_coin_key_rejected(self, network):
-        alice = network.add_peer("alice", balance=5)
+        alice = network.add_peer("alice", PeerConfig(balance=5))
         request = protocol.PurchaseRequest(coin_y=network.params.p - 1, value=1, account="alice")
         signed = seal(alice.identity, request.to_payload())
         with pytest.raises(ProtocolError):

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.coinshop import CoinShop, buy_coin_from_shop
-from repro.core.network import WhoPayNetwork
+from repro.core.network import PeerConfig, WhoPayNetwork
 from repro.crypto.params import PARAMS_TEST_512
 
 
@@ -24,7 +24,7 @@ def rig():
     )
     net.broker.open_account("shop", shop.identity.public, 1000)
     net.peers["shop"] = shop
-    customer = net.add_peer("customer", balance=5)
+    customer = net.add_peer("customer", PeerConfig(balance=5))
     merchant = net.add_peer("merchant")
     return net, shop, customer, merchant
 

@@ -4,12 +4,13 @@ import pytest
 
 from repro.core.coin import CoinBinding
 from repro.dht.binding_store import WriteRejected
+from repro.core.network import PeerConfig
 
 
 @pytest.fixture()
 def rig(detection_network):
     net = detection_network
-    alice = net.add_peer("alice", balance=20)
+    alice = net.add_peer("alice", PeerConfig(balance=20))
     bob = net.add_peer("bob")
     carol = net.add_peer("carol")
     dave = net.add_peer("dave")

@@ -10,6 +10,7 @@ from repro.core.errors import (
     UnknownCoin,
     VerificationFailed,
 )
+from repro.core.network import PeerConfig
 
 
 class TestIssue:
@@ -170,7 +171,7 @@ class TestPayPolicies:
         assert state.coin_y in carol.wallet
 
     def test_pay_exhausted_raises(self, network):
-        alice = network.add_peer("alice", balance=0)
+        alice = network.add_peer("alice", PeerConfig(balance=0))
         network.add_peer("bob")
         with pytest.raises(ProtocolError):
             alice.pay("bob", ("transfer", "issue"))
@@ -188,7 +189,7 @@ class TestLazySync:
         from repro.crypto.params import PARAMS_TEST_512
 
         net = WhoPayNetwork(params=PARAMS_TEST_512, sync_mode="lazy")
-        alice = net.add_peer("alice", balance=10)
+        alice = net.add_peer("alice", PeerConfig(balance=10))
         bob = net.add_peer("bob")
         carol = net.add_peer("carol")
         return net, alice, bob, carol

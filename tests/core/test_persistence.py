@@ -5,6 +5,7 @@ import pytest
 from repro.core.errors import VerificationFailed
 from repro.core.peer import Peer
 from repro.core.persistence import export_peer_state, restore_peer_state
+from repro.core.network import PeerConfig
 
 
 def restart_peer(net, old_peer):
@@ -134,7 +135,7 @@ class TestDetectionIntegration:
         from repro.core.coin import CoinBinding
 
         net = detection_network
-        alice = net.add_peer("alice", balance=10)
+        alice = net.add_peer("alice", PeerConfig(balance=10))
         bob = net.add_peer("bob")
         state = alice.purchase()
         alice.issue("bob", state.coin_y)

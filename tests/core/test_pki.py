@@ -6,6 +6,7 @@ from repro.core.errors import VerificationFailed
 from repro.crypto.keys import KeyPair
 from repro.crypto.params import PARAMS_TEST_512
 from repro.pki import CertificateAuthority, CertificateError, IdentityCertificate
+from repro.core.network import PeerConfig
 
 P = PARAMS_TEST_512
 
@@ -79,14 +80,14 @@ class TestRevocation:
 
 class TestBrokerIntegration:
     def test_network_issues_certificates(self, network):
-        alice = network.add_peer("alice", balance=3)
+        alice = network.add_peer("alice", PeerConfig(balance=3))
         assert alice.certificate.verify(network.ca.public_key, now=network.clock.now())
         assert alice.certificate.subject == "alice"
         # The account identity came from the certificate.
         assert network.broker.accounts["alice"].identity.y == alice.identity.public.y
 
     def test_certified_purchase_works(self, network):
-        alice = network.add_peer("alice", balance=3)
+        alice = network.add_peer("alice", PeerConfig(balance=3))
         state = alice.purchase()
         assert state.coin_y in network.broker.valid_coins
 

@@ -4,6 +4,7 @@ import pytest
 
 from repro.dht.chord import ChordRing, key_to_id
 from repro.net.transport import Transport
+from repro.core.network import PeerConfig
 
 
 @pytest.fixture()
@@ -72,7 +73,7 @@ class TestReplication:
 class TestDetectionSurvivesCrash:
     def test_binding_survives_dht_crash(self, detection_network):
         net = detection_network
-        alice = net.add_peer("alice", balance=5)
+        alice = net.add_peer("alice", PeerConfig(balance=5))
         bob = net.add_peer("bob")
         carol = net.add_peer("carol")
         state = alice.purchase()

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.coin import CoinBinding
-from repro.core.network import WhoPayNetwork
+from repro.core.network import PeerConfig, WhoPayNetwork
 from repro.crypto.params import PARAMS_TEST_512
 
 
@@ -19,7 +19,7 @@ def net(request):
 
 class TestBackendParity:
     def test_full_lifecycle_with_detection(self, net):
-        alice = net.add_peer("alice", balance=10)
+        alice = net.add_peer("alice", PeerConfig(balance=10))
         bob = net.add_peer("bob")
         carol = net.add_peer("carol")
         state = alice.purchase(value=2)
@@ -33,7 +33,7 @@ class TestBackendParity:
         assert net.detection.publishes >= 3
 
     def test_real_time_alarm_on_both(self, net):
-        alice = net.add_peer("alice", balance=10)
+        alice = net.add_peer("alice", PeerConfig(balance=10))
         bob = net.add_peer("bob")
         dave = net.add_peer("dave")
         state = alice.purchase()
@@ -51,7 +51,7 @@ class TestBackendParity:
     def test_rollback_rejected_on_both(self, net):
         from repro.dht.binding_store import WriteRejected
 
-        alice = net.add_peer("alice", balance=10)
+        alice = net.add_peer("alice", PeerConfig(balance=10))
         bob = net.add_peer("bob")
         state = alice.purchase()
         alice.issue("bob", state.coin_y)

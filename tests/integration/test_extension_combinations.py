@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.anonymous_owner import AnonymousOwnerPeer
 from repro.core.coinshop import CoinShop, buy_coin_from_shop
-from repro.core.network import WhoPayNetwork
+from repro.core.network import PeerConfig, WhoPayNetwork
 from repro.crypto.params import PARAMS_TEST_512
 from repro.indirection.i3 import I3Overlay
 
@@ -114,7 +114,7 @@ class TestOnionOverDetection:
         from repro.anonymity.onion import OnionOverlay, anonymize_node
 
         net = WhoPayNetwork(params=P, enable_detection=True, dht_size=4)
-        alice = net.add_peer("alice", balance=10)
+        alice = net.add_peer("alice", PeerConfig(balance=10))
         bob = net.add_peer("bob")
         carol = net.add_peer("carol")
         overlay = OnionOverlay(net.transport, P, size=2)

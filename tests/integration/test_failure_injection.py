@@ -4,6 +4,7 @@ import pytest
 
 from repro.core.errors import ProtocolError
 from repro.net.transport import NodeOffline
+from repro.core.network import PeerConfig
 
 
 class TestBrokerOutage:
@@ -59,7 +60,7 @@ class TestPayeeFailure:
         # Regression: a failed issue leaves its binding on the public list;
         # the retry must pick a *higher* sequence or the DHT rejects it.
         net = detection_network
-        alice = net.add_peer("alice", balance=10)
+        alice = net.add_peer("alice", PeerConfig(balance=10))
         bob = net.add_peer("bob")
         carol = net.add_peer("carol")
         state = alice.purchase()
@@ -90,7 +91,7 @@ class TestPayeeFailure:
 class TestDhtChurnDuringDetection:
     def test_detection_survives_dht_node_departure(self, detection_network):
         net = detection_network
-        alice = net.add_peer("alice", balance=10)
+        alice = net.add_peer("alice", PeerConfig(balance=10))
         bob = net.add_peer("bob")
         carol = net.add_peer("carol")
         state = alice.purchase()

@@ -3,12 +3,13 @@
 import pytest
 
 from repro.core.errors import DoubleSpendDetected
+from repro.core.network import PeerConfig
 
 
 class TestCoinLifecycle:
     def test_purchase_issue_transfers_renewals_deposit(self, network):
         net = network
-        peers = [net.add_peer(f"p{i}", balance=10) for i in range(6)]
+        peers = [net.add_peer(f"p{i}", PeerConfig(balance=10)) for i in range(6)]
         state = peers[0].purchase(value=3)
         peers[0].issue("p1", state.coin_y)
         # The coin circulates through every peer via owner-served transfers.
@@ -26,7 +27,7 @@ class TestCoinLifecycle:
 
     def test_many_coins_many_peers(self, network):
         net = network
-        peers = [net.add_peer(f"p{i}", balance=20) for i in range(4)]
+        peers = [net.add_peer(f"p{i}", PeerConfig(balance=20)) for i in range(4)]
         coins = [peers[i % 2].purchase() for i in range(8)]
         for i, state in enumerate(coins):
             owner = peers[i % 2]
@@ -43,8 +44,8 @@ class TestCoinLifecycle:
     def test_value_conservation(self, network):
         # Money in = money out: accounts + circulating coin value is constant.
         net = network
-        alice = net.add_peer("alice", balance=10)
-        bob = net.add_peer("bob", balance=0)
+        alice = net.add_peer("alice", PeerConfig(balance=10))
+        bob = net.add_peer("bob", PeerConfig(balance=0))
 
         def total_wealth():
             accounts = sum(a.balance for a in net.broker.accounts.values())
@@ -68,7 +69,7 @@ class TestCoinLifecycle:
 class TestChurnScenarios:
     def test_owner_offline_full_cycle(self, network):
         net = network
-        alice = net.add_peer("alice", balance=10)
+        alice = net.add_peer("alice", PeerConfig(balance=10))
         bob = net.add_peer("bob")
         carol = net.add_peer("carol")
         state = alice.purchase()
@@ -84,7 +85,7 @@ class TestChurnScenarios:
 
     def test_holder_offline_renewal_after_rejoin(self, network):
         net = network
-        alice = net.add_peer("alice", balance=10)
+        alice = net.add_peer("alice", PeerConfig(balance=10))
         bob = net.add_peer("bob")
         state = alice.purchase()
         alice.issue("bob", state.coin_y)
@@ -96,7 +97,7 @@ class TestChurnScenarios:
 
     def test_interleaved_online_offline_payments(self, network):
         net = network
-        peers = [net.add_peer(f"p{i}", balance=10) for i in range(5)]
+        peers = [net.add_peer(f"p{i}", PeerConfig(balance=10)) for i in range(5)]
         state = peers[0].purchase()
         peers[0].issue("p1", state.coin_y)
         for i in range(1, 4):
@@ -116,7 +117,7 @@ class TestChurnScenarios:
         from repro.core.audit import adjudicate_double_deposit
 
         net = network
-        alice = net.add_peer("alice", balance=10)
+        alice = net.add_peer("alice", PeerConfig(balance=10))
         mallory = net.add_peer("mallory")
         victim = net.add_peer("victim")
         state = alice.purchase(value=5)
@@ -140,7 +141,7 @@ class TestChurnScenarios:
 class TestDetectionIntegration:
     def test_full_cycle_with_dht(self, detection_network):
         net = detection_network
-        peers = [net.add_peer(f"p{i}", balance=10) for i in range(4)]
+        peers = [net.add_peer(f"p{i}", PeerConfig(balance=10)) for i in range(4)]
         state = peers[0].purchase()
         peers[0].issue("p1", state.coin_y)
         peers[1].transfer("p2", state.coin_y)

@@ -12,6 +12,7 @@ import pytest
 
 from repro.core.errors import ProtocolError
 from repro.net.transport import NetworkError, NodeOffline
+from repro.core.network import PeerConfig
 
 N_PEERS = 20
 ROUNDS = 12
@@ -26,7 +27,7 @@ def swarm():
 
     rng = random.Random(1386)  # the tech-report number
     net = WhoPayNetwork(params=PARAMS_TEST_512)
-    peers = [net.add_peer(f"peer-{i:02d}", balance=8) for i in range(N_PEERS)]
+    peers = [net.add_peer(f"peer-{i:02d}", PeerConfig(balance=8)) for i in range(N_PEERS)]
     total_wealth = 8 * N_PEERS
     payments_made = 0
     payments_failed = 0

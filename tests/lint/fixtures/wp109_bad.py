@@ -1,0 +1,12 @@
+"""WP109 bad fixture: ad hoc broker construction outside the factories."""
+
+from repro.core import broker
+from repro.core.broker import Broker
+
+
+def rogue_mint(transport, judge, params, clock):
+    return Broker(transport, judge=judge, params=params, clock=clock)
+
+
+def rogue_mint_qualified(transport, judge, params, clock):
+    return broker.Broker(transport, judge=judge, params=params, clock=clock)

@@ -1,0 +1,21 @@
+"""WP109 good fixture: brokers come from the factory or recovery."""
+
+from repro.core.network import BrokerTopology, WhoPayNetwork
+from repro.store.recovery import RecoveryManager
+
+
+def proper_network(params):
+    net = WhoPayNetwork(params=params, topology=BrokerTopology(shards=4))
+    return net.broker
+
+
+def proper_recovery(store, transport, judge, params, clock):
+    result = RecoveryManager(store).recover_broker(
+        transport, judge=judge, params=params, clock=clock
+    )
+    return result.entity
+
+
+def reads_are_fine(net):
+    # Mentioning a broker object (not constructing one) never fires.
+    return net.broker.circulating_value()

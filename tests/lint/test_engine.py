@@ -99,10 +99,11 @@ class TestDiagnostics:
 
 
 class TestRegistry:
-    def test_all_eight_domain_rules_registered(self):
+    def test_all_nine_domain_rules_registered(self):
         codes = [rule.code for rule in get_rules()]
         assert codes == [
             "WP101", "WP102", "WP103", "WP104", "WP105", "WP106", "WP107", "WP108",
+            "WP109",
         ]
 
     def test_every_rule_has_rationale_and_scope(self):

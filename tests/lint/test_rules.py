@@ -193,6 +193,7 @@ class TestWP107SimSeeding:
         ("wp104_bad.py", "wp104_good.py"),
         ("wp106_bad.py", "wp106_good.py"),
         ("wp107_bad.py", "wp107_good.py"),
+        ("wp109_bad.py", "wp109_good.py"),
     ],
 )
 def test_every_bad_fixture_fails_and_good_passes(bad, good):
@@ -221,3 +222,33 @@ class TestWP108FsyncDiscipline:
         outside = lint_sources([("broker.py", source, "repro.core.broker")])
         assert [d for d in inside.findings if d.code == "WP108"] == []
         assert len([d for d in outside.findings if d.code == "WP108"]) == 1
+
+
+class TestWP109BrokerConstructionDiscipline:
+    def test_bad_fires_on_bare_and_qualified_construction(self):
+        found = findings_for("WP109", "wp109_bad.py")
+        assert [diag.line for diag in found] == [8, 12]
+        assert all("factories" in diag.message for diag in found)
+
+    def test_good_is_silent(self):
+        assert findings_for("WP109", "wp109_good.py") == []
+
+    def test_factory_and_recovery_modules_are_exempt(self):
+        from repro.lint import lint_sources
+
+        source = "def build(Broker, transport):\n    return Broker(transport)\n"
+        factory = lint_sources([("network.py", source, "repro.core.network")])
+        recovery = lint_sources([("recovery.py", source, "repro.store.recovery")])
+        tests_mod = lint_sources([("test_broker.py", source, "tests.core.test_broker")])
+        elsewhere = lint_sources([("peer.py", source, "repro.core.peer")])
+        assert [d for d in factory.findings if d.code == "WP109"] == []
+        assert [d for d in recovery.findings if d.code == "WP109"] == []
+        assert [d for d in tests_mod.findings if d.code == "WP109"] == []
+        assert len([d for d in elsewhere.findings if d.code == "WP109"]) == 1
+
+    def test_subclass_names_do_not_fire(self):
+        from repro.lint import lint_sources
+
+        source = "def build(PPayBroker, t):\n    return PPayBroker(t)\n"
+        result = lint_sources([("x.py", source, "repro.baselines.scratch")])
+        assert [d for d in result.findings if d.code == "WP109"] == []

@@ -78,6 +78,17 @@ class TestHappyPath:
         assert all(r.ok and r.released for r in records)
         assert generator.absorb(records) == 3
 
+    def test_reply_signing_uses_the_nonce_pool(self, generator):
+        engine = _engine(generator)
+        records, stats = engine.run(_wire(generator.make_round(3)))
+        # All-transfer mix: every accepted reply is a broker-signed binding,
+        # so the drain pre-filled exactly one nonce triple per reply.
+        assert stats.accepted == 3
+        assert stats.nonces_pooled == 3
+        assert engine.nonce_pool.served == 3
+        assert generator.broker.nonce_pool is engine.nonce_pool
+        assert generator.absorb(records) == 3
+
     def test_stats_merge_accumulates(self, generator):
         engine = _engine(generator)
         total = None

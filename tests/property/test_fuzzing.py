@@ -9,7 +9,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import protocol
+from repro.core import PeerConfig, protocol
 from repro.core.errors import ProtocolError
 from repro.crypto.params import PARAMS_TEST_512
 from repro.messages.codec import CodecError, decode, encode
@@ -64,7 +64,7 @@ class TestBrokerEndpointFuzz:
         from repro.core.network import WhoPayNetwork
 
         net = WhoPayNetwork(params=P)
-        net.add_peer("alice", balance=5)
+        net.add_peer("alice", PeerConfig(balance=5))
         with pytest.raises(Exception) as exc_info:
             net.transport.request("alice", "broker", protocol.PURCHASE, data)
         # Typed protocol failure, not an arbitrary internal crash.
@@ -79,7 +79,7 @@ class TestBrokerEndpointFuzz:
         from repro.core.network import WhoPayNetwork
 
         net = WhoPayNetwork(params=P)
-        net.add_peer("alice", balance=5)
+        net.add_peer("alice", PeerConfig(balance=5))
         before = net.broker.balance("alice")
         with pytest.raises(Exception) as exc_info:
             net.transport.request("alice", "broker", protocol.DEPOSIT, data)

@@ -17,7 +17,7 @@ from hypothesis import strategies as st
 from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, precondition, rule
 
 from repro.core.errors import ProtocolError
-from repro.core.network import WhoPayNetwork
+from repro.core.network import PeerConfig, WhoPayNetwork
 from repro.crypto.params import PARAMS_TEST_512
 from repro.net.transport import NetworkError, NodeOffline
 
@@ -32,7 +32,7 @@ class WhoPayMachine(RuleBasedStateMachine):
     def setup(self):
         self.net = WhoPayNetwork(params=PARAMS_TEST_512)
         self.peers = [
-            self.net.add_peer(f"p{i}", balance=INITIAL_BALANCE) for i in range(N_PEERS)
+            self.net.add_peer(f"p{i}", PeerConfig(balance=INITIAL_BALANCE)) for i in range(N_PEERS)
         ]
         self.total_wealth = N_PEERS * INITIAL_BALANCE
 

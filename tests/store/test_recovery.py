@@ -14,7 +14,7 @@ import struct
 
 import pytest
 
-from repro.core.network import WhoPayNetwork
+from repro.core.network import PeerConfig, WhoPayNetwork
 from repro.crypto.params import PARAMS_TEST_512
 from repro.messages.codec import decode, encode
 from repro.net.rpc import RetryPolicy
@@ -62,7 +62,7 @@ def rewrite_journal(path, mutate) -> None:
 class TestBrokerRecovery:
     def test_restart_reproduces_the_ledger_from_the_journal(self, tmp_path):
         net = make_net(tmp_path)
-        alice = net.add_peer("alice", balance=10)
+        alice = net.add_peer("alice", PeerConfig(balance=10))
         bob = net.add_peer("bob")
         state = alice.purchase()
         alice.purchase()
@@ -79,7 +79,7 @@ class TestBrokerRecovery:
 
     def test_snapshot_bounds_the_replay(self, tmp_path):
         net = make_net(tmp_path)
-        alice = net.add_peer("alice", balance=10)
+        alice = net.add_peer("alice", PeerConfig(balance=10))
         bob = net.add_peer("bob")
         for _ in range(3):
             alice.purchase()
@@ -95,7 +95,7 @@ class TestBrokerRecovery:
 
     def test_recovered_broker_serves_new_traffic(self, tmp_path):
         net = make_net(tmp_path)
-        alice = net.add_peer("alice", balance=10)
+        alice = net.add_peer("alice", PeerConfig(balance=10))
         bob = net.add_peer("bob")
         net.restart_broker()
         state = alice.purchase()
@@ -113,7 +113,7 @@ class TestBrokerRecovery:
 
     def test_wrong_address_is_refused(self, tmp_path):
         net = make_net(tmp_path)
-        net.add_peer("alice", balance=5)
+        net.add_peer("alice", PeerConfig(balance=5))
         with pytest.raises(RecoveryError, match="belongs to"):
             RecoveryManager(net.broker.store).recover_broker(
                 Transport(),
@@ -127,7 +127,7 @@ class TestBrokerRecovery:
         # Inflate a deposit's credited value on disk: the frame checksum is
         # rewritten to match, so only the audit can catch it — and must.
         net = make_net(tmp_path)
-        alice = net.add_peer("alice", balance=10)
+        alice = net.add_peer("alice", PeerConfig(balance=10))
         bob = net.add_peer("bob")
         state = alice.purchase()
         alice.issue("bob", state.coin_y)
@@ -153,7 +153,7 @@ class TestEncryptedSnapshots:
         from repro.core.persistence import save_broker_snapshot
 
         net = make_net(tmp_path)
-        alice = net.add_peer("alice", balance=10)
+        alice = net.add_peer("alice", PeerConfig(balance=10))
         alice.purchase()
         save_broker_snapshot(net.broker, net.broker.store, encryption_key=self.KEY)
         return net
@@ -190,7 +190,7 @@ class TestReplayCacheAcrossRestart:
         # durable.  The retry (same idempotency key) must get the original
         # reply back, not DoubleSpendDetected.
         net = make_net(tmp_path)
-        alice = net.add_peer("alice", balance=10)
+        alice = net.add_peer("alice", PeerConfig(balance=10))
         bob = net.add_peer("bob")
         state = alice.purchase()
         alice.issue("bob", state.coin_y)
@@ -213,7 +213,7 @@ class TestReplayCacheAcrossRestart:
         # Dying before the record is durable loses the deposit entirely;
         # after a manual restart the operation can simply be re-run.
         net = make_net(tmp_path)
-        alice = net.add_peer("alice", balance=10)
+        alice = net.add_peer("alice", PeerConfig(balance=10))
         bob = net.add_peer("bob")
         state = alice.purchase()
         alice.issue("bob", state.coin_y)
@@ -235,8 +235,8 @@ class TestReplayCacheAcrossRestart:
 class TestPeerRecovery:
     def test_holder_wallet_survives_a_restart(self, tmp_path):
         net = make_net(tmp_path)
-        alice = net.add_peer("alice", balance=10)
-        bob = net.add_peer("bob", durable=True)
+        alice = net.add_peer("alice", PeerConfig(balance=10))
+        bob = net.add_peer("bob", PeerConfig(durable=True))
         state = alice.purchase()
         alice.issue("bob", state.coin_y)
         assert state.coin_y in net.peers["bob"].wallet
@@ -249,7 +249,7 @@ class TestPeerRecovery:
 
     def test_owner_state_survives_and_serves_transfers(self, tmp_path):
         net = make_net(tmp_path)
-        alice = net.add_peer("alice", balance=10, durable=True)
+        alice = net.add_peer("alice", PeerConfig(balance=10, durable=True))
         bob = net.add_peer("bob")
         carol = net.add_peer("carol")
         state = alice.purchase()
@@ -266,7 +266,7 @@ class TestPeerRecovery:
         from repro.core.persistence import save_peer_snapshot
 
         net = make_net(tmp_path)
-        alice = net.add_peer("alice", balance=10, durable=True)
+        alice = net.add_peer("alice", PeerConfig(balance=10, durable=True))
         alice.purchase()
         save_peer_snapshot(net.peers["alice"], net.peers["alice"].store)
         result = net.restart_peer("alice")
@@ -276,6 +276,6 @@ class TestPeerRecovery:
 
     def test_non_durable_peer_cannot_restart(self, tmp_path):
         net = make_net(tmp_path)
-        net.add_peer("alice", balance=5)
+        net.add_peer("alice", PeerConfig(balance=5))
         with pytest.raises(ValueError, match="not durable"):
             net.restart_peer("alice")
