@@ -73,6 +73,7 @@ class AnonymousOwnerPeer(Peer):
         self.i3.insert_trigger(handle, token, self.address, src=self.address)
         state = OwnedCoinState(coin=coin, coin_keypair=coin_keypair)
         self.owned[coin.coin_y] = state
+        self._wal_owned(state)
         self._handle_tokens[coin.coin_y] = token
         self.counts.purchases += 1
         return state
@@ -127,6 +128,7 @@ class AnonymousOwnerPeer(Peer):
         if self.detection is not None:
             self.detection.unsubscribe(self, held.coin_y)
         del self.wallet[held.coin_y]
+        self._wal_del(held.coin_y)
         self._expected_rebinds.discard(held.coin_y)
         self.counts.transfers_sent += 1
         return binding
@@ -159,6 +161,7 @@ class AnonymousOwnerPeer(Peer):
         if not binding.verify(held.coin.coin_public_key(self.params), self.broker_key):
             raise VerificationFailed("renewal returned an invalid binding")
         held.binding = binding
+        self._wal_held(held)
         return binding
 
     def _pick_held_any(self, coin_y: int | None):

@@ -45,11 +45,12 @@ from repro.core.sharding import ShardMap
 from repro.crypto.dsa import DsaSignature, dsa_batch_verify
 from repro.crypto.keys import KeyPair, PublicKey
 from repro.crypto.params import DlogParams
-from repro.messages.envelope import DualSignedMessage
+from repro.messages.envelope import DualSignedMessage, seal
 from repro.net.node import Node
 from repro.net.rpc import RetryPolicy, RpcClient, unwrap_idempotent, wrap_idempotent
 from repro.net.transport import Transport
 from repro.store import apply as store_apply
+from repro.store import records as store_records
 from repro.store.groupcommit import GroupCommitter
 from repro.store.journal import DurableStore
 
@@ -219,11 +220,7 @@ class Broker(Node):
         self.store = store
         if was_fresh:
             self._commit_local(
-                {
-                    "type": "broker_init",
-                    "address": self.address,
-                    "signing_x": self.keypair.x,
-                }
+                store_records.broker_init_record(self.address, self.keypair)
             )
 
     def _stage(self, mut: dict[str, Any]) -> None:
@@ -410,7 +407,7 @@ class Broker(Node):
                 self._shard_rpc.call(
                     prep["dest"],
                     protocol.XSHARD_PREPARE,
-                    wrap_idempotent(payload, prep["h"]),
+                    wrap_idempotent(seal(self.keypair, payload).encode(), prep["h"]),
                 )
                 sent += 1
         except ProtocolError:
@@ -437,7 +434,7 @@ class Broker(Node):
             self._shard_rpc.call(
                 prep["dest"],
                 protocol.XSHARD_PREPARE,
-                wrap_idempotent(cancel, cancel["h"]),
+                wrap_idempotent(seal(self.keypair, cancel).encode(), cancel["h"]),
             )
 
     def _finish_handoff(self, h: str, staged: bool) -> None:
@@ -497,8 +494,20 @@ class Broker(Node):
         ``xshard_apply`` mutation.  The durable ``handoffs_seen`` set makes
         re-driven prepares no-ops even if the replay cache evicted the
         original reply.
+
+        Prepares arrive sealed under the federation signing key: only a
+        sibling shard can originate one, so a forged prepare cannot mint,
+        credit, or unmint value (lint rule WP113).
         """
         self.counts.handoffs += 1
+        if not isinstance(payload, (bytes, bytearray)):
+            raise ProtocolError("cross-shard prepare must be a sealed envelope")
+        sealed = protocol.decode_signed(bytes(payload), self.params)
+        if sealed.signer.y != self.public_key.y or not sealed.verify():
+            raise VerificationFailed(
+                "cross-shard prepare not signed by the federation key"
+            )
+        payload = sealed.payload
         if (
             not isinstance(payload, dict)
             or not isinstance(payload.get("h"), str)

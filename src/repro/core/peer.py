@@ -45,6 +45,7 @@ from repro.crypto.group_signature import GroupMemberKey
 from repro.crypto.keys import KeyPair, PublicKey
 from repro.crypto.params import DlogParams
 from repro.crypto.schnorr import SchnorrProof, schnorr_prove, schnorr_verify
+from repro.anonymity.pseudonym import funding_voucher
 from repro.messages.envelope import DualSignedMessage, group_seal, seal
 from repro.net.node import Node
 from repro.net.rpc import RetryPolicy
@@ -173,13 +174,9 @@ class Peer(Node):
         self.store = store
         if was_fresh:
             self._wal(
-                {
-                    "type": "peer_init",
-                    "address": self.address,
-                    "identity_x": self.identity.x,
-                    "member_x": self.member_key.x,
-                    "member_h": self.member_key.h,
-                }
+                wallet_records.peer_init_record(
+                    self.address, self.identity, self.member_key
+                )
             )
 
     def _wal(self, *muts: dict[str, Any]) -> None:
@@ -353,23 +350,35 @@ class Peer(Node):
         what the paper calls a lazy synchronization.
         """
         self.counts.checks += 1
-        latest: CoinBinding | None = None
-        if self.detection is not None:
-            latest = self.detection.fetch_binding(self.address, state.coin_y)
-        else:
-            raw = self.broker_client.binding_query(state.coin_y)
-            if raw is not None:
-                latest = CoinBinding(
-                    signed=protocol.decode_signed(raw, self.params), via_broker=True
-                )
-        if latest is not None:
-            if not latest.verify(state.coin_keypair.public, self.broker_key):
-                raise VerificationFailed("public binding fails verification")
-            if state.binding is None or latest.seq > state.binding.seq:
-                state.binding = latest
-                self.counts.lazy_syncs += 1
+        latest = self._fetch_verified_binding(state)
+        if latest is not None and (state.binding is None or latest.seq > state.binding.seq):
+            state.binding = latest
+            self.counts.lazy_syncs += 1
         state.dirty = False
         self._wal_owned(state)
+
+    def _fetch_verified_binding(self, state: OwnedCoinState) -> CoinBinding | None:
+        """Fetch the authoritative binding, verified at the trust boundary.
+
+        Every decode is checked before the binding escapes this helper, so
+        callers only ever see ``None`` or a broker-signed binding.
+        """
+        if self.detection is not None:
+            latest = self.detection.fetch_binding(self.address, state.coin_y)
+            if latest is not None and not latest.verify(
+                state.coin_keypair.public, self.broker_key
+            ):
+                raise VerificationFailed("public binding fails verification")
+            return latest
+        raw = self.broker_client.binding_query(state.coin_y)
+        if raw is None:
+            return None
+        latest = CoinBinding(
+            signed=protocol.decode_signed(raw, self.params), via_broker=True
+        )
+        if not latest.verify(state.coin_keypair.public, self.broker_key):
+            raise VerificationFailed("public binding fails verification")
+        return latest
 
     # ------------------------------------------------------------------
     # buyer: purchase
@@ -440,13 +449,12 @@ class Peer(Node):
             state = OwnedCoinState(coin=coin, coin_keypair=by_y[coin.coin_y])
             self.owned[coin.coin_y] = state
             states.append(state)
-        if self.store is not None:
-            self._wal(
-                *[
-                    {"type": "owned_put", "entry": wallet_records.owned_entry(state)}
-                    for state in states
-                ]
-            )
+        self._wal(
+            *[
+                {"type": "owned_put", "entry": wallet_records.owned_entry(state)}
+                for state in states
+            ]
+        )
         self.counts.purchases += 1
         return states
 
@@ -675,18 +683,8 @@ class Peer(Node):
         if held is None:
             raise NotHolder(f"not holding coin {coin_y:#x}")
         account = funding_account if funding_account is not None else self.address
-        auth = seal(
-            self.identity,
-            {
-                "kind": "whopay.debit_auth",
-                "account": account,
-                "amount": delta,
-                "coin_y": coin_y,
-            },
-        )
-        envelope = self._holder_envelope(
-            held, "top_up", delta=delta, funding_auth=auth.encode()
-        )
+        auth = funding_voucher(self.identity, account, delta, coin_y)
+        envelope = self._holder_envelope(held, "top_up", delta=delta, funding_auth=auth)
         new_cert = self.broker_client.top_up(protocol.encode_dual(envelope), coin_y=coin_y)
         new_coin = Coin(cert=protocol.decode_signed(new_cert, self.params))
         if (

@@ -1,0 +1,224 @@
+"""Content-hash incremental cache for the linter.
+
+Two levels of reuse, both keyed on file *content* (SHA-1), never mtimes:
+
+* **Full-tree fast path** — the cache records a signature over the whole
+  file set (every ``(path, sha1)`` pair plus the rule-set version).  When
+  it matches, the final :class:`~repro.lint.engine.LintResult` is replayed
+  without parsing a single file.  This is the second-consecutive-CI-run
+  case and costs one hash pass over the tree.
+* **Per-file reuse** — when only some files changed, unchanged files skip
+  their *file-scoped* rules (their raw findings are replayed from the
+  cache).  Program-scoped rules are whole-program by construction — any
+  hash change invalidates their result — so they re-run over the full
+  parsed set, which the partial path therefore still builds.
+
+The rule-set version is derived from the registered rule codes and a
+schema counter, so adding a rule (or changing the cache layout) discards
+stale entries instead of replaying findings the new rule set would not
+produce.  Corrupt or unreadable cache files degrade to a cold run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Any, Sequence
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.engine import (
+    LintResult,
+    PARSE_ERROR_CODE,
+    Program,
+    apply_suppression,
+    collect_files,
+    file_findings,
+    load_source,
+    program_findings,
+)
+from repro.lint.registry import get_rules
+
+DEFAULT_CACHE_PATH = ".wp-lint-cache.json"
+
+#: Bump to invalidate every existing cache (layout or semantics change).
+_CACHE_SCHEMA = 1
+
+
+def ruleset_version() -> str:
+    """Identity of the active rule set (cache invalidation key)."""
+    codes = ",".join(rule.code for rule in get_rules())
+    raw = f"schema={_CACHE_SCHEMA};rules={codes}"
+    return hashlib.sha1(raw.encode("utf-8")).hexdigest()[:16]
+
+
+def _sha1(data: bytes) -> str:
+    return hashlib.sha1(data).hexdigest()
+
+
+def _tree_key(hashes: Sequence[tuple[str, str]]) -> str:
+    raw = ";".join(f"{path}={sha}" for path, sha in sorted(hashes))
+    return hashlib.sha1(raw.encode("utf-8")).hexdigest()
+
+
+class LintCache:
+    """On-disk cache: per-file raw findings plus one whole-tree result."""
+
+    def __init__(self, path: str, data: dict[str, Any] | None = None) -> None:
+        self.path = path
+        data = data if isinstance(data, dict) else {}
+        if data.get("version") != ruleset_version():
+            data = {}
+        self._files: dict[str, Any] = dict(data.get("files", {}))
+        self._result: dict[str, Any] = dict(data.get("result", {}))
+
+    @classmethod
+    def load(cls, path: str) -> "LintCache":
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                return cls(path, json.load(fh))
+        except (OSError, ValueError):
+            return cls(path, None)
+
+    def save(self) -> None:
+        payload = {
+            "version": ruleset_version(),
+            "files": self._files,
+            "result": self._result,
+        }
+        try:
+            with open(self.path, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, sort_keys=True)
+        except OSError:
+            pass  # a cache that cannot be written is just a cold cache
+
+    # -- lookups -------------------------------------------------------------
+
+    def cached_result(self, tree_key: str) -> LintResult | None:
+        if self._result.get("tree") != tree_key:
+            return None
+        try:
+            return LintResult(
+                findings=[
+                    Diagnostic.from_json(e) for e in self._result["findings"]
+                ],
+                suppressed=int(self._result["suppressed"]),
+                checked_files=int(self._result["checked_files"]),
+            )
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def cached_file_findings(self, path: str, sha: str) -> list[Diagnostic] | None:
+        entry = self._files.get(path)
+        if not isinstance(entry, dict) or entry.get("sha1") != sha:
+            return None
+        try:
+            return [Diagnostic.from_json(e) for e in entry["findings"]]
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    # -- updates -------------------------------------------------------------
+
+    def store_file(self, path: str, sha: str, findings: Sequence[Diagnostic]) -> None:
+        self._files[path] = {
+            "sha1": sha,
+            "findings": [diag.to_json() for diag in findings],
+        }
+
+    def store_result(
+        self, tree_key: str, result: LintResult, live_paths: Sequence[str]
+    ) -> None:
+        self._result = {
+            "tree": tree_key,
+            "findings": [diag.to_json() for diag in result.findings],
+            "suppressed": result.suppressed,
+            "checked_files": result.checked_files,
+        }
+        # Drop entries for files no longer in the tree.
+        keep = frozenset(live_paths)
+        self._files = {p: e for p, e in self._files.items() if p in keep}
+
+
+def lint_paths_cached(
+    paths: Sequence[str], cache: LintCache | None
+) -> tuple[LintResult, str]:
+    """Lint from disk with content-hash reuse.
+
+    Returns ``(result, cache_status)`` where the status is one of
+    ``"disabled"``, ``"full-hit"``, ``"partial-hit:<reused>/<total>"``, or
+    ``"cold"`` — CI greps for ``full-hit`` to prove the fast path fired.
+    """
+    files = collect_files(paths)
+    blobs: list[tuple[str, bytes]] = []
+    for path in files:
+        with open(path, "rb") as fh:
+            blobs.append((path, fh.read()))
+    hashes = [(path, _sha1(blob)) for path, blob in blobs]
+
+    if cache is None:
+        return _lint_blobs(blobs, None, dict(hashes))[0], "disabled"
+
+    tree_key = _tree_key(hashes)
+    cached = cache.cached_result(tree_key)
+    if cached is not None:
+        return cached, "full-hit"
+
+    result, reused = _lint_blobs(blobs, cache, dict(hashes))
+    cache.store_result(tree_key, result, [path for path, _ in hashes])
+    cache.save()
+    status = f"partial-hit:{reused}/{len(files)}" if reused else "cold"
+    return result, status
+
+
+def _lint_blobs(
+    blobs: Sequence[tuple[str, bytes]],
+    cache: LintCache | None,
+    hashes: dict[str, str],
+) -> tuple[LintResult, int]:
+    """The partial/cold path: parse everything, reuse file-rule output."""
+    program = Program()
+    parse_errors: list[Diagnostic] = []
+    raw: list[Diagnostic] = []
+    reused = 0
+    for path, blob in blobs:
+        try:
+            source = blob.decode("utf-8")
+            info = load_source(path, source)
+        except (UnicodeDecodeError, SyntaxError) as exc:
+            lineno = getattr(exc, "lineno", 1) or 1
+            offset = getattr(exc, "offset", 1) or 1
+            msg = getattr(exc, "msg", None) or "file is not valid UTF-8"
+            parse_errors.append(
+                Diagnostic(
+                    path=path,
+                    line=lineno,
+                    col=offset - 1,
+                    code=PARSE_ERROR_CODE,
+                    message=f"file does not parse: {msg}",
+                )
+            )
+            continue
+        program.modules.append(info)
+        cached = (
+            cache.cached_file_findings(path, hashes[path])
+            if cache is not None
+            else None
+        )
+        if cached is not None:
+            raw.extend(cached)
+            reused += 1
+        else:
+            found = file_findings(info)
+            raw.extend(found)
+            if cache is not None:
+                cache.store_file(path, hashes[path], found)
+    raw.extend(parse_errors)
+    raw.extend(program_findings(program))
+    pragma_index = {info.path: info.pragmas for info in program.modules}
+    findings, suppressed = apply_suppression(raw, pragma_index)
+    result = LintResult(
+        findings=findings,
+        suppressed=suppressed,
+        checked_files=len(program.modules) + len(parse_errors),
+    )
+    return result, reused

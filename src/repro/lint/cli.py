@@ -1,15 +1,24 @@
-"""Command-line entry point: ``python -m repro.lint [paths] --format text|json``.
+"""Command-line entry point: ``python -m repro.lint [paths] --format text|json|sarif``.
 
-Exit codes: 0 — clean (every finding baselined or suppressed); 1 — at
-least one new finding; 2 — usage or I/O error.
+Exit codes: 0 — clean (every finding baselined, exempted, or suppressed);
+1 — at least one new finding; 2 — usage or I/O error.
 
-Defaults (paths, baseline location) can be set once in ``pyproject.toml``::
+Defaults (paths, baseline location, per-path rule exemptions) are set once
+in ``pyproject.toml`` so CI, pre-commit hooks, and developers all run the
+same invocation::
 
     [tool.wp-lint]
-    paths = ["src"]
+    paths = ["src", "benchmarks", "examples"]
     baseline = "lint-baseline.json"
 
-so CI, pre-commit hooks, and developers all run the same invocation.
+    [tool.wp-lint.exempt]
+    # path prefix -> rule codes that do not apply under it
+    "benchmarks/bench_crypto_ops.py" = ["WP103"]
+
+Repeat runs reuse a content-hash cache (``.wp-lint-cache.json``): an
+unchanged tree replays the previous result without parsing anything, and a
+partially-changed tree re-runs file-scoped rules only for changed files.
+``--no-cache`` forces a cold run.
 """
 
 from __future__ import annotations
@@ -26,8 +35,10 @@ from repro.lint.baseline import (
     split_baselined,
     write_baseline,
 )
-from repro.lint.engine import lint_paths
+from repro.lint.cache import DEFAULT_CACHE_PATH, LintCache, lint_paths_cached
+from repro.lint.diagnostics import Diagnostic
 from repro.lint.registry import get_rules
+from repro.lint.sarif import to_sarif
 
 try:  # pragma: no cover - tomllib ships with 3.11+
     import tomllib
@@ -58,10 +69,42 @@ def _load_config(start_dir: str) -> dict[str, Any]:
         current = parent
 
 
+def _exemption_map(config: dict[str, Any]) -> dict[str, frozenset[str]]:
+    """Normalized ``[tool.wp-lint.exempt]``: path prefix -> exempt codes."""
+    raw = config.get("exempt", {})
+    if not isinstance(raw, dict):
+        return {}
+    exempt: dict[str, frozenset[str]] = {}
+    for prefix, codes in raw.items():
+        if isinstance(prefix, str) and isinstance(codes, (list, tuple)):
+            normal = os.path.normpath(prefix).replace(os.sep, "/")
+            exempt[normal] = frozenset(str(code) for code in codes)
+    return exempt
+
+
+def split_exempt(
+    findings: Sequence[Diagnostic], exempt: dict[str, frozenset[str]]
+) -> tuple[list[Diagnostic], list[Diagnostic]]:
+    """Partition findings into (kept, exempted) by the per-path map."""
+    if not exempt:
+        return list(findings), []
+    kept: list[Diagnostic] = []
+    dropped: list[Diagnostic] = []
+    for diag in findings:
+        path = os.path.normpath(diag.path).replace(os.sep, "/")
+        hit = any(
+            diag.code in codes
+            and (path == prefix or path.startswith(prefix.rstrip("/") + "/"))
+            for prefix, codes in exempt.items()
+        )
+        (dropped if hit else kept).append(diag)
+    return kept, dropped
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.lint",
-        description="WhoPay invariant checker (rules WP101-WP105).",
+        description="WhoPay invariant checker (rules WP101-WP113).",
     )
     parser.add_argument(
         "paths",
@@ -70,7 +113,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="output format (default: text)",
     )
@@ -87,6 +130,16 @@ def _build_parser() -> argparse.ArgumentParser:
         "--write-baseline",
         action="store_true",
         help="write all current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the content-hash result cache; lint everything cold",
+    )
+    parser.add_argument(
+        "--cache-file",
+        default=DEFAULT_CACHE_PATH,
+        help=f"cache file location (default: {DEFAULT_CACHE_PATH})",
     )
     parser.add_argument(
         "--list-rules",
@@ -108,15 +161,19 @@ def main(argv: Sequence[str] | None = None) -> int:
     config = _load_config(os.getcwd())
     paths = list(args.paths) or list(config.get("paths", [])) or ["src"]
     baseline_path = args.baseline or config.get("baseline") or DEFAULT_BASELINE
+    exempt = _exemption_map(config)
 
+    cache = None if args.no_cache else LintCache.load(args.cache_file)
     try:
-        result = lint_paths(paths)
+        result, cache_status = lint_paths_cached(paths, cache)
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
+    findings, exempted = split_exempt(result.findings, exempt)
+
     if args.write_baseline:
-        count = write_baseline(baseline_path, result.findings)
+        count = write_baseline(baseline_path, findings)
         print(f"wrote {count} entr{'y' if count == 1 else 'ies'} to {baseline_path}")
         return 0
 
@@ -128,7 +185,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(f"error: {exc}", file=sys.stderr)
             return 2
 
-    new, grandfathered, stale = split_baselined(result.findings, baseline)
+    new, grandfathered, stale = split_baselined(findings, baseline)
 
     if args.format == "json":
         print(
@@ -137,6 +194,8 @@ def main(argv: Sequence[str] | None = None) -> int:
                     "version": 1,
                     "checked_files": result.checked_files,
                     "suppressed": result.suppressed,
+                    "exempted": [diag.to_json() for diag in exempted],
+                    "cache": cache_status,
                     "baselined": [diag.to_json() for diag in grandfathered],
                     "stale_baseline_entries": stale,
                     "findings": [diag.to_json() for diag in new],
@@ -145,6 +204,8 @@ def main(argv: Sequence[str] | None = None) -> int:
                 sort_keys=True,
             )
         )
+    elif args.format == "sarif":
+        print(json.dumps(to_sarif(new), indent=2, sort_keys=True))
     else:
         for diag in new:
             print(diag.format_text())
@@ -156,7 +217,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             )
         summary = (
             f"{len(new)} finding(s), {len(grandfathered)} baselined, "
-            f"{result.suppressed} suppressed across {result.checked_files} file(s)"
+            f"{result.suppressed} suppressed, {len(exempted)} exempted "
+            f"across {result.checked_files} file(s) [cache: {cache_status}]"
         )
         print(("FAIL: " if new else "ok: ") + summary)
 

@@ -1,0 +1,23 @@
+"""Whole-program dataflow analysis for the lint engine.
+
+Three layers, each built on the previous:
+
+* :mod:`repro.lint.dataflow.callgraph` — a module-level function index and
+  call resolver (``self.method`` through the class hierarchy, imported
+  names via :mod:`repro.lint.resolve`, unique program-wide method names),
+  memoized per :class:`~repro.lint.engine.Program`.
+* :mod:`repro.lint.dataflow.taint` — forward may-taint over a small
+  source/sanitizer/sink lattice with per-function summaries (labels are
+  ``SRC`` plus parameter names), iterated to a fixpoint so propagation is
+  interprocedural.  WP110 (anonymity) and WP111 (secret egress) are specs
+  over this engine.
+* :mod:`repro.lint.dataflow.ordering` — a path-sensitive abstract
+  interpreter over statement lists (branches fork, loops iterate to a
+  fixpoint, ``raise`` kills the path) used for happens-before rules:
+  WP112 (journal-before-reply) and WP113 (verify-before-trust).
+
+All three are pure ``ast`` walkers: no imports of the analyzed code, no
+execution, stdlib only.
+"""
+
+from repro.lint.dataflow.callgraph import FunctionIndex, get_index  # noqa: F401

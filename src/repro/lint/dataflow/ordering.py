@@ -1,0 +1,653 @@
+"""Path-sensitive happens-before checks over handler bodies.
+
+Both analyses here interpret a function's statement list abstractly: each
+branch forks the path-state set, loops iterate to a (bounded) fixpoint,
+``raise`` kills a path — a crash before the reply escapes is safe, the
+journal replays or the operation never happened — and ``return`` is an
+*exit event* the analysis inspects.
+
+* :class:`ObligationAnalysis` (WP112): a durable-state mutation creates an
+  obligation that must be discharged by a covering journal write
+  (``self._wal*`` / ``self._stage`` / ``store.append`` /
+  ``committer.stage``) before any ``return`` on every path.  Obligations
+  propagate interprocedurally: a helper that mutates and returns without
+  journaling passes its pending sites to the caller, and only *root*
+  functions (message handlers and public methods) report what is still
+  pending at their exits.  A journal/mutation statement made unreachable
+  by an earlier ``return`` — the classic "reply moved above the append"
+  regression — is reported too.
+
+* :class:`TrustAnalysis` (WP113): once a function touches untrusted input
+  (an envelope decode, or a raw read of a handler's payload parameter), a
+  signature/validation call must dominate any durable-state mutation or
+  journal write on that path.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable
+
+from repro.lint.dataflow.callgraph import FunctionIndex, FunctionInfo, get_index
+from repro.lint.dataflow.taint import handler_names
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.lint.engine import Program
+
+_LOOP_PASSES = 3
+_MAX_ROUNDS = 6
+
+#: container-mutating method names (a write when called on a durable field)
+MUTATOR_METHODS = frozenset(
+    {"append", "pop", "setdefault", "update", "clear", "remove", "add",
+     "insert", "extend", "popitem", "discard"}
+)
+
+
+def attr_chain(expr: ast.expr) -> list[str]:
+    """Names along a Name/Attribute chain (``a.b.c`` → ``["a","b","c"]``)."""
+    parts: list[str] = []
+    node = expr
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    return list(reversed(parts))
+
+
+def _header_nodes(stmt: ast.stmt) -> list[ast.AST]:
+    """The parts of a statement evaluated *at* it, excluding nested bodies.
+
+    For compound statements only the header expression executes when control
+    reaches the statement — branch/loop bodies are walked as separate
+    statements, so scanning the whole subtree here would smear one branch's
+    events (a ``verify`` in the mint arm, a journal call under an ``if``)
+    across every path.
+    """
+    if isinstance(stmt, (ast.If, ast.While)):
+        return [stmt.test]
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return [stmt.iter]
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        return [item.context_expr for item in stmt.items]
+    if isinstance(stmt, ast.Try):
+        return []
+    if isinstance(stmt, ast.Match):
+        return [stmt.subject]
+    return [stmt]
+
+
+def _calls_in_order(stmt: ast.stmt) -> list[ast.Call]:
+    """Call nodes evaluated at one statement, in (approximate) order."""
+    calls: list[ast.Call] = []
+
+    def visit(node: ast.AST) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.stmt),
+            ):
+                continue
+            visit(child)
+        if isinstance(node, ast.Call):
+            calls.append(node)
+
+    for node in _header_nodes(stmt):
+        visit(node)
+    return calls
+
+
+@dataclass(frozen=True)
+class Site:
+    path: str
+    line: int
+    col: int
+    description: str
+
+
+@dataclass(frozen=True)
+class OrderingFinding:
+    path: str
+    line: int
+    col: int
+    message: str
+
+
+# ---------------------------------------------------------------------------
+# WP112 — journal-before-reply obligations
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class OrderingConfig:
+    """What counts as a durable mutation and as its covering journal write."""
+
+    scope_modules: tuple[str, ...]
+    durable_fields: frozenset[str]
+    durable_attrs: frozenset[str]
+    journal_methods: frozenset[str]
+    exempt_functions: frozenset[str]
+
+
+@dataclass
+class _ObligationSummary:
+    leaks: frozenset[Site] = frozenset()
+    always_journals: bool = False
+    mutates: bool = False
+
+
+class ObligationAnalysis:
+    """WP112: every path from a durable mutation to a reply passes a journal."""
+
+    def __init__(self, program: "Program", config: OrderingConfig) -> None:
+        self.program = program
+        self.config = config
+        self.index: FunctionIndex = get_index(program)
+        self.handlers = handler_names(self.index)
+        self.summaries: dict[str, _ObligationSummary] = {}
+
+    def _in_scope(self, fn: FunctionInfo) -> bool:
+        return (
+            fn.module.module in self.config.scope_modules
+            and fn.name not in self.config.exempt_functions
+        )
+
+    def _is_root(self, fn: FunctionInfo) -> bool:
+        if fn.name in self.handlers:
+            return True
+        return not fn.name.startswith("_")
+
+    # -- event classification -------------------------------------------
+
+    def _journal_call(self, call: ast.Call) -> bool:
+        func = call.func
+        if not isinstance(func, ast.Attribute):
+            return False
+        chain = attr_chain(func.value)
+        if func.attr in self.config.journal_methods and chain[:1] == ["self"]:
+            return True
+        if func.attr in ("append", "append_many") and chain and chain[-1] == "store":
+            return True
+        if func.attr == "stage" and any("committer" in part for part in chain):
+            return True
+        return False
+
+    def _mutating_call(self, call: ast.Call) -> Site | None:
+        func = call.func
+        if not isinstance(func, ast.Attribute) or func.attr not in MUTATOR_METHODS:
+            return None
+        chain = attr_chain(func.value)
+        hit = next((p for p in chain if p in self.config.durable_fields), None)
+        if hit is None:
+            return None
+        return Site("", call.lineno, call.col_offset, f"{hit}.{func.attr}(...)")
+
+    def _target_mutation(self, target: ast.expr) -> Site | None:
+        if isinstance(target, ast.Subscript):
+            chain = attr_chain(target.value)
+            hit = next((p for p in chain if p in self.config.durable_fields), None)
+            if hit is not None:
+                return Site("", target.lineno, target.col_offset, f"{hit}[...]")
+        elif isinstance(target, ast.Attribute):
+            chain = attr_chain(target.value)
+            if (
+                target.attr in self.config.durable_attrs
+                and chain[:1] != ["self"]
+            ):
+                return Site(
+                    "", target.lineno, target.col_offset, f".{target.attr} ="
+                )
+        return None
+
+    def _stmt_events(
+        self, stmt: ast.stmt, fn: FunctionInfo
+    ) -> list[tuple[str, object]]:
+        """Ordered (kind, payload) events: ``("M", Site) | ("J", None) |
+        ``("CALL", summary)`` for resolvable non-primitive callees."""
+        events: list[tuple[str, object]] = []
+        for call in _calls_in_order(stmt):
+            if self._journal_call(call):
+                events.append(("J", None))
+                continue
+            mutation = self._mutating_call(call)
+            if mutation is not None:
+                events.append(("M", mutation))
+                continue
+            for callee in self.index.resolve_call(call, fn):
+                summary = self.summaries.get(callee.qualname)
+                if summary is None:
+                    continue
+                # J before INHERIT: a callee that journals early and then
+                # leaves new mutations pending must not have its own journal
+                # write discharge the sites it leaks to us.
+                if summary.always_journals:
+                    events.append(("J", None))
+                if summary.leaks:
+                    events.append(("INHERIT", summary.leaks))
+        targets: list[ast.expr] = []
+        if isinstance(stmt, ast.Assign):
+            targets = list(stmt.targets)
+        elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+            targets = [stmt.target]
+        elif isinstance(stmt, ast.Delete):
+            targets = list(stmt.targets)
+        for target in targets:
+            mutation = self._target_mutation(target)
+            if mutation is not None:
+                events.append(("M", mutation))
+        return events
+
+    def _stmt_has_anchor(self, stmt: ast.stmt, fn: FunctionInfo) -> bool:
+        """Does this statement journal or mutate (for dead-code reporting)?"""
+        return any(kind in ("M", "J") for kind, _ in self._stmt_events(stmt, fn))
+
+    # -- path interpretation --------------------------------------------
+
+    def _analyze(self, fn: FunctionInfo) -> tuple[_ObligationSummary, set[int]]:
+        """(summary, visited statement line numbers)."""
+        self._fn = fn
+        self._visited: set[int] = set()
+        self._exit_states: list[tuple[frozenset[Site], bool]] = []
+        final = self._exec_block(
+            fn.node.body, {(frozenset(), False)}  # (pending, journaled)
+        )
+        for state in final:  # fall off the end: implicit return
+            self._exit_states.append(state)
+        leaks: set[Site] = set()
+        mutated = False
+        always_journals = bool(self._exit_states)
+        for pending, journaled in self._exit_states:
+            leaks |= pending
+            if not journaled:
+                always_journals = False
+        for stmt in ast.walk(fn.node):
+            if isinstance(stmt, (ast.Assign, ast.AugAssign, ast.Delete, ast.Expr)):
+                for kind, payload in self._stmt_events(stmt, fn):
+                    if kind in ("M", "INHERIT"):
+                        mutated = True
+        return (
+            _ObligationSummary(
+                leaks=frozenset(
+                    Site(fn.module.path, s.line, s.col, s.description) for s in leaks
+                ),
+                always_journals=always_journals,
+                mutates=mutated,
+            ),
+            self._visited,
+        )
+
+    def _apply(
+        self, events: list[tuple[str, object]], state: tuple[frozenset[Site], bool]
+    ) -> tuple[frozenset[Site], bool]:
+        pending, journaled = state
+        for kind, payload in events:
+            if kind == "J":
+                pending, journaled = frozenset(), True
+            elif kind == "M":
+                site: Site = payload  # type: ignore[assignment]
+                pending = pending | {
+                    Site(self._fn.module.path, site.line, site.col, site.description)
+                }
+            elif kind == "INHERIT":
+                pending = pending | payload  # type: ignore[operator]
+        return pending, journaled
+
+    def _exec_block(self, stmts, states):
+        for stmt in stmts:
+            if not states:
+                return states
+            states = self._exec_stmt(stmt, states)
+        return states
+
+    def _exec_stmt(self, stmt, states):
+        self._visited.add(stmt.lineno)
+        events = self._stmt_events(stmt, self._fn)
+        states = {self._apply(events, s) for s in states}
+        if isinstance(stmt, ast.Return):
+            self._exit_states.extend(states)
+            return set()
+        if isinstance(stmt, ast.Raise):
+            return set()
+        if isinstance(stmt, ast.If):
+            return self._exec_block(stmt.body, set(states)) | self._exec_block(
+                stmt.orelse, set(states)
+            )
+        if isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+            out = set(states)
+            body_states = set(states)
+            for _ in range(_LOOP_PASSES):
+                body_states = self._exec_block(stmt.body, body_states)
+                if body_states <= out:
+                    break
+                out |= body_states
+            return self._exec_block(stmt.orelse, out) if stmt.orelse else out
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._exec_block(stmt.body, states)
+        if isinstance(stmt, ast.Try):
+            after_body = self._exec_block(stmt.body, set(states))
+            merged = set(after_body)
+            for handler in stmt.handlers:
+                merged |= self._exec_block(handler.body, states | after_body)
+            if stmt.orelse:
+                merged = self._exec_block(stmt.orelse, after_body) | (
+                    merged - after_body
+                )
+            if stmt.finalbody:
+                merged = self._exec_block(stmt.finalbody, merged)
+            return merged
+        if isinstance(stmt, ast.Match):
+            out = set()
+            for case in stmt.cases:
+                out |= self._exec_block(case.body, set(states))
+            return out | states  # no case may match
+        if isinstance(stmt, (ast.Break, ast.Continue)):
+            # approximation: loop-exit states already unioned per pass
+            return set()
+        return states
+
+    # -- driver ----------------------------------------------------------
+
+    def run(self) -> list[OrderingFinding]:
+        in_scope = [fn for fn in self.index.functions if self._in_scope(fn)]
+        visited_map: dict[str, set[int]] = {}
+        for _ in range(_MAX_ROUNDS):
+            changed = False
+            for fn in in_scope:
+                summary, visited = self._analyze(fn)
+                visited_map[fn.qualname] = visited
+                if summary != self.summaries.get(fn.qualname):
+                    self.summaries[fn.qualname] = summary
+                    changed = True
+            if not changed:
+                break
+        findings: list[OrderingFinding] = []
+        for fn in in_scope:
+            summary = self.summaries[fn.qualname]
+            if summary.leaks and self._is_root(fn):
+                for site in sorted(
+                    summary.leaks, key=lambda s: (s.path, s.line, s.col)
+                ):
+                    findings.append(
+                        OrderingFinding(
+                            path=site.path,
+                            line=site.line,
+                            col=site.col,
+                            message=(
+                                f"durable mutation {site.description} can reach a "
+                                f"reply in {fn.name}() without a covering journal "
+                                "write (DurableStore append / GroupCommitter.stage) "
+                                "on every path"
+                            ),
+                        )
+                    )
+            # statements with journal/mutation anchors that no path reaches:
+            # the "reply moved above the append" regression.
+            visited = visited_map.get(fn.qualname, set())
+            for stmt in ast.walk(fn.node):
+                if not isinstance(stmt, ast.stmt) or stmt.lineno in visited:
+                    continue
+                if isinstance(
+                    stmt, (ast.Assign, ast.AugAssign, ast.Delete, ast.Expr)
+                ) and self._stmt_has_anchor(stmt, fn):
+                    findings.append(
+                        OrderingFinding(
+                            path=fn.module.path,
+                            line=stmt.lineno,
+                            col=stmt.col_offset,
+                            message=(
+                                f"journal/mutation statement in {fn.name}() is "
+                                "unreachable — a reply returns before the covering "
+                                "journal write"
+                            ),
+                        )
+                    )
+        return sorted(set(findings), key=lambda f: (f.path, f.line, f.message))
+
+
+# ---------------------------------------------------------------------------
+# WP113 — verify-before-trust
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TrustConfig:
+    scope_modules: tuple[str, ...]
+    decode_calls: frozenset[str]
+    verify_calls: frozenset[str]
+    durable_fields: frozenset[str]
+    durable_attrs: frozenset[str]
+    journal_methods: frozenset[str]
+    exempt_functions: frozenset[str]
+
+
+@dataclass
+class _TrustSummary:
+    #: some exit state carries decoded-but-unverified envelope data
+    leaks_decode: bool = False
+    must_verify: bool = False
+    mutates: bool = False
+
+
+class TrustAnalysis:
+    """WP113: untrusted envelope data must be verified before it is trusted."""
+
+    def __init__(self, program: "Program", config: TrustConfig) -> None:
+        self.program = program
+        self.config = config
+        self.index = get_index(program)
+        self.handlers = handler_names(self.index)
+        self.summaries: dict[str, _TrustSummary] = {}
+
+    def _in_scope(self, fn: FunctionInfo) -> bool:
+        return (
+            fn.module.module in self.config.scope_modules
+            and fn.name not in self.config.exempt_functions
+        )
+
+    def _is_verify(self, name: str | None) -> bool:
+        if name is None:
+            return False
+        return "verify" in name or name in self.config.verify_calls
+
+    def _untrusted_params(self, fn: FunctionInfo) -> frozenset[str]:
+        if fn.name not in self.handlers:
+            return frozenset()
+        params = fn.param_names()
+        return frozenset(params[2:])  # (self, src, payload...) by convention
+
+    def _mutation_site(self, stmt: ast.stmt, fn: FunctionInfo) -> str | None:
+        targets: list[ast.expr] = []
+        if isinstance(stmt, ast.Assign):
+            targets = list(stmt.targets)
+        elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+            targets = [stmt.target]
+        elif isinstance(stmt, ast.Delete):
+            targets = list(stmt.targets)
+        for target in targets:
+            if isinstance(target, ast.Subscript):
+                chain = attr_chain(target.value)
+                hit = next(
+                    (p for p in chain if p in self.config.durable_fields), None
+                )
+                if hit is not None:
+                    return f"{hit}[...]"
+            elif isinstance(target, ast.Attribute):
+                chain = attr_chain(target.value)
+                if target.attr in self.config.durable_attrs and chain[:1] != ["self"]:
+                    return f".{target.attr} ="
+        return None
+
+    def _stmt_events(self, stmt, fn, untrusted):
+        """Ordered events: U (untrusted read), V (verification), M (trust sink)."""
+        events: list[tuple[str, object]] = []
+        for header in _header_nodes(stmt):
+            for node in ast.walk(header):
+                if isinstance(node, ast.Subscript) and isinstance(
+                    node.value, ast.Name
+                ):
+                    if node.value.id in untrusted:
+                        events.append(("U", node))
+                elif (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "get"
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id in untrusted
+                ):
+                    events.append(("U", node))
+        for call in _calls_in_order(stmt):
+            name = self.index.callee_name(call)
+            if name in self.config.decode_calls:
+                events.append(("U", call))
+            elif self._is_verify(name):
+                events.append(("V", call))
+            elif (
+                isinstance(call.func, ast.Attribute)
+                and call.func.attr in self.config.journal_methods
+                and attr_chain(call.func.value)[:1] == ["self"]
+            ):
+                events.append(("M", (call, f"self.{call.func.attr}(...)")))
+            elif (
+                isinstance(call.func, ast.Attribute)
+                and call.func.attr in MUTATOR_METHODS
+            ):
+                chain = attr_chain(call.func.value)
+                hit = next(
+                    (p for p in chain if p in self.config.durable_fields), None
+                )
+                if hit is not None:
+                    events.append(("M", (call, f"{hit}.{call.func.attr}(...)")))
+            else:
+                for callee in self.index.resolve_call(call, fn):
+                    summary = self.summaries.get(callee.qualname)
+                    if summary is None:
+                        continue
+                    # U, V, M: a callee counts as an untrusted read only
+                    # when some path returns decoded-but-unverified data —
+                    # a callee that verifies at its own trust boundary
+                    # launders the decode (its body is checked separately).
+                    if summary.leaks_decode:
+                        events.append(("U", call))
+                    if summary.must_verify:
+                        events.append(("V", call))
+                    if summary.mutates:
+                        events.append(("M", (call, f"{callee.name}(...)")))
+        description = self._mutation_site(stmt, fn)
+        if description is not None:
+            events.append(("M", (stmt, description)))
+        return events
+
+    def _apply(self, events, state, findings):
+        decoded, verified = state
+        for kind, payload in events:
+            if kind == "U":
+                decoded = True
+            elif kind == "V":
+                verified = True
+            elif kind == "M":
+                node, description = payload  # type: ignore[misc]
+                if decoded and not verified and findings is not None:
+                    findings.append(
+                        OrderingFinding(
+                            path=self._fn.module.path,
+                            line=node.lineno,
+                            col=node.col_offset,
+                            message=(
+                                f"state mutation {description} in {self._fn.name}() "
+                                "uses envelope data with no dominating "
+                                "signature/validation check on this path"
+                            ),
+                        )
+                    )
+        return decoded, verified
+
+    def _exec_block(self, stmts, states, findings):
+        for stmt in stmts:
+            if not states:
+                return states
+            states = self._exec_stmt(stmt, states, findings)
+        return states
+
+    def _exec_stmt(self, stmt, states, findings):
+        events = self._stmt_events(stmt, self._fn, self._untrusted)
+        states = {self._apply(events, s, findings) for s in states}
+        if isinstance(stmt, ast.Return):
+            self._exit_states.extend(states)
+            return set()
+        if isinstance(stmt, ast.Raise):
+            return set()
+        if isinstance(stmt, ast.If):
+            return self._exec_block(stmt.body, set(states), findings) | (
+                self._exec_block(stmt.orelse, set(states), findings)
+            )
+        if isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+            out = set(states)
+            body_states = set(states)
+            for _ in range(_LOOP_PASSES):
+                body_states = self._exec_block(stmt.body, body_states, findings)
+                if body_states <= out:
+                    break
+                out |= body_states
+            return self._exec_block(stmt.orelse, out, findings) if stmt.orelse else out
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._exec_block(stmt.body, states, findings)
+        if isinstance(stmt, ast.Try):
+            after_body = self._exec_block(stmt.body, set(states), findings)
+            merged = set(after_body)
+            for handler in stmt.handlers:
+                merged |= self._exec_block(handler.body, states | after_body, findings)
+            if stmt.orelse:
+                merged = self._exec_block(stmt.orelse, after_body, findings) | (
+                    merged - after_body
+                )
+            if stmt.finalbody:
+                merged = self._exec_block(stmt.finalbody, merged, findings)
+            return merged
+        if isinstance(stmt, ast.Match):
+            out = set()
+            for case in stmt.cases:
+                out |= self._exec_block(case.body, set(states), findings)
+            return out | states
+        if isinstance(stmt, (ast.Break, ast.Continue)):
+            return set()
+        return states
+
+    def _analyze(self, fn, findings):
+        self._fn = fn
+        self._untrusted = self._untrusted_params(fn)
+        self._exit_states: list[tuple[bool, bool]] = []
+        final = self._exec_block(fn.node.body, {(False, False)}, findings)
+        self._exit_states.extend(final)
+        leaks_decode = any(
+            decoded and not verified for decoded, verified in self._exit_states
+        )
+        must_verify = bool(self._exit_states) and all(
+            verified for _, verified in self._exit_states
+        )
+        mutates = False
+        for stmt in ast.walk(fn.node):
+            if isinstance(stmt, ast.stmt):
+                if self._mutation_site(stmt, fn) is not None:
+                    mutates = True
+                    break
+        return _TrustSummary(
+            leaks_decode=leaks_decode, must_verify=must_verify, mutates=mutates
+        )
+
+    def run(self) -> list[OrderingFinding]:
+        in_scope = [fn for fn in self.index.functions if self._in_scope(fn)]
+        for _ in range(_MAX_ROUNDS):
+            changed = False
+            for fn in in_scope:
+                summary = self._analyze(fn, findings=None)
+                if summary != self.summaries.get(fn.qualname):
+                    self.summaries[fn.qualname] = summary
+                    changed = True
+            if not changed:
+                break
+        findings: list[OrderingFinding] = []
+        for fn in in_scope:
+            self._analyze(fn, findings)
+        return sorted(set(findings), key=lambda f: (f.path, f.line, f.message))

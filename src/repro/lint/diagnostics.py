@@ -43,3 +43,14 @@ class Diagnostic:
             "message": self.message,
             "fingerprint": self.fingerprint,
         }
+
+    @classmethod
+    def from_json(cls, entry: dict[str, Any]) -> "Diagnostic":
+        """Rebuild a diagnostic from :meth:`to_json` output (cache reload)."""
+        return cls(
+            path=str(entry["path"]),
+            line=int(entry["line"]),
+            col=int(entry["col"]),
+            code=str(entry["code"]),
+            message=str(entry["message"]),
+        )

@@ -16,7 +16,13 @@ from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from repro.lint.diagnostics import Diagnostic
-from repro.lint.pragmas import is_suppressed, module_override, scan_pragmas
+from repro.lint.pragmas import (
+    expand_pragmas,
+    is_suppressed,
+    module_override,
+    scan_pragmas,
+    statement_spans,
+)
 from repro.lint.registry import get_rules
 
 #: Engine-level code for files the parser rejects (not a registry rule: a
@@ -85,7 +91,7 @@ def load_source(path: str, source: str, module: str | None = None) -> ModuleInfo
         module=name,
         tree=tree,
         lines=lines,
-        pragmas=scan_pragmas(lines),
+        pragmas=expand_pragmas(scan_pragmas(lines), statement_spans(tree)),
     )
 
 
@@ -108,27 +114,47 @@ def collect_files(paths: Sequence[str]) -> list[str]:
     return found
 
 
-def _run_rules(program: Program) -> Iterable[Diagnostic]:
+def file_findings(info: ModuleInfo) -> list[Diagnostic]:
+    """Raw findings from every file-scoped rule on one module."""
+    found: list[Diagnostic] = []
     for rule in get_rules():
         if rule.scope == "file":
-            for info in program.modules:
-                yield from rule.check(info)
-        else:
-            yield from rule.check(program)
+            found.extend(rule.check(info))
+    return found
 
 
-def lint_program(program: Program, parse_errors: Sequence[Diagnostic] = ()) -> LintResult:
-    """Run every registered rule, then apply per-line pragma suppression."""
-    raw = list(parse_errors) + list(_run_rules(program))
+def program_findings(program: Program) -> list[Diagnostic]:
+    """Raw findings from every program-scoped rule on the whole file set."""
+    found: list[Diagnostic] = []
+    for rule in get_rules():
+        if rule.scope == "program":
+            found.extend(rule.check(program))
+    return found
+
+
+def apply_suppression(
+    raw: Iterable[Diagnostic], pragma_index: dict[str, dict[int, frozenset[str]]]
+) -> tuple[list[Diagnostic], int]:
+    """Sorted, deduplicated findings minus pragma-suppressed ones."""
     findings: list[Diagnostic] = []
     suppressed = 0
-    pragma_index = {info.path: info.pragmas for info in program.modules}
     for diag in sorted(set(raw)):
         pragmas = pragma_index.get(diag.path, {})
         if is_suppressed(diag.code, diag.line, pragmas):
             suppressed += 1
         else:
             findings.append(diag)
+    return findings, suppressed
+
+
+def lint_program(program: Program, parse_errors: Sequence[Diagnostic] = ()) -> LintResult:
+    """Run every registered rule, then apply per-line pragma suppression."""
+    raw = list(parse_errors)
+    for info in program.modules:
+        raw.extend(file_findings(info))
+    raw.extend(program_findings(program))
+    pragma_index = {info.path: info.pragmas for info in program.modules}
+    findings, suppressed = apply_suppression(raw, pragma_index)
     return LintResult(
         findings=findings,
         suppressed=suppressed,

@@ -4,10 +4,11 @@ The wire-schema rule needs to know, for an expression like
 ``protocol.PURCHASE`` or a bare ``ASSIGN``, which *string* actually crosses
 the transport.  Within this codebase message kinds are always module-level
 string constants referenced directly, via ``from pkg import mod`` aliases,
-or via ``from mod import NAME`` — so a small, honest resolver over the
-analyzed file set covers every real call site.  Anything dynamic (a kind
-pulled out of a payload dict) resolves to ``None`` and is skipped rather
-than guessed at.
+via ``from mod import NAME`` (possibly re-exported through a package
+``__init__``), or via dotted module paths (``pkg.mod.NAME``) — so a small,
+honest resolver over the analyzed file set covers every real call site.
+Anything dynamic (a kind pulled out of a payload dict) resolves to ``None``
+and is skipped rather than guessed at.
 """
 
 from __future__ import annotations
@@ -30,6 +31,8 @@ class ModuleSymbols:
     module_aliases: dict[str, str] = field(default_factory=dict)
     #: local name → (defining module, original name) from ``from m import N``
     imported_names: dict[str, tuple[str, str]] = field(default_factory=dict)
+    #: root names bound by plain ``import a.b`` (binds ``a``; ``a.b.N`` works)
+    plain_import_roots: set[str] = field(default_factory=set)
 
 
 def collect_symbols(tree: ast.Module) -> ModuleSymbols:
@@ -50,11 +53,13 @@ def collect_symbols(tree: ast.Module) -> ModuleSymbols:
                 symbols.constants[stmt.target.id] = stmt.value.value
         elif isinstance(stmt, ast.Import):
             for alias in stmt.names:
-                local = alias.asname or alias.name.split(".")[0]
-                # ``import a.b.c as x`` binds x to a.b.c; plain ``import a.b``
-                # binds only ``a``, which never names a constant table here.
                 if alias.asname is not None:
-                    symbols.module_aliases[local] = alias.name
+                    # ``import a.b.c as x`` binds x to a.b.c.
+                    symbols.module_aliases[alias.asname] = alias.name
+                else:
+                    # Plain ``import a.b`` binds only ``a``; constants are then
+                    # reachable through the full dotted path ``a.b.NAME``.
+                    symbols.plain_import_roots.add(alias.name.split(".")[0])
         elif isinstance(stmt, ast.ImportFrom):
             if stmt.module is None or stmt.level:
                 continue  # relative imports are not used in this codebase
@@ -67,6 +72,19 @@ def collect_symbols(tree: ast.Module) -> ModuleSymbols:
     return symbols
 
 
+def dotted_prefix(expr: ast.expr) -> str | None:
+    """``a.b.c`` for a pure Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    node = expr
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
 class ConstantResolver:
     """Resolves kind expressions to strings across the analyzed file set."""
 
@@ -75,9 +93,42 @@ class ConstantResolver:
             info.module: collect_symbols(info.tree) for info in program.modules
         }
 
-    def _constant_in(self, module: str, name: str) -> str | None:
+    def _constant_in(
+        self, module: str, name: str, _seen: set[tuple[str, str]] | None = None
+    ) -> str | None:
+        """Look up ``name`` in ``module``, following re-export chains.
+
+        ``from a import K`` in module ``c`` makes ``c.K`` resolve through to
+        ``a.K`` (transitively, with a cycle guard) — package ``__init__``
+        re-exports are how most protocol constants are actually reached.
+        """
         symbols = self._symbols.get(module)
-        return None if symbols is None else symbols.constants.get(name)
+        if symbols is None:
+            return None
+        value = symbols.constants.get(name)
+        if value is not None:
+            return value
+        origin = symbols.imported_names.get(name)
+        if origin is None:
+            return None
+        key = (module, name)
+        seen = _seen if _seen is not None else set()
+        if key in seen:
+            return None
+        seen.add(key)
+        return self._constant_in(origin[0], origin[1], seen)
+
+    def _module_for_prefix(self, prefix: str, symbols: ModuleSymbols) -> str | None:
+        """The analyzed module a dotted receiver chain refers to, if any."""
+        head, _, rest = prefix.partition(".")
+        alias = symbols.module_aliases.get(head)
+        if alias is not None:
+            candidate = f"{alias}.{rest}" if rest else alias
+            if candidate in self._symbols:
+                return candidate
+        if head in symbols.plain_import_roots and prefix in self._symbols:
+            return prefix
+        return None
 
     def resolve(self, expr: ast.expr, module: "ModuleInfo") -> str | None:
         """The string ``expr`` evaluates to, or ``None`` if not static."""
@@ -87,15 +138,11 @@ class ConstantResolver:
         if symbols is None:
             return None
         if isinstance(expr, ast.Name):
-            local = symbols.constants.get(expr.id)
-            if local is not None:
-                return local
-            origin = symbols.imported_names.get(expr.id)
-            if origin is not None:
-                return self._constant_in(*origin)
-            return None
-        if isinstance(expr, ast.Attribute) and isinstance(expr.value, ast.Name):
-            target = symbols.module_aliases.get(expr.value.id)
-            if target is not None:
-                return self._constant_in(target, expr.attr)
+            return self._constant_in(module.module, expr.id)
+        if isinstance(expr, ast.Attribute):
+            prefix = dotted_prefix(expr.value)
+            if prefix is not None:
+                target = self._module_for_prefix(prefix, symbols)
+                if target is not None:
+                    return self._constant_in(target, expr.attr)
         return None

@@ -1,11 +1,14 @@
 """Built-in rules — importing this package registers all of them."""
 
 from repro.lint.rules import (  # noqa: F401
+    anonymity,
     construction,
     crypto,
     determinism,
     durability,
     exceptions,
+    ordering,
+    secrets,
     seeding,
     transport,
     wire,

@@ -12,7 +12,8 @@ Send sites recognized:
 * ``<x>.rpc.call(dst, KIND, ...)`` / ``<x>._rpc.call(...)`` /
   ``<x>._shard_rpc.call(...)`` — RPC clients (the last is the broker's
   federation-internal shard-to-shard sender);
-* ``self.request(dst, KIND, ...)`` — a node's convenience sender.
+* ``<node>.request(dst, KIND, ...)`` — a node's convenience sender, from
+  inside the node (``self.request``) or from an external driver script.
 
 Handler sites: ``<node>.on(KIND, handler)``.
 
@@ -65,8 +66,12 @@ def _kind_expr(node: ast.Call) -> ast.expr | None:
         func.attr == "request"
         and len(node.args) >= 2
         and isinstance(func.value, ast.Name)
-        and func.value.id == "self"
+        and func.value.id != "transport"
     ):
+        # self.request(dst, KIND, ...) inside a node, or an external driver
+        # (example/bench script) calling <node>.request(dst, KIND, ...).
+        # Transport.request has a different shape (src, dst, kind, payload),
+        # so a bare ``transport`` receiver is excluded.
         return node.args[1]
     return None
 

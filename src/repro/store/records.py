@@ -18,6 +18,35 @@ from repro.crypto.keys import KeyPair
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.peer import Peer
+    from repro.crypto.group_signature import GroupMemberKey
+
+
+def peer_init_record(
+    address: str, identity: KeyPair, member_key: "GroupMemberKey"
+) -> dict[str, Any]:
+    """First journal record of a fresh peer store.
+
+    At-rest custody of the identity and group-member secrets lives here,
+    not in the peer: coins are bearer key material, so losing these loses
+    money, and only the serializer layer may put raw exponents on disk
+    (lint rule WP111).
+    """
+    return {
+        "type": "peer_init",
+        "address": address,
+        "identity_x": identity.x,
+        "member_x": member_key.x,
+        "member_h": member_key.h,
+    }
+
+
+def broker_init_record(address: str, keypair: KeyPair) -> dict[str, Any]:
+    """First journal record of a fresh broker store (signing-key custody)."""
+    return {
+        "type": "broker_init",
+        "address": address,
+        "signing_x": keypair.x,
+    }
 
 
 def held_entry(held: HeldCoin) -> dict[str, Any]:

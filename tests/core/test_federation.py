@@ -12,6 +12,8 @@ import pytest
 
 from repro.core import protocol
 from repro.core.broker import handoff_id
+from repro.core.errors import ProtocolError, VerificationFailed
+from repro.messages.envelope import seal
 from repro.core.brokerapi import BrokerAPI, ShardRouter
 from repro.core.coin import Coin
 from repro.core.network import BrokerTopology, PeerConfig, WhoPayNetwork
@@ -325,11 +327,39 @@ class TestHandoffExactlyOnce:
         reply = source._shard_rpc.call(
             dest.address,
             protocol.XSHARD_PREPARE,
-            {"h": h, "op": "mint", "coins": []},
+            seal(source.keypair, {"h": h, "op": "mint", "coins": []}).encode(),
         )
         assert reply == {"ok": True, "replayed": True}
         assert dest.handoffs_seen == seen_before
         assert dest.counts.handoffs == served_before + 1
+
+    def test_unsigned_prepare_is_rejected(self, fednet):
+        alice = fednet.add_peer("alice", PeerConfig(balance=5))
+        acct_home = fednet.shard_map.shard_for_account("alice")
+        coin_home = next(a for a in fednet.shard_map.addresses if a != acct_home)
+        coin = purchase_homed(fednet, alice, coin_home)
+        dest = fednet.router.shard_for_coin(coin.coin_y)
+        source = fednet.router.shard_for_account("alice")
+        # A raw (unsealed) prepare must bounce before touching state.
+        with pytest.raises(ProtocolError):
+            source._shard_rpc.call(
+                dest.address,
+                protocol.XSHARD_PREPARE,
+                {"h": "forged", "op": "credit", "credited": 10, "payout_to": "alice"},
+            )
+        # So must one sealed under a key that is not the federation key.
+        rogue = KeyPair.generate(fednet.params)
+        with pytest.raises(VerificationFailed):
+            source._shard_rpc.call(
+                dest.address,
+                protocol.XSHARD_PREPARE,
+                seal(
+                    rogue,
+                    {"h": "forged2", "op": "credit", "credited": 10, "payout_to": "alice"},
+                ).encode(),
+            )
+        assert "forged" not in dest.handoffs_seen
+        assert "forged2" not in dest.handoffs_seen
 
     def test_complete_pending_handoffs_drains_an_orphan(self, fednet):
         alice = fednet.add_peer("alice", PeerConfig(balance=5))

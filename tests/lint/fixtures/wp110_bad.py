@@ -1,0 +1,19 @@
+# wp-lint: module=repro.core.peer
+"""WP110 bad fixture: peer identity reaches the anonymous channel."""
+
+
+class BadPeer:
+    def top_up(self, held, delta):
+        auth = {"account": self.address, "amount": delta}  # tainted dict
+        return self._holder_envelope(held, "top_up", funding_auth=auth)  # line 8
+
+    def offer(self, held, gpk, member):
+        payload = {"op": "transfer", "payer": self.identity}
+        return group_seal(held.keypair, member, gpk, payload)  # line 12
+
+    def relay(self, held):
+        # Interprocedural: the identity flows through a helper parameter.
+        return self._wrap(held, self.address)  # line 16
+
+    def _wrap(self, held, blob):
+        return self._holder_envelope(held, "op", field=blob)

@@ -1,0 +1,20 @@
+# wp-lint: module=repro.core.peer
+"""WP110 good fixture: identity only crosses via sanctioned constructors."""
+
+
+class GoodPeer:
+    def top_up(self, held, delta):
+        # The voucher constructor is the sanctioned declassification point:
+        # the account travels sealed inside an identity-signed blob.
+        auth = funding_voucher(self.identity, self.address, delta, held.coin_y)
+        return self._holder_envelope(held, "top_up", funding_auth=auth)
+
+    def offer(self, held, gpk, member):
+        # Coin-keyed fields are fine — they are the anonymous channel.
+        payload = {"op": "transfer", "coin_y": held.coin_y}
+        return group_seal(held.keypair, member, gpk, payload)
+
+    def named_channel(self, payee):
+        # The identity key is allowed on the *named* channel (seal, not
+        # group_seal): identity-signed traffic is not anonymous by design.
+        return seal(self.identity, {"kind": "whopay.purchase", "payee": payee})

@@ -1,0 +1,23 @@
+# wp-lint: module=repro.core.peer
+"""WP111 bad fixture: secret key material reaches observable surfaces."""
+
+
+class BadNode:
+    def debug_dump(self, keypair):
+        print("identity secret:", keypair.x)  # line 7: printed output
+
+    def journal_raw(self, keypair):
+        self._wal({"type": "init", "secret": keypair.x})  # line 10: journal
+
+    def error_path(self, keypair):
+        raise ValueError(f"bad key {keypair.x}")  # line 13: exception message
+
+    def register(self):
+        self.on("fix.key_query", self._handle_key_query)
+
+    def _handle_key_query(self, src, payload):
+        return {"x": self._keypair.x}  # line 19: handler reply payload
+
+    def share_log(self, log, secret):
+        for share in split_secret(secret, n=5, k=3):
+            log.info("share: %r", share)  # line 23: log message

@@ -1,0 +1,20 @@
+# wp-lint: module=repro.core.peer
+"""WP111 good fixture: only public values reach observable surfaces."""
+
+
+class GoodNode:
+    def debug_dump(self, keypair):
+        # Public key components are not secrets.
+        print("identity public key:", keypair.public.y)
+
+    def journal_public(self, state):
+        self._wal({"type": "owned_put", "coin_y": state.coin.coin_y})
+
+    def error_path(self, coin_y):
+        raise ValueError(f"unknown coin {coin_y:#x}")
+
+    def register(self):
+        self.on("fix.key_query", self._handle_key_query)
+
+    def _handle_key_query(self, src, payload):
+        return {"y": self._keypair.public.y}

@@ -1,0 +1,29 @@
+# wp-lint: module=repro.core.broker
+"""WP113 good fixture: a verification dominates every trusting use."""
+
+
+class GoodBroker:
+    def __init__(self):
+        self.on("fix.apply", self._handle_apply)
+
+    def _handle_apply(self, src, payload):
+        envelope = decode_signed(payload, self.params)
+        if not envelope.verify():
+            raise VerificationFailed("bad signature")
+        self._stage({"type": "apply", "op": envelope.op})
+        return {"ok": True}
+
+    def ingest(self, blob):
+        message = self._decode_verified(blob)
+        if message is None:
+            return
+        self.accounts[message.src] = message
+
+    def _decode_verified(self, blob):
+        # Verify at the trust boundary: no unverified decode escapes.
+        if blob is None:
+            return None
+        message = decode_signed(blob, self.params)
+        if not message.verify():
+            raise VerificationFailed("bad signature")
+        return message

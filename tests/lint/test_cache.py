@@ -1,0 +1,112 @@
+"""Content-hash cache: full-tree replay, per-file reuse, invalidation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro.lint.cache as cache_mod
+from repro.lint.cache import LintCache, lint_paths_cached, ruleset_version
+
+
+CLEAN = "# wp-lint: module=repro.core.clean\nx = 1\n"
+BAD = "# wp-lint: module=repro.core.dirty\ny = pow(2, 3, 5)\n"  # WP103
+
+
+@pytest.fixture
+def tree(tmp_path):
+    root = tmp_path / "tree"
+    root.mkdir()
+    (root / "clean.py").write_text(CLEAN, encoding="utf-8")
+    (root / "dirty.py").write_text(BAD, encoding="utf-8")
+    return root
+
+
+@pytest.fixture
+def cache_path(tmp_path):
+    return str(tmp_path / "cache.json")
+
+
+class TestFullTreeFastPath:
+    def test_cold_then_full_hit_replays_the_same_result(self, tree, cache_path):
+        cold, status = lint_paths_cached([str(tree)], LintCache.load(cache_path))
+        assert status == "cold"
+
+        warm, status = lint_paths_cached([str(tree)], LintCache.load(cache_path))
+        assert status == "full-hit"
+        assert [d.to_json() for d in warm.findings] == [
+            d.to_json() for d in cold.findings
+        ]
+        assert warm.checked_files == cold.checked_files
+        assert warm.suppressed == cold.suppressed
+
+    def test_full_hit_does_not_parse_any_file(self, tree, cache_path, monkeypatch):
+        lint_paths_cached([str(tree)], LintCache.load(cache_path))
+
+        def boom(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("full-hit path parsed a file")
+
+        monkeypatch.setattr(cache_mod, "load_source", boom)
+        _, status = lint_paths_cached([str(tree)], LintCache.load(cache_path))
+        assert status == "full-hit"
+
+
+class TestPartialReuse:
+    def test_editing_one_file_reuses_the_other(self, tree, cache_path):
+        lint_paths_cached([str(tree)], LintCache.load(cache_path))
+        (tree / "clean.py").write_text(CLEAN + "z = 2\n", encoding="utf-8")
+        result, status = lint_paths_cached([str(tree)], LintCache.load(cache_path))
+        assert status == "partial-hit:1/2"
+        # The unchanged file's finding is replayed from the cache.
+        assert {d.code for d in result.findings} == {"WP103"}
+
+    def test_reverting_the_edit_still_reuses_the_unchanged_file(self, tree, cache_path):
+        lint_paths_cached([str(tree)], LintCache.load(cache_path))
+        original = (tree / "clean.py").read_text(encoding="utf-8")
+        (tree / "clean.py").write_text(original + "z = 2\n", encoding="utf-8")
+        lint_paths_cached([str(tree)], LintCache.load(cache_path))
+        (tree / "clean.py").write_text(original, encoding="utf-8")
+        # Content-keyed, not mtime-keyed: the untouched file replays even
+        # though the whole-tree result (one slot, latest tree) was displaced.
+        _, status = lint_paths_cached([str(tree)], LintCache.load(cache_path))
+        assert status == "partial-hit:1/2"
+        _, status = lint_paths_cached([str(tree)], LintCache.load(cache_path))
+        assert status == "full-hit"
+
+    def test_deleted_files_are_pruned_from_the_cache(self, tree, cache_path):
+        lint_paths_cached([str(tree)], LintCache.load(cache_path))
+        (tree / "dirty.py").unlink()
+        result, _ = lint_paths_cached([str(tree)], LintCache.load(cache_path))
+        assert result.findings == []
+        with open(cache_path, "r", encoding="utf-8") as fh:
+            stored = json.load(fh)
+        assert all(path.endswith("clean.py") for path in stored["files"])
+
+
+class TestInvalidation:
+    def test_ruleset_version_change_discards_the_cache(self, tree, cache_path):
+        lint_paths_cached([str(tree)], LintCache.load(cache_path))
+        with open(cache_path, "r", encoding="utf-8") as fh:
+            stored = json.load(fh)
+        stored["version"] = "0" * 16  # a different rule set wrote this
+        with open(cache_path, "w", encoding="utf-8") as fh:
+            json.dump(stored, fh)
+        _, status = lint_paths_cached([str(tree)], LintCache.load(cache_path))
+        assert status == "cold"
+
+    def test_corrupt_cache_degrades_to_cold(self, tree, cache_path):
+        with open(cache_path, "w", encoding="utf-8") as fh:
+            fh.write("{not json")
+        result, status = lint_paths_cached([str(tree)], LintCache.load(cache_path))
+        assert status == "cold"
+        assert {d.code for d in result.findings} == {"WP103"}
+
+    def test_no_cache_reports_disabled(self, tree):
+        result, status = lint_paths_cached([str(tree)], None)
+        assert status == "disabled"
+        assert {d.code for d in result.findings} == {"WP103"}
+
+    def test_ruleset_version_is_stable_within_a_process(self):
+        assert ruleset_version() == ruleset_version()
+        assert len(ruleset_version()) == 16

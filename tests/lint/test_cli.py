@@ -5,7 +5,9 @@ from __future__ import annotations
 import json
 import os
 
-from repro.lint.cli import main
+from repro.lint.cli import main, split_exempt
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.sarif import SARIF_VERSION
 
 HERE = os.path.dirname(os.path.abspath(__file__))
 FIXTURES = os.path.join(HERE, "fixtures")
@@ -14,7 +16,7 @@ SRC = os.path.join(HERE, "..", "..", "src")
 
 def test_self_check_committed_tree_is_clean(capsys):
     """`python -m repro.lint src/` exits 0 with zero findings, no baseline."""
-    code = main([SRC, "--no-baseline", "--format", "json"])
+    code = main([SRC, "--no-baseline", "--no-cache", "--format", "json"])
     payload = json.loads(capsys.readouterr().out)
     assert code == 0
     assert payload["findings"] == []
@@ -22,31 +24,84 @@ def test_self_check_committed_tree_is_clean(capsys):
 
 
 def test_bad_fixture_fails_with_exit_1(capsys):
-    code = main([os.path.join(FIXTURES, "wp103_bad.py"), "--no-baseline"])
+    code = main([os.path.join(FIXTURES, "wp103_bad.py"), "--no-baseline", "--no-cache"])
     out = capsys.readouterr().out
     assert code == 1
     assert "WP103" in out
-    assert out.strip().endswith("file(s)")
+    assert "file(s) [cache: disabled]" in out.strip().splitlines()[-1]
 
 
 def test_json_format_shape(capsys):
     code = main(
-        [os.path.join(FIXTURES, "wp104_bad.py"), "--no-baseline", "--format", "json"]
+        [
+            os.path.join(FIXTURES, "wp104_bad.py"),
+            "--no-baseline",
+            "--no-cache",
+            "--format",
+            "json",
+        ]
     )
     payload = json.loads(capsys.readouterr().out)
     assert code == 1
+    assert payload["cache"] == "disabled"
     assert {f["code"] for f in payload["findings"]} == {"WP104"}
     for finding in payload["findings"]:
         assert set(finding) == {"path", "line", "col", "code", "message", "fingerprint"}
 
 
+def test_sarif_format_from_the_cli(capsys):
+    code = main(
+        [
+            os.path.join(FIXTURES, "wp104_bad.py"),
+            "--no-baseline",
+            "--no-cache",
+            "--format",
+            "sarif",
+        ]
+    )
+    log = json.loads(capsys.readouterr().out)
+    assert code == 1
+    assert log["version"] == SARIF_VERSION
+    results = log["runs"][0]["results"]
+    assert results and all(r["ruleId"] == "WP104" for r in results)
+
+
+def test_cache_status_transitions(tmp_path, capsys):
+    """cold on first run, full-hit on an unchanged tree, partial after an edit."""
+    cache = str(tmp_path / "cache.json")
+    tree = tmp_path / "tree"
+    tree.mkdir()
+    (tree / "a.py").write_text(
+        "# wp-lint: module=repro.core.a\nx = pow(2, 3)\n", encoding="utf-8"
+    )
+    (tree / "b.py").write_text(
+        "# wp-lint: module=repro.core.b\ny = 1\n", encoding="utf-8"
+    )
+    argv = [str(tree), "--no-baseline", "--cache-file", cache, "--format", "json"]
+
+    main(argv)
+    first = json.loads(capsys.readouterr().out)
+    assert first["cache"] == "cold"
+
+    main(argv)
+    second = json.loads(capsys.readouterr().out)
+    assert second["cache"] == "full-hit"
+
+    (tree / "b.py").write_text(
+        "# wp-lint: module=repro.core.b\ny = 2\n", encoding="utf-8"
+    )
+    main(argv)
+    third = json.loads(capsys.readouterr().out)
+    assert third["cache"] == "partial-hit:1/2"
+
+
 def test_write_baseline_then_clean(tmp_path, capsys):
     baseline = str(tmp_path / "baseline.json")
     bad = os.path.join(FIXTURES, "wp102_bad.py")
-    assert main([bad, "--baseline", baseline, "--write-baseline"]) == 0
+    assert main([bad, "--baseline", baseline, "--no-cache", "--write-baseline"]) == 0
     capsys.readouterr()
     # Same findings, now grandfathered: exit 0, reported as baselined.
-    code = main([bad, "--baseline", baseline, "--format", "json"])
+    code = main([bad, "--baseline", baseline, "--no-cache", "--format", "json"])
     payload = json.loads(capsys.readouterr().out)
     assert code == 0
     assert payload["findings"] == []
@@ -57,16 +112,16 @@ def test_stale_baseline_entries_surface(tmp_path, capsys):
     baseline = str(tmp_path / "baseline.json")
     bad = os.path.join(FIXTURES, "wp104_bad.py")
     good = os.path.join(FIXTURES, "wp104_good.py")
-    main([bad, "--baseline", baseline, "--write-baseline"])
+    main([bad, "--baseline", baseline, "--no-cache", "--write-baseline"])
     capsys.readouterr()
-    code = main([good, "--baseline", baseline])
+    code = main([good, "--baseline", baseline, "--no-cache"])
     out = capsys.readouterr().out
     assert code == 0
     assert "stale baseline entry" in out
 
 
 def test_missing_path_is_a_usage_error(capsys):
-    assert main(["definitely/not/a/path.py"]) == 2
+    assert main(["definitely/not/a/path.py", "--no-cache"]) == 2
     assert "error" in capsys.readouterr().err
 
 
@@ -75,3 +130,33 @@ def test_list_rules(capsys):
     out = capsys.readouterr().out
     for code in ("WP101", "WP102", "WP103", "WP104", "WP105"):
         assert code in out
+
+
+class TestExemptionMap:
+    EXEMPT = {"benchmarks/bench.py": frozenset({"WP103"}), "examples": frozenset({"WP111"})}
+
+    def _diag(self, path, code):
+        return Diagnostic(path=path, line=1, col=0, code=code, message="m")
+
+    def test_exact_path_and_code_match_is_dropped(self):
+        kept, dropped = split_exempt(
+            [self._diag("benchmarks/bench.py", "WP103")], self.EXEMPT
+        )
+        assert kept == [] and len(dropped) == 1
+
+    def test_other_codes_under_the_same_path_are_kept(self):
+        kept, dropped = split_exempt(
+            [self._diag("benchmarks/bench.py", "WP104")], self.EXEMPT
+        )
+        assert len(kept) == 1 and dropped == []
+
+    def test_directory_prefix_covers_children_not_siblings(self):
+        kept, dropped = split_exempt(
+            [
+                self._diag("examples/demo.py", "WP111"),
+                self._diag("examples_extra/demo.py", "WP111"),
+            ],
+            self.EXEMPT,
+        )
+        assert [d.path for d in dropped] == ["examples/demo.py"]
+        assert [d.path for d in kept] == ["examples_extra/demo.py"]

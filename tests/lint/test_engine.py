@@ -59,6 +59,60 @@ class TestPragmas:
         assert pragmas == {1: frozenset({"WP101", "WP105"})}
 
 
+class TestMultiLinePragmas:
+    """A pragma anywhere on a multi-line statement covers the whole span.
+
+    Findings anchor to a statement's *first* line, but a trailing comment
+    is only syntactically possible on its *last* line — so the pragma must
+    be widened across the span or it can never suppress these findings.
+    """
+
+    MULTI_LINE = (
+        "# wp-lint: module=repro.core.pragma_fixture\n"
+        "class C:\n"
+        "    def f(self, dst, p):\n"
+        "        return self.transport.request(\n"
+        "            'a',\n"
+        "            dst,\n"
+        "            'k',\n"
+        "            p,\n"
+        "        ){suffix}\n"
+    )
+
+    def test_pragma_on_the_closing_line_suppresses(self):
+        source = self.MULTI_LINE.format(suffix="  # wp-lint: disable=WP101")
+        result = lint_sources([("x.py", source)])
+        assert not any(d.code == "WP101" for d in result.findings)
+        assert result.suppressed == 1
+
+    def test_pragma_on_the_opening_line_still_suppresses(self):
+        source = self.MULTI_LINE.replace(
+            "self.transport.request(",
+            "self.transport.request(  # wp-lint: disable=WP101",
+        ).format(suffix="")
+        result = lint_sources([("x.py", source)])
+        assert not any(d.code == "WP101" for d in result.findings)
+        assert result.suppressed == 1
+
+    def test_without_a_pragma_the_multi_line_call_fires(self):
+        result = lint_sources([("x.py", self.MULTI_LINE.format(suffix=""))])
+        assert any(d.code == "WP101" for d in result.findings)
+
+    def test_compound_statement_header_spans_only_the_header(self):
+        # A pragma on the last line of an ``if`` body line must NOT be
+        # widened to the whole if-statement: only the multi-line *test*
+        # expression shares a span with the header.
+        source = (
+            "# wp-lint: module=repro.core.pragma_fixture\n"
+            "class C:\n"
+            "    def f(self, dst, p, flag):\n"
+            "        if flag:\n"
+            "            return self.transport.request('a', dst, 'k', p)\n"
+        )
+        result = lint_sources([("x.py", source)])
+        assert any(d.code == "WP101" for d in result.findings)
+
+
 class TestParseErrors:
     def test_syntax_error_becomes_wp100(self):
         result = lint_sources([("broken.py", "def f(:\n")])
@@ -99,11 +153,11 @@ class TestDiagnostics:
 
 
 class TestRegistry:
-    def test_all_nine_domain_rules_registered(self):
+    def test_all_thirteen_domain_rules_registered(self):
         codes = [rule.code for rule in get_rules()]
         assert codes == [
             "WP101", "WP102", "WP103", "WP104", "WP105", "WP106", "WP107", "WP108",
-            "WP109",
+            "WP109", "WP110", "WP111", "WP112", "WP113",
         ]
 
     def test_every_rule_has_rationale_and_scope(self):
@@ -111,3 +165,5 @@ class TestRegistry:
             assert rule.rationale
             assert rule.scope in ("file", "program")
         assert get_rule("WP105").scope == "program"
+        for code in ("WP110", "WP111", "WP112", "WP113"):
+            assert get_rule(code).scope == "program"

@@ -252,3 +252,76 @@ class TestWP109BrokerConstructionDiscipline:
         source = "def build(PPayBroker, t):\n    return PPayBroker(t)\n"
         result = lint_sources([("x.py", source, "repro.baselines.scratch")])
         assert [d for d in result.findings if d.code == "WP109"] == []
+
+
+class TestWP110AnonymityTaint:
+    def test_bad_fires_on_direct_helper_and_group_seal_flows(self):
+        found = findings_for("WP110", "wp110_bad.py")
+        assert [diag.line for diag in found] == [8, 12, 16]
+        messages = " ".join(diag.message for diag in found)
+        assert "holder-envelope field funding_auth" in messages
+        assert "group_seal payload" in messages
+
+    def test_good_is_silent(self):
+        assert findings_for("WP110", "wp110_good.py") == []
+
+    def test_outside_peer_modules_is_out_of_scope(self):
+        from repro.lint import lint_sources
+
+        source = (
+            "class X:\n"
+            "    def f(self, held):\n"
+            "        return self._holder_envelope(held, 'op', who=self.address)\n"
+        )
+        result = lint_sources([("x.py", source, "repro.sim.driver")])
+        assert [d for d in result.findings if d.code == "WP110"] == []
+
+
+class TestWP111SecretEgress:
+    def test_bad_fires_on_every_egress_surface(self):
+        found = findings_for("WP111", "wp111_bad.py")
+        assert [diag.line for diag in found] == [7, 10, 13, 19, 23]
+        messages = " ".join(diag.message for diag in found)
+        for surface in (
+            "printed output",
+            "journal record",
+            "exception message",
+            "handler reply payload",
+            "log message",
+        ):
+            assert surface in messages
+
+    def test_good_is_silent(self):
+        assert findings_for("WP111", "wp111_good.py") == []
+
+    def test_serializer_layer_is_exempt(self):
+        from repro.lint import lint_sources
+
+        source = (
+            "def record(keypair):\n"
+            "    return {'type': 'init', 'x': keypair.x}\n"
+        )
+        inside = lint_sources([("records.py", source, "repro.store.records")])
+        assert [d for d in inside.findings if d.code == "WP111"] == []
+
+
+class TestWP112JournalBeforeReply:
+    def test_bad_fires_on_unjournaled_one_armed_and_dead_code(self):
+        found = findings_for("WP112", "wp112_bad.py")
+        assert [diag.line for diag in found] == [7, 11, 15, 21, 23]
+        messages = " ".join(diag.message for diag in found)
+        assert "without a covering journal write" in messages
+        assert "unreachable" in messages
+
+    def test_good_is_silent(self):
+        assert findings_for("WP112", "wp112_good.py") == []
+
+
+class TestWP113VerifyBeforeTrust:
+    def test_bad_fires_on_handler_and_decode_flows(self):
+        found = findings_for("WP113", "wp113_bad.py")
+        assert [diag.line for diag in found] == [11, 16]
+        assert all("no dominating signature/validation" in d.message for d in found)
+
+    def test_good_is_silent(self):
+        assert findings_for("WP113", "wp113_good.py") == []

@@ -1,0 +1,71 @@
+"""SARIF output: structural schema checks for code-scanning upload."""
+
+from __future__ import annotations
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.registry import get_rules
+from repro.lint.sarif import SARIF_SCHEMA, SARIF_VERSION, to_sarif
+
+
+def _diag(**overrides):
+    base = dict(
+        path="src/repro/core/peer.py",
+        line=12,
+        col=4,
+        code="WP110",
+        message="identity-linkable value reaches an anonymous channel",
+    )
+    base.update(overrides)
+    return Diagnostic(**base)
+
+
+class TestLogDocument:
+    def test_top_level_shape(self):
+        log = to_sarif([_diag()])
+        assert log["version"] == SARIF_VERSION
+        assert log["$schema"] == SARIF_SCHEMA
+        assert len(log["runs"]) == 1
+        driver = log["runs"][0]["tool"]["driver"]
+        assert driver["name"] == "wp-lint"
+
+    def test_rule_descriptors_cover_every_emittable_code(self):
+        log = to_sarif([])
+        ids = [rule["id"] for rule in log["runs"][0]["tool"]["driver"]["rules"]]
+        expected = ["WP100"] + [rule.code for rule in get_rules()]
+        assert ids == expected
+        for rule in log["runs"][0]["tool"]["driver"]["rules"]:
+            assert rule["shortDescription"]["text"]
+            assert rule["fullDescription"]["text"]
+
+    def test_every_result_rule_id_resolves_to_a_descriptor(self):
+        findings = [_diag(), _diag(code="WP100", message="file does not parse: x")]
+        log = to_sarif(findings)
+        ids = {rule["id"] for rule in log["runs"][0]["tool"]["driver"]["rules"]}
+        assert all(r["ruleId"] in ids for r in log["runs"][0]["results"])
+
+
+class TestResults:
+    def test_result_shape(self):
+        result = to_sarif([_diag()])["runs"][0]["results"][0]
+        assert result["ruleId"] == "WP110"
+        assert result["level"] == "error"
+        assert result["message"]["text"].startswith("identity-linkable")
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == "src/repro/core/peer.py"
+        assert location["region"] == {"startLine": 12, "startColumn": 5}
+
+    def test_uri_is_forward_slashed_and_relative(self):
+        result = to_sarif([_diag(path="src\\repro\\x.py")])["runs"][0]["results"][0]
+        uri = result["locations"][0]["physicalLocation"]["artifactLocation"]["uri"]
+        assert "\\" not in uri
+        assert not uri.startswith("/")
+
+    def test_partial_fingerprint_matches_the_baseline_fingerprint(self):
+        diag = _diag()
+        result = to_sarif([diag])["runs"][0]["results"][0]
+        assert result["partialFingerprints"] == {"wpLint/v1": diag.fingerprint}
+
+    def test_line_zero_is_clamped_to_one(self):
+        result = to_sarif([_diag(line=0)])["runs"][0]["results"][0]
+        region = result["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] == 1
