@@ -35,6 +35,11 @@ from repro.net.transport import NetworkError, Transport
 
 RELAY_KIND = "onion.relay"
 
+#: Virtual-time budget for one full circuit round trip (WP114).  Onion hops
+#: accrue latency at every relay, so this is the most generous deadline in
+#: the tree — it exists to cut off runaway jitter, not to shape routing.
+RELAY_DEADLINE = 120.0
+
 
 class _OnionRelay(Node):
     """One onion router."""
@@ -142,6 +147,7 @@ class OnionOverlay:
             RELAY_KIND,
             {"eph_y": circuit.ephemeral_ys[0], "box": box},
             src=src,
+            deadline=RELAY_DEADLINE,
         )
         # Unwrap the response layers in circuit order.
         for key in circuit.layer_keys:

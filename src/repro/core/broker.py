@@ -48,11 +48,17 @@ from repro.crypto.params import DlogParams
 from repro.messages.envelope import DualSignedMessage, seal
 from repro.net.node import Node
 from repro.net.rpc import RetryPolicy, RpcClient, unwrap_idempotent, wrap_idempotent
-from repro.net.transport import Transport
+from repro.net.transport import NetworkError, Transport
 from repro.store import apply as store_apply
 from repro.store import records as store_records
 from repro.store.groupcommit import GroupCommitter
 from repro.store.journal import DurableStore
+
+
+#: Virtual-time budget for one shard-to-shard prepare/cancel RPC (WP114).
+#: Generous — it bounds pathological jitter accumulation across retries,
+#: it does not shape the common case.
+XSHARD_DEADLINE = 60.0
 
 
 def handoff_id(op: str, data: bytes) -> str:
@@ -360,6 +366,19 @@ class Broker(Node):
             "pending_handoffs": len(self.pending_handoffs),
         }
 
+    def health(self) -> dict[str, Any]:
+        """Liveness surface for supervisors and dashboards (cheap, no secrets)."""
+        pending = len(self.pending_handoffs)
+        return {
+            "ok": bool(self.online) and pending == 0,
+            "online": bool(self.online),
+            "address": self.address,
+            "pending_handoffs": pending,
+            "accounts": len(self.accounts),
+            "circulating_value": self.circulating_value(),
+            "operations": self.counts.total(),
+        }
+
     # -- federation (cross-shard handoffs) ---------------------------------------
 
     def attach_federation(self, shard_map: ShardMap, policy: RetryPolicy | None = None) -> None:
@@ -388,42 +407,61 @@ class Broker(Node):
         return None if home == self.address else home
 
     def _send_prepares(self, record: dict[str, Any]) -> None:
-        """Drive every prepare of one pending handoff to its destination.
+        """Fan out every prepare of one pending handoff to its destination.
 
-        Each prepare payload is pre-wrapped in the idempotency envelope
-        keyed by its handoff id, so destination-side dedupe works across
-        retries, crashes, and replay-cache eviction.  A destination's
-        *validation* rejection triggers compensation (cancelling prepares
-        already applied) and re-raises; transport-level failure
-        (``RetriesExhausted``) leaves the handoff pending for a later
-        re-drive and propagates.
+        All prepares are *issued* before the outcome is decided — a batch
+        purchase whose coins hash to several sibling shards drives every
+        shard's prepare even if an earlier one failed, rather than stopping
+        at the first error.  Each prepare payload is pre-wrapped in the
+        idempotency envelope keyed by its handoff id, so destination-side
+        dedupe works across retries, crashes, and replay-cache eviction.
+
+        Outcome resolution, in precedence order:
+
+        * any destination's *validation* rejection wins — every mint
+          prepare in the record is compensated (``unmint`` is an idempotent
+          per-coin no-op on shards the prepare never reached) and the
+          rejection re-raises, so the caller aborts the handoff;
+        * otherwise a transport-level failure (``RetriesExhausted``,
+          ``NodeOffline``, timeout) propagates and the handoff stays
+          pending for a later re-drive — destination dedupe via
+          ``handoffs_seen`` keeps the re-drive exactly-once.
         """
         assert self._shard_rpc is not None
-        sent = 0
-        try:
-            for prep in record["prepares"]:
-                payload = dict(prep["payload"])
-                payload["h"] = prep["h"]
+        rejection: ProtocolError | None = None
+        transport_failure: Exception | None = None
+        for prep in record["prepares"]:
+            payload = dict(prep["payload"])
+            payload["h"] = prep["h"]
+            try:
                 self._shard_rpc.call(
                     prep["dest"],
                     protocol.XSHARD_PREPARE,
                     wrap_idempotent(seal(self.keypair, payload).encode(), prep["h"]),
+                    deadline=XSHARD_DEADLINE,
                 )
-                sent += 1
-        except ProtocolError:
-            self._cancel_prepares(record, sent)
-            raise
+            except ProtocolError as exc:
+                rejection = rejection or exc
+            except NetworkError as exc:
+                transport_failure = transport_failure or exc
+        if rejection is not None:
+            self._cancel_prepares(record)
+            raise rejection
+        if transport_failure is not None:
+            raise transport_failure
 
-    def _cancel_prepares(self, record: dict[str, Any], upto: int) -> None:
-        """Compensate already-applied mint prepares after a later rejection.
+    def _cancel_prepares(self, record: dict[str, Any]) -> None:
+        """Compensate the record's mint prepares after a validation rejection.
 
         Only mints need undoing (credits/debits are single-prepare
         handoffs, so a rejection means nothing was applied).  The cancel is
         itself an idempotent prepare (``op: unmint``) keyed off the original
-        prepare id, so re-driving it is safe.
+        prepare id — a per-coin no-op on any shard the original prepare
+        never reached — so cancelling the *whole* record after a fan-out is
+        safe, and so is re-driving a cancel.
         """
         assert self._shard_rpc is not None
-        for prep in record["prepares"][:upto]:
+        for prep in record["prepares"]:
             if prep["payload"].get("op") != "mint":
                 continue
             cancel = {
@@ -435,6 +473,7 @@ class Broker(Node):
                 prep["dest"],
                 protocol.XSHARD_PREPARE,
                 wrap_idempotent(seal(self.keypair, cancel).encode(), cancel["h"]),
+                deadline=XSHARD_DEADLINE,
             )
 
     def _finish_handoff(self, h: str, staged: bool) -> None:

@@ -65,6 +65,15 @@ class BrokerAPI(Protocol):
         """Re-drive any cross-shard handoffs orphaned by a crash."""
         ...
 
+    def health(self) -> dict[str, Any]:
+        """Liveness/health surface: online flags and in-flight work.
+
+        This is what a supervisor or operator dashboard polls — it must
+        stay cheap (no signature checks, no fan-out RPCs) and must not
+        leak secrets.
+        """
+        ...
+
 
 class ShardRouter:
     """A federation of broker shards behind the :class:`BrokerAPI` surface.
@@ -220,3 +229,19 @@ class ShardRouter:
     def complete_pending_handoffs(self) -> int:
         """Re-drive orphaned handoffs on every shard; returns the total."""
         return sum(shard.complete_pending_handoffs() for shard in self.shards)
+
+    def health(self) -> dict[str, Any]:
+        """Federation health: per-shard liveness plus roll-up flags.
+
+        ``ok`` is True only when every shard is online and no handoff is
+        stranded mid-flight — the condition under which
+        :meth:`verify_conservation` can hold.
+        """
+        shards = {shard.address: shard.health() for shard in self.shards}
+        return {
+            "ok": all(entry["ok"] for entry in shards.values()),
+            "shards_online": sum(1 for entry in shards.values() if entry["online"]),
+            "shards_total": len(self.shards),
+            "pending_handoffs": sum(entry["pending_handoffs"] for entry in shards.values()),
+            "shards": shards,
+        }

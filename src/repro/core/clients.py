@@ -39,7 +39,15 @@ if TYPE_CHECKING:  # pragma: no cover
 
 
 class EndpointClient:
-    """Shared plumbing: an RPC client plus the exhaustion→error mapping."""
+    """Shared plumbing: an RPC client plus the exhaustion→error mapping.
+
+    ``breakers`` (a :class:`~repro.net.liveness.BreakerBoard`) puts every
+    call on this facade behind per-destination circuit breakers — a
+    tripped destination raises :class:`~repro.net.rpc.CircuitOpen` without
+    consuming any retry budget.  ``deadline`` is the facade-wide per-call
+    virtual-time budget (backoff plus accrued latency); individual calls
+    may override it.
+    """
 
     def __init__(
         self,
@@ -48,9 +56,12 @@ class EndpointClient:
         transport: Transport | None = None,
         src: str | None = None,
         policy: RetryPolicy | None = None,
+        breakers: Any = None,
+        deadline: float | None = None,
     ) -> None:
-        self._rpc = RpcClient(node=node, transport=transport, policy=policy)
+        self._rpc = RpcClient(node=node, transport=transport, policy=policy, breakers=breakers)
         self._src = src
+        self.deadline = deadline
 
     @property
     def policy(self) -> RetryPolicy:
@@ -62,6 +73,11 @@ class EndpointClient:
         """The underlying RPC telemetry (retries, recoveries, backoff)."""
         return self._rpc.stats
 
+    @property
+    def breakers(self):
+        """The facade's circuit-breaker board (``None`` when not guarded)."""
+        return self._rpc.breakers
+
     def _call(
         self,
         dst: str,
@@ -70,11 +86,18 @@ class EndpointClient:
         *,
         mutating: bool,
         timeout: float | None = None,
+        deadline: float | None = None,
     ) -> Any:
         key = new_idempotency_key() if mutating else None
         try:
             return self._rpc.call(
-                dst, kind, payload, src=self._src, idempotency_key=key, timeout=timeout
+                dst,
+                kind,
+                payload,
+                src=self._src,
+                idempotency_key=key,
+                timeout=timeout,
+                deadline=deadline if deadline is not None else self.deadline,
             )
         except (RetriesExhausted, RpcTimeout) as exc:
             raise ServiceUnavailable(
@@ -106,8 +129,10 @@ class BrokerClient(EndpointClient):
         broker_address: str,
         policy: RetryPolicy | None = None,
         shard_map: Any = None,
+        breakers: Any = None,
+        deadline: float | None = None,
     ) -> None:
-        super().__init__(node, policy=policy)
+        super().__init__(node, policy=policy, breakers=breakers, deadline=deadline)
         self.broker_address = broker_address
         self.shard_map = shard_map
 

@@ -25,14 +25,16 @@ from repro.core.detection import DetectionService
 from repro.core.judge import Judge
 from repro.core.peer import Peer
 from repro.core.sharding import DEFAULT_POINTS_PER_SHARD, ShardMap
+from repro.core.supervision import CrashHookSupervision, SupervisionPolicy
 from repro.crypto.keys import KeyPair
 from repro.crypto.params import DlogParams, default_params
 from repro.dht.binding_store import BindingStore
 from repro.dht.chord import ChordRing
 from repro.dht.notify import NotificationHub
+from repro.net.liveness import BreakerConfig
 from repro.net.rpc import RetryPolicy
 from repro.net.transport import FaultPlan, Transport
-from repro.store.crashpoints import CrashPointPlan, SimulatedCrash
+from repro.store.crashpoints import CrashPointPlan
 from repro.store.journal import DurableStore
 from repro.store.recovery import RecoveryManager, RecoveryResult
 
@@ -100,6 +102,7 @@ class WhoPayNetwork:
         retry_policy: RetryPolicy | None = None,
         store_dir: str | Path | None = None,
         topology: BrokerTopology | None = None,
+        breaker_config: BreakerConfig | None = None,
     ) -> None:
         self.params = params or default_params()
         self.transport = Transport()
@@ -147,6 +150,12 @@ class WhoPayNetwork:
         self.broker: BrokerAPI = self.router if self.router is not None else self.shards[0]
         self.broker_restarts = 0
         self.last_recovery: RecoveryResult | None = None
+        #: Client-side degradation: with a breaker config, every peer's
+        #: broker facade runs behind per-destination circuit breakers and
+        #: queues payments aimed at a tripped shard instead of failing.
+        self.breaker_config = breaker_config
+        #: The active supervision policy (see :meth:`supervise_broker`).
+        self.supervision: SupervisionPolicy | None = None
         self.sync_mode = sync_mode
         self.renewal_period = renewal_period
         self.peers: dict[str, Peer] = {}
@@ -231,6 +240,7 @@ class WhoPayNetwork:
             retry_policy=self.retry_policy,
             store=store,
             shard_map=self.shard_map,
+            breaker_config=self.breaker_config,
         )
         peer.detection = self.detection
         peer.certificate = self.ca.issue(address, peer.identity.public, self.clock.now())
@@ -243,8 +253,21 @@ class WhoPayNetwork:
         return self.peers[address]
 
     def advance(self, seconds: float) -> float:
-        """Move simulated time forward."""
-        return self.clock.advance(seconds)
+        """Move simulated time forward (and run one supervision round).
+
+        With a :class:`~repro.core.supervision.LeaseGatedSupervision`
+        attached, each advance emits the heartbeats that came due and runs
+        the detector/lease failover check — time moving is what lets a dead
+        shard be noticed.
+        """
+        now = self.clock.advance(seconds)
+        if self.supervision is not None:
+            self.supervision.tick(now)
+        return now
+
+    def drain_queued_payments(self) -> int:
+        """Drain every peer's queued payments (post-recovery); returns count."""
+        return sum(peer.drain_payment_queue() for peer in self.peers.values())
 
     def install_faults(self, plan: FaultPlan | None) -> None:
         """Install (or remove, with ``None``) a fault plan on the fabric."""
@@ -282,22 +305,36 @@ class WhoPayNetwork:
             raise ValueError("the network was not built with store_dir")
         return save_broker_snapshot(target, target.store)
 
-    def supervise_broker(self) -> None:
-        """Auto-restart any broker shard a crash point kills mid-request.
+    def supervise_broker(self, policy: SupervisionPolicy | None = None) -> SupervisionPolicy:
+        """Attach a shard-supervision policy (default: legacy crash hooks).
 
-        The transport runs the restart *before* the in-flight sender sees
-        ``ReplyLost``, so the sender's retry — carrying the same idempotency
-        key — lands on the recovered shard and is deduplicated against the
-        journal-refilled replay cache.  Cross-shard prepares ride the same
-        mechanism: a source shard's retry of a prepare hits the recovered
-        destination with the same handoff id.
+        With no argument this preserves the historical behavior —
+        :class:`~repro.core.supervision.CrashHookSupervision` registers
+        transport crash handlers that restart a dying shard *before* the
+        in-flight sender sees ``ReplyLost``, so the sender's retry (same
+        idempotency key) lands on the recovered shard and is deduplicated
+        against the journal-refilled replay cache.
+
+        Pass a :class:`~repro.core.supervision.LeaseGatedSupervision` for
+        the realistic story: no transport magic, shard death is noticed by
+        heartbeat silence (phi-accrual detector) and repaired only after
+        the dead shard's lease lapses.  Returns the attached policy.
         """
-        for index in range(len(self.shards)):
+        if self.supervision is not None:
+            self.supervision.detach()
+        self.supervision = policy if policy is not None else CrashHookSupervision()
+        self.supervision.attach(self)
+        return self.supervision
 
-            def on_crash(_crash: SimulatedCrash, index: int = index) -> None:
-                self.restart_shard(index)
+    def kill_shard(self, index: int) -> None:
+        """Take one broker shard off the network, journal intact.
 
-            self.transport.set_crash_handler(self.shards[index].address, on_crash)
+        Models abrupt process death: in-flight and future callers see
+        ``NodeOffline`` (fail-fast; churn is protocol-visible), heartbeats
+        stop, and only a supervision policy — or an explicit
+        :meth:`restart_shard` — brings the shard back.
+        """
+        self.shards[index].go_offline()
 
     def restart_broker(self) -> RecoveryResult:
         """Kill the standalone broker and recover it from disk (1-shard form)."""
@@ -368,6 +405,7 @@ class WhoPayNetwork:
             renewal_period=self.renewal_period,
             retry_policy=self.retry_policy,
             shard_map=self.shard_map,
+            breaker_config=self.breaker_config,
         )
         recovered = result.entity
         recovered.detection = detection

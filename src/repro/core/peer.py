@@ -23,6 +23,7 @@ so neither the owner nor the broker learns who holds, pays, or deposits.
 from __future__ import annotations
 
 import secrets
+import zlib
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -47,8 +48,9 @@ from repro.crypto.params import DlogParams
 from repro.crypto.schnorr import SchnorrProof, schnorr_prove, schnorr_verify
 from repro.anonymity.pseudonym import funding_voucher
 from repro.messages.envelope import DualSignedMessage, group_seal, seal
+from repro.net.liveness import BreakerBoard, BreakerConfig
 from repro.net.node import Node
-from repro.net.rpc import RetryPolicy
+from repro.net.rpc import CircuitOpen, RetryPolicy
 from repro.net.transport import NetworkError, NodeOffline, Transport
 from repro.store import records as wallet_records
 from repro.store.journal import DurableStore
@@ -114,6 +116,7 @@ class Peer(Node):
         retry_policy: RetryPolicy | None = None,
         store: DurableStore | None = None,
         shard_map: Any = None,
+        breaker_config: BreakerConfig | None = None,
     ) -> None:
         if sync_mode not in ("proactive", "lazy"):
             raise ValueError("sync_mode must be 'proactive' or 'lazy'")
@@ -132,10 +135,26 @@ class Peer(Node):
         # ``shard_map`` makes the broker facade federation-aware — each call
         # routes straight to the shard owning the coin/account it touches.
         self.retry_policy = retry_policy
+        # Broker traffic (only) sits behind per-destination circuit breakers
+        # when configured: a dead shard trips its breaker, later calls
+        # short-circuit with ``CircuitOpen`` instead of burning retry budget,
+        # and ``pay`` queues the payment until the breaker half-opens and the
+        # shard proves itself recovered.  Peer-to-peer traffic stays bare —
+        # churned peers going offline is ordinary protocol life, not failure.
+        self.breakers = (
+            BreakerBoard(breaker_config, seed=zlib.crc32(address.encode()))
+            if breaker_config is not None
+            else None
+        )
         self.broker_client = BrokerClient(
-            self, broker_address, policy=retry_policy, shard_map=shard_map
+            self, broker_address, policy=retry_policy, shard_map=shard_map,
+            breakers=self.breakers,
         )
         self.peer_client = PeerClient(self, policy=retry_policy)
+        #: Payments deferred because every route to the broker was degraded
+        #: (tripped breaker / offline shard / retries exhausted); drained by
+        #: :meth:`drain_payment_queue` once the destination recovers.
+        self.payment_queue: list[tuple[str, tuple[str, ...]]] = []
 
         self.wallet: dict[int, HeldCoin] = {}
         self.owned: dict[int, OwnedCoinState] = {}
@@ -745,7 +764,15 @@ class Peer(Node):
         entry is tried in order and the first applicable method is used.
         Returns the method that succeeded.  Raises
         :class:`~repro.core.errors.ProtocolError` if no method applies.
+
+        When this peer runs behind circuit breakers and every attempted
+        method failed for *availability* reasons (a tripped breaker, an
+        offline destination, exhausted retries) rather than wallet-state
+        reasons, the payment is queued instead of failing the user and
+        ``"queued"`` is returned; :meth:`drain_payment_queue` replays it
+        once the destination recovers.
         """
+        degraded = False
         for method in preferences:
             try:
                 if method == "transfer":
@@ -765,12 +792,36 @@ class Peer(Node):
                 else:
                     raise ValueError(f"unknown payment method {method!r}")
                 return method
-            except (UnknownCoin, NotHolder, CoinExpired, NodeOffline, ServiceUnavailable):
-                # ServiceUnavailable is a retry-exhaustion signal: the method
-                # was reachable in principle but the network lost the fight,
-                # so degrade gracefully to the next preference.
+            except (NodeOffline, ServiceUnavailable, CircuitOpen):
+                # Availability failures: the method was applicable but the
+                # destination is (for now) unreachable — a tripped breaker
+                # short-circuits here without consuming any retry budget.
+                degraded = True
                 continue
+            except (UnknownCoin, NotHolder, CoinExpired):
+                # Wallet-state failures: this method simply does not apply;
+                # degrade gracefully to the next preference.
+                continue
+        if degraded and self.breakers is not None:
+            self.payment_queue.append((payee, preferences))
+            return "queued"
         raise ProtocolError(f"no payment method in {preferences} was applicable")
+
+    def drain_payment_queue(self) -> int:
+        """Replay queued payments now that (some) destinations recovered.
+
+        The queue is swapped out before replay, so each deferred payment is
+        re-attempted exactly once per drain: an entry that succeeds leaves
+        the queue for good; one whose destination is still degraded re-queues
+        itself via :meth:`pay` and waits for the next drain.  Returns the
+        number of payments that actually completed.
+        """
+        pending, self.payment_queue = self.payment_queue, []
+        drained = 0
+        for payee, preferences in pending:
+            if self.pay(payee, preferences) != "queued":
+                drained += 1
+        return drained
 
     def pay_amount(
         self,

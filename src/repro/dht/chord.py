@@ -43,6 +43,9 @@ def _in_interval(x: int, a: int, b: int, inclusive_right: bool = True) -> bool:
 #: How many copies of each value exist (owner + replicas on successors).
 DEFAULT_REPLICATION = 3
 
+#: Virtual-time budget for one ring RPC (WP114).
+CHORD_DEADLINE = 30.0
+
 
 class ChordNode(Node):
     """One DHT server.
@@ -290,10 +293,16 @@ class ChordRing:
         """Route a put to the owner of ``key``."""
         owner = self.owner_of(key)
         return self.rpc.call(
-            owner.address, "chord.put", {"key_id": key_to_id(key), "value": value}, src=src
+            owner.address,
+            "chord.put",
+            {"key_id": key_to_id(key), "value": value},
+            src=src,
+            deadline=CHORD_DEADLINE,
         )
 
     def get(self, key: bytes, src: str = "client") -> Any:
         """Route a get to the owner of ``key``."""
         owner = self.owner_of(key)
-        return self.rpc.call(owner.address, "chord.get", key_to_id(key), src=src)
+        return self.rpc.call(
+            owner.address, "chord.get", key_to_id(key), src=src, deadline=CHORD_DEADLINE
+        )

@@ -30,6 +30,11 @@ ID_BITS = 160
 K_BUCKET_SIZE = 4  # contacts per bucket (k)
 ALPHA = 2  # lookup parallelism
 
+#: Virtual-time budget for one DHT RPC (WP114).  Lookups already treat any
+#: network failure as "skip this contact", so a deadline overrun degrades
+#: to the same fallback instead of stalling the iteration.
+KAD_DEADLINE = 30.0
+
 
 def kad_id(data: bytes) -> int:
     """Map arbitrary bytes to the 160-bit identifier space."""
@@ -163,7 +168,9 @@ class KademliaNetwork:
             for address in candidates[:ALPHA]:
                 queried.add(address)
                 try:
-                    learned = self.rpc.call(address, "kad.find_node", target_id, src=src)
+                    learned = self.rpc.call(
+                        address, "kad.find_node", target_id, src=src, deadline=KAD_DEADLINE
+                    )
                 except (NodeOffline, NetworkError):
                     continue
                 for contact in learned:
@@ -194,7 +201,9 @@ class KademliaNetwork:
         for rank, address in enumerate(closest):
             payload = {"key_id": key_id, "value": value, "notify": rank == 0}
             try:
-                response = self.rpc.call(address, "kad.store", payload, src=src)
+                response = self.rpc.call(
+                    address, "kad.store", payload, src=src, deadline=KAD_DEADLINE
+                )
             except (NodeOffline, NetworkError):
                 continue
             if result is None:
@@ -208,7 +217,9 @@ class KademliaNetwork:
         key_id = kad_id(key)
         for address in self._iterative_find_node(src, key_id):
             try:
-                response = self.rpc.call(address, "kad.find_value", key_id, src=src)
+                response = self.rpc.call(
+                    address, "kad.find_value", key_id, src=src, deadline=KAD_DEADLINE
+                )
             except (NodeOffline, NetworkError):
                 continue
             if response["found"]:

@@ -23,6 +23,11 @@ from repro.net.rpc import RpcClient
 from repro.net.transport import NetworkError, NodeOffline, Transport
 
 
+#: Virtual-time budget for one overlay RPC (WP114): generous enough that it
+#: only cuts off pathological jitter accumulation, never the common case.
+I3_DEADLINE = 30.0
+
+
 class TriggerError(Exception):
     """Trigger insertion/claim failure."""
 
@@ -114,6 +119,7 @@ class I3Overlay:
             "i3.insert",
             {"handle": handle, "token": token, "forward_to": forward_to},
             src=src,
+            deadline=I3_DEADLINE,
         )
         if not result["ok"]:
             raise TriggerError(result["reason"])
@@ -122,7 +128,11 @@ class I3Overlay:
         """Remove a trigger (owner only)."""
         server = self._server_for(handle)
         result = self.rpc.call(
-            server.address, "i3.remove", {"handle": handle, "token": token}, src=src
+            server.address,
+            "i3.remove",
+            {"handle": handle, "token": token},
+            src=src,
+            deadline=I3_DEADLINE,
         )
         if not result["ok"]:
             raise TriggerError(result["reason"])
@@ -136,5 +146,9 @@ class I3Overlay:
         """
         server = self._server_for(handle)
         return self.rpc.call(
-            server.address, "i3.send", {"handle": handle, "kind": kind, "payload": payload}, src=src
+            server.address,
+            "i3.send",
+            {"handle": handle, "kind": kind, "payload": payload},
+            src=src,
+            deadline=I3_DEADLINE,
         )

@@ -7,6 +7,7 @@ from repro.lint.rules import (  # noqa: F401
     determinism,
     durability,
     exceptions,
+    liveness,
     ordering,
     secrets,
     seeding,

@@ -1,0 +1,106 @@
+"""WP114 — liveness discipline: every RPC bounded, no real-time sleeps.
+
+PR 9 gives :meth:`~repro.net.rpc.RpcClient.call` a ``deadline`` — a total
+virtual-time budget covering latency, fault jitter, and retry backoff.  An
+unbounded call is a liveness hazard: one jittered hop can stall a payment,
+a heartbeat, or a handoff indefinitely, and the failure detector cannot
+bound detection latency for work it cannot bound.  Two hazard classes:
+
+* RPC-client ``.call`` sites (receivers ``rpc`` / ``_rpc`` /
+  ``_shard_rpc``) that pass no ``deadline=`` keyword — protocol code must
+  always state its budget, even a generous one;
+* real-time sleeps (``time.sleep(...)`` or a ``from time import sleep``)
+  anywhere in protocol code — all waiting flows from the virtual
+  :class:`~repro.core.clock.Clock`, and backoff delays are *accounted*
+  (added to ``virtual_latency_accrued``), never slept.
+
+Scope: every package under ``repro`` except ``repro.net`` itself (the
+transport/RPC layer implements the budget machinery, and its seeded-backoff
+helpers are the sanctioned accounting form) and the offline tooling
+packages (``repro.analysis``, ``repro.cli``, ``repro.lint``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.asthelpers import in_package, receiver_attr
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.engine import ModuleInfo
+from repro.lint.registry import Rule, register
+
+EXEMPT_PACKAGES = ("repro.net", "repro.analysis", "repro.cli", "repro.lint")
+
+#: RPC-client receivers whose ``.call`` takes the ``deadline`` keyword.
+_RPC_RECEIVERS = frozenset({"rpc", "_rpc", "_shard_rpc"})
+
+
+@register
+class LivenessDiscipline(Rule):
+    code = "WP114"
+    name = "liveness-discipline"
+    rationale = (
+        "An RPC without a deadline or a real-time sleep in protocol code "
+        "is an unbounded wait the failure detector cannot reason about."
+    )
+
+    def check(self, module: ModuleInfo) -> Iterable[Diagnostic]:
+        if not module.module.startswith("repro"):
+            return
+        if in_package(module.module, EXEMPT_PACKAGES):
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(module, node)
+            elif isinstance(node, ast.ImportFrom):
+                yield from self._check_import(module, node)
+
+    def _check_call(self, module: ModuleInfo, node: ast.Call) -> Iterable[Diagnostic]:
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return
+        if func.attr == "call" and receiver_attr(func.value) in _RPC_RECEIVERS:
+            if not any(kw.arg == "deadline" for kw in node.keywords):
+                yield Diagnostic(
+                    path=module.path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    code=self.code,
+                    message=(
+                        "RpcClient.call without a deadline= budget — an "
+                        "unbounded RPC stalls liveness; state the virtual-time "
+                        "budget (a module constant) even if generous"
+                    ),
+                )
+        elif (
+            func.attr == "sleep"
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "time"
+        ):
+            yield Diagnostic(
+                path=module.path,
+                line=node.lineno,
+                col=node.col_offset,
+                code=self.code,
+                message=(
+                    "time.sleep() in protocol code — waiting flows from the "
+                    "virtual Clock; backoff is accounted, never slept"
+                ),
+            )
+
+    def _check_import(self, module: ModuleInfo, node: ast.ImportFrom) -> Iterable[Diagnostic]:
+        if node.module != "time":
+            return
+        for alias in node.names:
+            if alias.name == "sleep":
+                yield Diagnostic(
+                    path=module.path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    code=self.code,
+                    message=(
+                        "importing sleep from time in protocol code — waiting "
+                        "flows from the virtual Clock"
+                    ),
+                )

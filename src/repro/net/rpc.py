@@ -75,6 +75,16 @@ class RpcTimeout(RpcError):
     """The call's virtual-time budget ran out before the next retry."""
 
 
+class CircuitOpen(RpcError):
+    """The destination's circuit breaker is open: the call was never sent.
+
+    Raised by :meth:`RpcClient.call` *before* any attempt when the client
+    carries a :class:`~repro.net.liveness.BreakerBoard` and the breaker for
+    the destination refuses the call — so a tripped destination consumes no
+    retry budget and accrues no backoff.
+    """
+
+
 @dataclass(frozen=True)
 class RetryPolicy:
     """How persistently one call fights the network.
@@ -193,6 +203,8 @@ class RpcStats:
     recovered: int = 0  # calls that succeeded only after >= 1 retry
     exhausted: int = 0
     timeouts: int = 0
+    deadline_exceeded: int = 0  # subset of timeouts caused by a deadline
+    short_circuits: int = 0  # calls refused by an open circuit breaker
     backoff_accrued: float = 0.0
 
 
@@ -210,6 +222,12 @@ class RpcClient:
 
     The backoff RNG is seeded from the node address (or the given seed),
     so retry schedules are deterministic per endpoint.
+
+    ``breakers`` (optional) is a per-destination circuit-breaker board
+    (:class:`~repro.net.liveness.BreakerBoard`, duck-typed): every call is
+    preflighted against it — an open breaker raises :class:`CircuitOpen`
+    before any attempt — and the call's final outcome (success, or failure
+    by ``NodeOffline`` / exhaustion / timeout) is recorded back.
     """
 
     def __init__(
@@ -218,6 +236,7 @@ class RpcClient:
         transport: Transport | None = None,
         policy: RetryPolicy | None = None,
         seed: int | None = None,
+        breakers: Any = None,
     ) -> None:
         if (node is None) == (transport is None):
             raise ValueError("bind an RpcClient to exactly one of node= or transport=")
@@ -229,6 +248,20 @@ class RpcClient:
             seed = zlib.crc32(ident.encode())
         self.rng = random.Random(seed)
         self.stats = RpcStats()
+        self.breakers = breakers
+
+    def _now(self) -> float:
+        """Virtual time for breaker scheduling (0.0 without a clock)."""
+        clock = getattr(self._transport, "clock", None)
+        return clock.now() if clock is not None else 0.0
+
+    def _record_outcome(self, dst: str, ok: bool) -> None:
+        if self.breakers is None:
+            return
+        if ok:
+            self.breakers.on_success(dst, self._now())
+        else:
+            self.breakers.on_failure(dst, self._now())
 
     def _send(self, dst: str, kind: str, payload: Any, src: str | None) -> Any:
         if self._node is not None:
@@ -245,6 +278,7 @@ class RpcClient:
         idempotency_key: str | None = None,
         policy: RetryPolicy | None = None,
         timeout: float | None = None,
+        deadline: float | None = None,
     ) -> Any:
         """Send ``payload`` to ``dst`` as ``kind``, retrying per policy.
 
@@ -252,15 +286,44 @@ class RpcClient:
         policy's.  The idempotency envelope is applied only when the
         effective policy actually retries — single-attempt traffic keeps
         the raw wire format.
+
+        ``deadline`` is a harder bound: the call's total *virtual-time*
+        budget, covering backoff **and** every virtual second the transport
+        accrues on the call's behalf (per-hop latency, fault-plan jitter,
+        nested RPC work inside the handler).  Backoff is clamped so it
+        never exceeds the remaining budget, and a reply that lands after
+        the budget is spent raises :class:`RpcTimeout` instead of silently
+        succeeding late — the caller asked for an answer *in time*, not an
+        answer eventually.  ``None`` (the default) means unbounded, the
+        pre-deadline behavior.
         """
         active = policy if policy is not None else self.policy
         budget = timeout if timeout is not None else active.timeout
         wire = payload
         if idempotency_key is not None and active.max_attempts > 1:
             wire = wrap_idempotent(payload, idempotency_key)
+        if self.breakers is not None and not self.breakers.preflight(dst, self._now()):
+            self.stats.short_circuits += 1
+            raise CircuitOpen(f"{kind} to {dst}: circuit breaker is open")
         self.stats.calls += 1
+        latency_start = self._transport.virtual_latency_accrued
         waited = 0.0
         last: Exception | None = None
+
+        def consumed() -> float:
+            return self._transport.virtual_latency_accrued - latency_start
+
+        def deadline_exceeded(attempt: int, detail: str) -> RpcTimeout:
+            self.stats.timeouts += 1
+            self.stats.deadline_exceeded += 1
+            self._record_outcome(dst, ok=False)
+            return RpcTimeout(
+                f"{kind} to {dst}: deadline {deadline}s exceeded {detail} "
+                f"after {attempt} attempt(s)",
+                attempts=attempt,
+                last_error=last,
+            )
+
         for attempt in range(1, active.max_attempts + 1):
             try:
                 result = self._send(dst, kind, wire, src)
@@ -268,23 +331,37 @@ class RpcClient:
                 last = exc
             except NodeOffline:
                 if not active.retry_offline:
+                    self._record_outcome(dst, ok=False)
                     raise
                 last = NodeOffline(dst)
             else:
+                if deadline is not None and consumed() > deadline:
+                    # The handler ran, but the reply is too late to use:
+                    # jitter/latency spent the budget (idempotency keys make
+                    # a later retry of the same operation safe).
+                    raise deadline_exceeded(attempt, "(reply arrived late)") from last
                 if attempt > 1:
                     self.stats.recovered += 1
+                self._record_outcome(dst, ok=True)
                 return result
             if attempt == active.max_attempts:
                 break
             delay = active.backoff(attempt, self.rng)
             if budget is not None and waited + delay > budget:
                 self.stats.timeouts += 1
+                self._record_outcome(dst, ok=False)
                 raise RpcTimeout(
                     f"{kind} to {dst}: backoff budget {budget}s exhausted after "
                     f"{attempt} attempt(s)",
                     attempts=attempt,
                     last_error=last,
                 ) from last
+            if deadline is not None:
+                remaining = deadline - consumed()
+                if remaining <= 0.0:
+                    raise deadline_exceeded(attempt, "(no budget left to retry)") from last
+                # Budget propagation: never back off past the deadline.
+                delay = min(delay, remaining)
             waited += delay
             self.stats.retries += 1
             self.stats.backoff_accrued += delay
@@ -295,8 +372,10 @@ class RpcClient:
         if active.max_attempts == 1:
             # Single-attempt callers asked for raw transport semantics;
             # hand them the raw transport error.
+            self._record_outcome(dst, ok=False)
             raise last
         self.stats.exhausted += 1
+        self._record_outcome(dst, ok=False)
         raise RetriesExhausted(
             f"{kind} to {dst}: all {active.max_attempts} attempts failed "
             f"({type(last).__name__}: {last})",

@@ -131,6 +131,20 @@ class SimConfig:
     #: fig2/fig6-style series regenerate *per shard* (``broker_shard{i}_*``
     #: columns; the fast engines keep aggregate counts only).
     broker_shards: int = 1
+    #: Heartbeat period of the PR 9 lease-gated supervisor, in virtual
+    #: seconds.  ``0.0`` (the default) models an unsupervised federation —
+    #: no heartbeat traffic, no detection columns, every figure exactly as
+    #: before.  With a positive interval each shard emits one heartbeat per
+    #: period for the whole run; the beats are charged to communication
+    #: load and the detection-latency bound implied by the phi threshold is
+    #: reported alongside.
+    heartbeat_interval: float = 0.0
+    #: Phi-accrual threshold the modeled detector runs at (only consulted
+    #: when ``heartbeat_interval > 0``).  The closed-form worst-case
+    #: detection latency is ``phi · ln 10 · interval · mean_ceiling`` with
+    #: the detector's default mean ceiling of 2 (see
+    #: :meth:`repro.net.liveness.LivenessConfig.detection_window`).
+    detector_phi_threshold: float = 4.0
     seed: int = 20060704  # ICDCS 2006 vintage
 
     def __post_init__(self) -> None:
@@ -153,6 +167,10 @@ class SimConfig:
             raise ValueError("broker_restarts must be >= 0")
         if self.broker_shards < 1:
             raise ValueError("broker_shards must be >= 1")
+        if self.heartbeat_interval < 0.0:
+            raise ValueError("heartbeat_interval must be >= 0 (0 disables supervision)")
+        if self.detector_phi_threshold <= 0.0:
+            raise ValueError("detector_phi_threshold must be positive")
 
     @property
     def availability(self) -> float:

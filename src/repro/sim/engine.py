@@ -87,7 +87,7 @@ from repro.sim.costs import (
     REPLAY_RECORD_COST,
     expected_attempts,
 )
-from repro.sim.metrics import SimMetrics
+from repro.sim.metrics import SimMetrics, apply_heartbeat_model
 from repro.sim.simulator import (
     RENEWAL_POINT,
     _PAYMENT,
@@ -354,6 +354,7 @@ class FastSimulation:
             n_peers=config.n_peers,
             msg_overhead=expected_attempts(config.message_loss, config.rpc_max_attempts),
         )
+        apply_heartbeat_model(self.metrics, config)
         self.now = 0.0
         self._np = _resolve_numpy(use_numpy)
         self._lazy = config.sync_mode == "lazy"

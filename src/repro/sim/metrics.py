@@ -73,6 +73,15 @@ class SimMetrics:
     #: Per-shard broker operation counters (index = shard); filled by the
     #: reference engine via :meth:`count_broker` when ``broker_shards > 1``.
     shard_ops: list = field(default_factory=list)
+    #: Heartbeats emitted by the modeled lease-gated supervisor over the
+    #: whole run (SimConfig.heartbeat_interval; 0 when unsupervised).
+    #: Closed-form — shards × ⌊duration / interval⌋ — and applied
+    #: identically by every engine, so equivalence checks stay exact.
+    heartbeats_sent: int = 0
+    #: Worst-case failure-detection latency implied by the configured
+    #: detector (:meth:`repro.net.liveness.LivenessConfig.detection_window`);
+    #: 0 when unsupervised.
+    detection_window: float = 0.0
 
     def __post_init__(self) -> None:
         if self.broker_shards > 1 and not self.shard_ops:
@@ -151,10 +160,15 @@ class SimMetrics:
         return float(fixed) + self.recovery_replay_cost
 
     def broker_comm_load(self) -> float:
-        """Total broker communication load (message endpoints × retries)."""
+        """Total broker communication load (message endpoints × retries).
+
+        Supervision heartbeats (request + reply endpoints each) are charged
+        here without the retry multiplier — the supervisor deliberately
+        never retries a beat, because a missed beat *is* the signal.
+        """
         return self.msg_overhead * float(
             sum(OP_COSTS[op].broker_msgs * count for op, count in self.ops.items())
-        )
+        ) + 2.0 * self.heartbeats_sent
 
     def peer_cpu_load_total(self) -> float:
         """Total peer-side CPU load across all peers."""
@@ -191,3 +205,25 @@ class SimMetrics:
         """Broker fraction of total communication load."""
         total = self.broker_comm_load() + self.peer_comm_load_total()
         return self.broker_comm_load() / total if total else 0.0
+
+
+def apply_heartbeat_model(metrics: SimMetrics, config) -> None:
+    """Charge the PR 9 supervisor's heartbeat traffic to ``metrics``.
+
+    Closed-form over the run horizon — one beat per shard per interval —
+    so the reference and fast engines stay exactly equivalent, and a
+    zero interval (the default) leaves every figure untouched.  The
+    detection window comes from the *real* detector's configuration
+    arithmetic, not a re-derivation, so the simulated bound is the one the
+    chaos suite asserts against.
+    """
+    if config.heartbeat_interval <= 0.0:
+        return
+    from repro.net.liveness import LivenessConfig
+
+    shards = max(1, config.broker_shards)
+    metrics.heartbeats_sent = shards * int(config.duration / config.heartbeat_interval)
+    metrics.detection_window = LivenessConfig(
+        heartbeat_interval=config.heartbeat_interval,
+        phi_threshold=config.detector_phi_threshold,
+    ).detection_window()

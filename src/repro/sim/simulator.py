@@ -34,7 +34,7 @@ from dataclasses import dataclass, field
 from repro.sim import policies as pol
 from repro.sim.config import SimConfig
 from repro.sim.costs import BROKER_OPS, REPLAY_RECORD_COST, expected_attempts
-from repro.sim.metrics import SimMetrics
+from repro.sim.metrics import SimMetrics, apply_heartbeat_model
 
 # event kinds (ordered so ties break deterministically)
 _TOGGLE = 0
@@ -105,6 +105,7 @@ class Simulation:
             msg_overhead=expected_attempts(config.message_loss, config.rpc_max_attempts),
             broker_shards=config.broker_shards,
         )
+        apply_heartbeat_model(self.metrics, config)
         self.now = 0.0
         balance = float("inf") if config.initial_balance is None else config.initial_balance
         self.peers = [_Peer(balance) for _ in range(config.n_peers)]

@@ -176,6 +176,7 @@ class RecoveryManager:
         retry_policy=None,
         encryption_key: bytes | None = None,
         shard_map=None,
+        breaker_config=None,
     ) -> RecoveryResult:
         """Build a fresh :class:`~repro.core.peer.Peer` from the store.
 
@@ -215,6 +216,7 @@ class RecoveryManager:
             renewal_period=renewal_period,
             retry_policy=retry_policy,
             shard_map=shard_map,
+            breaker_config=breaker_config,
         )
         if blob is not None:
             restore_peer_state(peer, blob)

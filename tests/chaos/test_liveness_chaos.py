@@ -1,0 +1,211 @@
+"""Detector-only chaos campaign: shard kills repaired by heartbeat silence.
+
+The federation sweep (``test_federation_chaos.py``) leans on the legacy
+crash-hook supervision — the transport restarts a dying shard before its
+caller even sees the failure.  This campaign removes that crutch
+entirely: shards are killed abruptly mid-storm and the **only** repair
+path is the realistic one — heartbeats stop, the phi-accrual detector
+marks the shard DEAD, its lease lapses, and :class:`LeaseGatedSupervision`
+restarts it from its journal and re-drives orphaned handoffs.  Peers run
+behind circuit breakers and queue payments aimed at a dark shard, then
+drain the queue after recovery.
+
+The storm runs on pure virtual time with no fault plan and no churn, so
+each seed is bit-identical run to run; the sweep asserts completion,
+conservation, exactly-once queue drains, per-shard audit health, and that
+every kill was detected within the configured phi-threshold window.
+
+``WHOPAY_CHAOS_SEED`` / ``WHOPAY_CRASH_SAMPLES`` widen the sweep in CI.
+"""
+
+import os
+import random
+from collections import Counter
+from contextlib import contextmanager
+
+import pytest
+
+from repro.core.errors import ProtocolError, ServiceUnavailable
+from repro.crypto import primitives
+from repro.core.network import BrokerTopology, PeerConfig, WhoPayNetwork
+from repro.core.supervision import LeaseGatedSupervision
+from repro.crypto.params import PARAMS_TEST_512
+from repro.net.liveness import BreakerConfig, LivenessConfig
+from repro.net.rpc import CircuitOpen, RetryPolicy
+from repro.net.transport import NetworkError
+from repro.store.audit import audit_broker
+
+pytestmark = pytest.mark.chaos
+
+SEED = int(os.environ.get("WHOPAY_CHAOS_SEED", "11"))
+CRASH_SAMPLES = int(os.environ.get("WHOPAY_CRASH_SAMPLES", "3"))
+
+CHAOS_POLICY = RetryPolicy(max_attempts=6, base_delay=0.01, multiplier=2.0, max_delay=0.1)
+LIVENESS = LivenessConfig(heartbeat_interval=0.5, phi_threshold=4.0, lease_duration=2.0)
+BREAKERS = BreakerConfig(failure_threshold=2, reset_timeout=2.0, probe_jitter=0.25)
+
+SHARDS = 3
+N_PEERS = 4
+BALANCE = 50
+SEED_COINS = 2
+N_PAYMENTS = 120
+PURCHASE_EVERY = 4
+TICK = 1.0  # virtual seconds per payment round — the detector's quantum
+
+
+class _SeededSecrets:
+    """Drop-in for the ``secrets`` module backed by a seeded PRNG.
+
+    Coin keys decide which shard a coin homes on, so real OS randomness
+    makes the storm's traffic split — and hence its summary — vary between
+    runs of the same seed.  Substituting seeded randomness for key
+    generation (tests only; signatures still verify) is what makes the
+    bit-identity assertion meaningful.
+    """
+
+    def __init__(self, seed: int) -> None:
+        self._rng = random.Random(seed)
+
+    def randbelow(self, n: int) -> int:
+        return self._rng.randrange(n)
+
+    def randbits(self, k: int) -> int:
+        return self._rng.getrandbits(k)
+
+    def token_bytes(self, n: int) -> bytes:
+        return self._rng.randbytes(n)
+
+    def token_hex(self, n: int) -> str:
+        return self._rng.randbytes(n).hex()
+
+
+@contextmanager
+def seeded_keys(seed: int):
+    original = primitives.secrets
+    primitives.secrets = _SeededSecrets(seed)
+    try:
+        yield
+    finally:
+        primitives.secrets = original
+
+
+def kill_schedule(seed: int, samples: int) -> dict[int, int]:
+    """payment index -> shard to kill, spaced so each failover can settle."""
+    rng = random.Random(seed)
+    candidates = list(range(20, 96, 16))  # spacing > detection + drain time
+    picked = sorted(rng.sample(candidates, min(samples, len(candidates))))
+    return {index: rng.randrange(SHARDS) for index in picked}
+
+
+def run_storm(seed: int, store_root, samples: int = CRASH_SAMPLES):
+    """Deterministic payment storm with detector-driven kills only."""
+    with seeded_keys(seed * 7919 + 1):
+        return _run_storm(seed, store_root, samples)
+
+
+def _run_storm(seed: int, store_root, samples: int):
+    net = WhoPayNetwork(
+        params=PARAMS_TEST_512,
+        retry_policy=CHAOS_POLICY,
+        store_dir=store_root,
+        topology=BrokerTopology(shards=SHARDS),
+        breaker_config=BREAKERS,
+    )
+    peers = [net.add_peer(f"p{i}", PeerConfig(balance=BALANCE)) for i in range(N_PEERS)]
+    for i, peer in enumerate(peers):
+        coins = [peer.purchase() for _ in range(SEED_COINS)]
+        peer.issue(peers[(i + 1) % N_PEERS].address, coins[0].coin_y)
+
+    policy = net.supervise_broker(LeaseGatedSupervision(LIVENESS))
+    assert not net.transport.crash_handlers  # no transport magic anywhere
+    kills = kill_schedule(seed, samples)
+
+    methods: Counter = Counter()
+    skipped_purchases = 0
+    drained = 0
+    for k in range(N_PAYMENTS):
+        if k in kills:
+            net.kill_shard(kills[k])
+        payer = peers[k % N_PEERS]
+        payee = peers[(k + 1) % N_PEERS]
+        if k % PURCHASE_EVERY == 0:
+            try:
+                fresh = payer.purchase()
+                payer.issue(payee.address, fresh.coin_y)
+            except (NetworkError, ServiceUnavailable, CircuitOpen):
+                skipped_purchases += 1  # the payer's home shard is dark
+        try:
+            methods[payer.pay(payee.address)] += 1
+        except ProtocolError:
+            methods["failed"] += 1
+        net.advance(TICK)
+        drained += net.drain_queued_payments()
+
+    # Let the last failover land and the final queues empty out.
+    for _ in range(24):
+        if len(policy.events) == len(kills) and not any(
+            p.payment_queue for p in peers
+        ):
+            break
+        net.advance(TICK)
+        drained += net.drain_queued_payments()
+
+    for peer in peers:
+        peer.sync_with_broker()
+    for peer in peers:
+        for coin_y in list(peer.wallet):
+            peer.deposit(coin_y, payout_to=peer.address)
+    leftover = net.complete_handoffs()
+    return net, peers, policy, kills, {
+        "methods": methods,
+        "skipped_purchases": skipped_purchases,
+        "drained": drained,
+        "leftover_handoffs": leftover,
+        "detections": [
+            (e.address, e.last_seen, e.detected_at, e.redriven_handoffs)
+            for e in policy.events
+        ],
+        "balances": {p.address: net.broker.balance(p.address) for p in peers},
+    }
+
+
+def assert_storm_healthy(net, peers, policy, kills, summary):
+    assert sum(summary["methods"].values()) == N_PAYMENTS
+    assert summary["methods"]["failed"] == 0  # every payment completed
+    # Every queued payment drained exactly once, and nothing is still queued.
+    assert summary["drained"] == summary["methods"]["queued"]
+    assert not any(p.payment_queue for p in peers)
+    # Every kill was detected and repaired within the configured window.
+    assert len(policy.events) == len(kills)
+    quantum = TICK + LIVENESS.heartbeat_interval
+    for latency in policy.detection_latencies():
+        assert 0.0 < latency <= LIVENESS.detection_window() + quantum
+    assert net.broker_restarts == len(kills)
+    # Exactly-once handoffs: nothing pending, nothing double-applied.
+    assert not any(shard.pending_handoffs for shard in net.shards)
+    assert net.broker.verify_conservation(N_PEERS * BALANCE)
+    assert not net.broker.fraud_events
+    assert all(not p.wallet for p in peers)
+    for shard in net.shards:
+        report = audit_broker(shard)
+        assert report.ok, (shard.address, report.failures)
+
+
+class TestDetectorOnlyKillSweep:
+    def test_storm_survives_detector_driven_failovers(self, tmp_path):
+        net, peers, policy, kills, summary = run_storm(SEED, tmp_path / "storm")
+        assert kills  # the schedule actually killed shards
+        assert_storm_healthy(net, peers, policy, kills, summary)
+
+    def test_same_seed_runs_are_bit_identical(self, tmp_path):
+        first = run_storm(SEED, tmp_path / "a")[4]
+        second = run_storm(SEED, tmp_path / "b")[4]
+        assert first == second
+
+    def test_seed_sweep(self, tmp_path):
+        for offset in range(1, CRASH_SAMPLES):
+            seed = SEED + offset
+            net, peers, policy, kills, summary = run_storm(
+                seed, tmp_path / f"seed{seed}", samples=2
+            )
+            assert_storm_healthy(net, peers, policy, kills, summary)

@@ -23,6 +23,7 @@ from repro.crypto.params import PARAMS_TEST_512
 from repro.messages.envelope import seal
 from repro.net.rpc import RetryPolicy
 from repro.net.transport import FaultPlan
+from repro.store.audit import audit_broker
 
 RETRY = RetryPolicy(max_attempts=4, base_delay=0.01, multiplier=2.0, max_delay=0.1)
 
@@ -433,3 +434,83 @@ class TestSingleShardCompatibility:
         assert net.broker.address == "broker"
         assert net.broker.counts.handoffs == 0
         assert net.broker.verify_conservation(10)
+
+
+class TestBatchFanOutRegression:
+    """PR 9 satellite: batch-purchase prepares fan out before the outcome.
+
+    Every destination's ``XSHARD_PREPARE`` is issued even when an earlier
+    one failed; only then is the batch outcome decided (rejection wins and
+    compensates the *whole* record, a transport failure leaves the handoff
+    pending).  These tests pin the per-shard state at both boundaries.
+    """
+
+    def _batch(self, net, peer, coins):
+        request = protocol.BatchPurchaseRequest(coins=tuple(coins), account=peer.address)
+        signed = seal(peer.identity, request.to_payload())
+        return peer.broker_client.purchase_batch(signed.encode(), account=peer.address)
+
+    def _remote_homes(self, net, peer):
+        acct_home = net.shard_map.shard_for_account(peer.address)
+        others = [a for a in net.shard_map.addresses if a != acct_home]
+        # sorted() order == prepare fan-out order: others[0] is driven first.
+        return sorted(others)[:2]
+
+    def test_rejection_compensates_every_shard_in_the_record(self, fednet):
+        alice = fednet.add_peer("alice", PeerConfig(balance=5))
+        first_home, second_home = self._remote_homes(fednet, alice)
+        # A collision on the *first* destination: its prepare rejects, yet
+        # the second destination's mint must still have been issued — and
+        # then compensated — rather than never attempted.
+        existing = purchase_homed(fednet, alice, first_home)  # balance 5 -> 4
+        clean_kp = coin_keypair_homed(fednet, second_home)
+        second = fednet.router._by_address[second_home]
+        with pytest.raises(ProtocolError):
+            self._batch(
+                fednet, alice, [(existing.coin_y, 2), (clean_kp.public.y, 1)]
+            )
+        # The clean shard saw its mint *and* the unmint compensation.
+        assert second.counts.handoffs >= 2
+        assert clean_kp.public.y not in second.valid_coins
+        # Atomic abort: no debit, no pending value, every invariant intact.
+        assert fednet.broker.balance("alice") == 4
+        assert not any(shard.pending_handoffs for shard in fednet.shards)
+        assert fednet.broker.verify_conservation(5)
+        for shard in fednet.shards:
+            assert audit_broker(shard).ok
+
+    def test_per_shard_conservation_at_a_dead_destination_boundary(self, fednet):
+        alice = fednet.add_peer("alice", PeerConfig(balance=5))
+        down_home, live_home = self._remote_homes(fednet, alice)
+        down = fednet.router._by_address[down_home]
+        live = fednet.router._by_address[live_home]
+        down_kp = coin_keypair_homed(fednet, down_home)
+        live_kp = coin_keypair_homed(fednet, live_home)
+        down.go_offline()
+        with pytest.raises(Exception):
+            self._batch(fednet, alice, [(down_kp.public.y, 1), (live_kp.public.y, 1)])
+        # Fan-out reached the live (later-ordered) shard even though the
+        # earlier destination was dead: its coin is already minted.
+        assert live_kp.public.y in live.valid_coins
+        # Crash-boundary state: the begin is durable, value is in flight
+        # (conservation is *reported* broken, never silently wrong), the
+        # debit has not been applied, and each shard's own audit passes.
+        source = fednet.router.shard_for_account("alice")
+        assert source.pending_handoffs
+        assert fednet.broker.balance("alice") == 5
+        assert not fednet.broker.verify_conservation(5)
+        for shard in fednet.shards:
+            if shard is down:
+                continue
+            assert audit_broker(shard).ok
+        # Recovery: the destination returns and the re-drive settles the
+        # batch exactly once on every shard.
+        down.go_online()
+        assert fednet.complete_handoffs() == 1
+        assert list(down.valid_coins).count(down_kp.public.y) == 1
+        assert list(live.valid_coins).count(live_kp.public.y) == 1
+        assert fednet.broker.balance("alice") == 3
+        assert not any(shard.pending_handoffs for shard in fednet.shards)
+        assert fednet.broker.verify_conservation(5)
+        for shard in fednet.shards:
+            assert audit_broker(shard).ok

@@ -1,0 +1,21 @@
+# wp-lint: module=repro.core.fixture_wp114_bad
+"""WP114 bad fixture: unbounded RPCs and real-time sleeps in protocol code."""
+
+import time
+from time import sleep  # line 5: WP114 (importing sleep)
+
+
+class Client:
+    def __init__(self, rpc, shard_rpc):
+        self.rpc = rpc
+        self._shard_rpc = shard_rpc
+
+    def ping(self, dst):
+        return self.rpc.call(dst, "ping", None)  # line 14: WP114 (no deadline)
+
+    def prepare(self, dst, payload):
+        return self._shard_rpc.call(dst, "xshard.prepare", payload)  # line 17: WP114
+
+    def backoff(self):
+        time.sleep(0.5)  # line 20: WP114 (real-time sleep)
+        sleep(0.1)

@@ -1,0 +1,22 @@
+# wp-lint: module=repro.core.fixture_wp114_good
+"""WP114 good fixture: every RPC budgeted, waiting via the virtual clock."""
+
+PING_DEADLINE = 30.0
+
+
+class Client:
+    def __init__(self, rpc, shard_rpc, clock):
+        self.rpc = rpc
+        self._shard_rpc = shard_rpc
+        self.clock = clock
+
+    def ping(self, dst):
+        return self.rpc.call(dst, "ping", None, deadline=PING_DEADLINE)
+
+    def prepare(self, dst, payload):
+        return self._shard_rpc.call(
+            dst, "xshard.prepare", payload, deadline=PING_DEADLINE
+        )
+
+    def backoff(self):
+        self.clock.advance(0.5)  # virtual waiting is the sanctioned form

@@ -153,11 +153,11 @@ class TestDiagnostics:
 
 
 class TestRegistry:
-    def test_all_thirteen_domain_rules_registered(self):
+    def test_all_fourteen_domain_rules_registered(self):
         codes = [rule.code for rule in get_rules()]
         assert codes == [
             "WP101", "WP102", "WP103", "WP104", "WP105", "WP106", "WP107", "WP108",
-            "WP109", "WP110", "WP111", "WP112", "WP113",
+            "WP109", "WP110", "WP111", "WP112", "WP113", "WP114",
         ]
 
     def test_every_rule_has_rationale_and_scope(self):

@@ -194,6 +194,7 @@ class TestWP107SimSeeding:
         ("wp106_bad.py", "wp106_good.py"),
         ("wp107_bad.py", "wp107_good.py"),
         ("wp109_bad.py", "wp109_good.py"),
+        ("wp114_bad.py", "wp114_good.py"),
     ],
 )
 def test_every_bad_fixture_fails_and_good_passes(bad, good):
@@ -325,3 +326,27 @@ class TestWP113VerifyBeforeTrust:
 
     def test_good_is_silent(self):
         assert findings_for("WP113", "wp113_good.py") == []
+
+
+class TestWP114LivenessDiscipline:
+    def test_bad_fires_on_unbounded_rpc_and_sleeps(self):
+        found = findings_for("WP114", "wp114_bad.py")
+        assert [diag.line for diag in found] == [5, 14, 17, 20]
+        messages = " ".join(diag.message for diag in found)
+        assert "importing sleep" in messages
+        assert "deadline=" in messages
+        assert "time.sleep" in messages
+
+    def test_good_is_silent(self):
+        assert findings_for("WP114", "wp114_good.py") == []
+
+    def test_repro_net_backoff_helpers_are_exempt(self):
+        # The RPC layer itself implements the budget machinery; its
+        # seeded-backoff accounting is the sanctioned form.
+        from repro.lint import lint_sources
+
+        source = "def probe(rpc, dst):\n    return rpc.call(dst, 'ping', None)\n"
+        inside = lint_sources([("rpc.py", source, "repro.net.rpc")])
+        outside = lint_sources([("peer.py", source, "repro.core.peer")])
+        assert [d for d in inside.findings if d.code == "WP114"] == []
+        assert len([d for d in outside.findings if d.code == "WP114"]) == 1

@@ -251,3 +251,65 @@ class TestRpcClient:
         # The network delivered the request twice; the handler ran once.
         assert len(server.calls) == 1
         assert server.replays_served == 1
+
+
+class TestDeadlinePropagation:
+    """PR 9: per-call deadlines charged in virtual time through retries."""
+
+    def test_deadline_none_is_unbounded(self):
+        t = Transport()
+        caller = make_counter_node(t, "caller")
+        make_counter_node(t, "server")
+        assert caller.rpc.call("server", "op", {})["ok"]
+
+    def test_fault_jitter_counts_against_deadline(self):
+        # random.Random(0).random() = 0.8444..., so with latency_jitter=10.0
+        # the very first hop accrues 8.44s of virtual latency — well past a
+        # 1.0s deadline.  The reply still arrives (nothing is dropped), but
+        # it arrives *late*: the call must raise rather than silently
+        # succeed after its budget.
+        t = Transport()
+        caller = make_counter_node(t, "caller")
+        server = make_counter_node(t, "server")
+        t.install_faults(FaultPlan(seed=0, latency_jitter=10.0))
+        with pytest.raises(RpcTimeout) as exc_info:
+            caller.rpc.call("server", "op", {"v": 1}, deadline=1.0)
+        assert "late" in str(exc_info.value)
+        assert len(server.calls) == 1  # the handler did run; only the caller gave up
+        assert caller.rpc.stats.deadline_exceeded == 1
+
+    def test_generous_deadline_tolerates_jitter(self):
+        t = Transport()
+        caller = make_counter_node(t, "caller")
+        make_counter_node(t, "server")
+        t.install_faults(FaultPlan(seed=0, latency_jitter=10.0))
+        assert caller.rpc.call("server", "op", {}, deadline=60.0)["ok"]
+        assert caller.rpc.stats.deadline_exceeded == 0
+
+    def test_backoff_clamped_to_remaining_budget(self):
+        # One scripted request drop forces one retry.  The policy wants a
+        # 1.0s backoff but only 0.8s of budget remains, so the delay is
+        # clamped and the retry still happens inside the deadline.
+        t = Transport()
+        caller = make_counter_node(t, "caller")
+        make_counter_node(t, "server")
+        plan = FaultPlan(seed=1)
+        plan.scripted_request_drops = 1
+        t.install_faults(plan)
+        policy = RetryPolicy(max_attempts=3, base_delay=1.0, jitter=0.0)
+        assert caller.rpc.call("server", "op", {}, policy=policy, deadline=0.8)["ok"]
+        assert t.virtual_latency_accrued <= 0.8
+        assert caller.rpc.stats.retries == 1
+
+    def test_exhausted_budget_stops_retrying(self):
+        t = Transport()
+        caller = make_counter_node(t, "caller")
+        make_counter_node(t, "server")
+        t.install_faults(FaultPlan(seed=1, request_loss=1.0))
+        policy = RetryPolicy(max_attempts=10, base_delay=1.0, jitter=0.0)
+        with pytest.raises(RpcTimeout) as exc_info:
+            caller.rpc.call("server", "op", {}, policy=policy, deadline=1.5)
+        assert "budget" in str(exc_info.value)
+        # Budget admits the first backoff (1.0s) but not the second.
+        assert exc_info.value.attempts <= 3
+        assert caller.rpc.stats.deadline_exceeded == 1
