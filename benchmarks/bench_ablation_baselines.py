@@ -20,7 +20,7 @@ from repro.analysis.tables import format_series_table
 from repro.sim.baseline_sim import centralized_load, ppay_load, whopay_load
 from repro.sim.config import setup_a_configs
 from repro.sim.policies import POLICY_I
-from repro.sim.simulator import Simulation
+from repro.sim.engine import build_simulation
 
 from _common import FULL_SCALE, emit
 
@@ -29,7 +29,7 @@ def run_comparison():
     configs = setup_a_configs(policy=POLICY_I, sync_mode="lazy", small=not FULL_SCALE)
     rows = []
     for config in configs:
-        metrics = Simulation(config).run().metrics
+        metrics = build_simulation(config).run().metrics
         rows.append(
             {
                 "mu": config.mean_online / 3600.0,

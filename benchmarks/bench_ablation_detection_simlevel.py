@@ -17,7 +17,7 @@ from dataclasses import replace
 from repro.analysis.tables import format_series_table
 from repro.sim.config import setup_a_configs
 from repro.sim.policies import POLICY_I
-from repro.sim.simulator import Simulation
+from repro.sim.engine import build_simulation
 
 from _common import FULL_SCALE, emit
 
@@ -25,8 +25,8 @@ from _common import FULL_SCALE, emit
 def run_comparison():
     rows = []
     for config in setup_a_configs(policy=POLICY_I, sync_mode="lazy", small=not FULL_SCALE):
-        off = Simulation(config).run().metrics
-        on = Simulation(replace(config, detection=True)).run().metrics
+        off = build_simulation(config).run().metrics
+        on = build_simulation(replace(config, detection=True)).run().metrics
         rows.append(
             {
                 "mu": config.mean_online / 3600.0,

@@ -25,7 +25,7 @@ from repro.analysis.tables import format_series_table
 from repro.sim.config import setup_a_configs
 from repro.sim.costs import OP_COSTS
 from repro.sim.policies import POLICY_I
-from repro.sim.simulator import Simulation
+from repro.sim.engine import build_simulation
 
 from _common import FULL_SCALE, emit
 
@@ -50,7 +50,7 @@ def _reprice(metrics, gsig_cost: float) -> tuple[float, float]:
 def run_models():
     rows = []
     for config in setup_a_configs(policy=POLICY_I, sync_mode="lazy", small=not FULL_SCALE):
-        metrics = Simulation(config).run().metrics
+        metrics = build_simulation(config).run().metrics
         models = {
             "paper": 4.0,
             "measured-8": MEASURED_RATIO_SMALL,

@@ -18,7 +18,7 @@ layer cap) across the availability sweep.  Expected trade:
 from repro.analysis.tables import format_series_table
 from repro.sim.config import setup_a_configs
 from repro.sim.policies import POLICY_I, POLICY_I_LAYERED
-from repro.sim.simulator import Simulation
+from repro.sim.engine import build_simulation
 
 from _common import FULL_SCALE, emit
 
@@ -28,8 +28,8 @@ def run_comparison():
     for base_config in setup_a_configs(policy=POLICY_I, sync_mode="lazy", small=not FULL_SCALE):
         from dataclasses import replace
 
-        plain = Simulation(base_config).run().metrics
-        layered = Simulation(replace(base_config, policy=POLICY_I_LAYERED)).run().metrics
+        plain = build_simulation(base_config).run().metrics
+        layered = build_simulation(replace(base_config, policy=POLICY_I_LAYERED)).run().metrics
         layered_count = layered.ops["layered_transfer"]
         rows.append(
             {

@@ -20,7 +20,7 @@ from repro.analysis.tables import format_table
 from repro.core.clock import DAY, HOUR
 from repro.sim.config import SimConfig
 from repro.sim.policies import POLICY_I
-from repro.sim.simulator import Simulation
+from repro.sim.engine import build_simulation
 
 from _common import FULL_SCALE, emit
 
@@ -38,7 +38,7 @@ def run_models():
     )
     out = {}
     for heterogeneity in ("uniform", "powerlaw"):
-        sim = Simulation(replace(base, heterogeneity=heterogeneity))
+        sim = build_simulation(replace(base, heterogeneity=heterogeneity))
         metrics = sim.run().metrics
         served = metrics.served_distribution()
         payments = [metrics.per_peer_payments.get(i, 0) for i in range(base.n_peers)]

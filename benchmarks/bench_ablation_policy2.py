@@ -9,7 +9,7 @@ but we verify the sandwich rather than assume it.
 from repro.analysis.tables import format_series_table
 from repro.sim.config import setup_a_configs
 from repro.sim.policies import POLICY_I, POLICY_II_A, POLICY_II_B, POLICY_III
-from repro.sim.simulator import Simulation
+from repro.sim.engine import build_simulation
 
 from _common import FULL_SCALE, emit
 
@@ -21,7 +21,7 @@ def run_all_policies():
     for policy in POLICIES:
         configs = setup_a_configs(policy=policy, sync_mode="proactive", small=not FULL_SCALE)
         data[policy.name] = [
-            (config.mean_online / 3600.0, Simulation(config).run().metrics.broker_cpu_load())
+            (config.mean_online / 3600.0, build_simulation(config).run().metrics.broker_cpu_load())
             for config in configs
         ]
     return data

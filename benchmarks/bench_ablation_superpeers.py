@@ -24,7 +24,7 @@ from dataclasses import replace
 from repro.analysis.tables import format_series_table
 from repro.sim.config import setup_b_configs
 from repro.sim.policies import POLICY_I
-from repro.sim.simulator import Simulation
+from repro.sim.engine import build_simulation
 
 from _common import FULL_SCALE, emit
 
@@ -36,7 +36,7 @@ def run_models():
         sizes = []
         for config in setup_b_configs(policy=POLICY_I, sync_mode="lazy", small=not FULL_SCALE):
             config = replace(config, heterogeneity=heterogeneity)
-            metrics = Simulation(config).run().metrics
+            metrics = build_simulation(config).run().metrics
             sizes.append(config.n_peers)
             shares.append(metrics.broker_cpu_share())
         data[heterogeneity] = (sizes, shares)

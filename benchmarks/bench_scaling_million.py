@@ -26,6 +26,12 @@ Entry points:
 * ``--check-speedup X`` — exit non-zero unless the recorded N=10^4
   fast/reference ratio is at least ``X`` (CI uses 5.0: half the
   committed 10x so machine noise on shared runners doesn't flake).
+* ``--check-baseline FRAC`` — regression floor against the *committed*
+  report: exit non-zero unless this run's N=10^4 fast events/sec is at
+  least ``FRAC`` of the committed headline (the baseline is read before
+  the run overwrites ``--out``).  CI uses 0.4 — shared runners are
+  slower than the dev container, but a real regression (a hot-path slip
+  past the in-run ratio check) still trips it.
 """
 
 from __future__ import annotations
@@ -180,6 +186,14 @@ def main() -> int:
         help="fail unless the N=10^4 fast/reference ratio is at least X",
     )
     parser.add_argument(
+        "--check-baseline",
+        type=float,
+        default=None,
+        metavar="FRAC",
+        help="fail unless the N=10^4 fast events/sec reaches FRAC of the "
+        "committed report's headline (read from --out before the run)",
+    )
+    parser.add_argument(
         "--out",
         default=str(OUT_DIR / "BENCH_sim_scaling.json"),
         help="JSON report path",
@@ -190,6 +204,13 @@ def main() -> int:
     if args.point:
         _run_point_child(json.loads(args.point))
         return 0
+
+    baseline_eps = None
+    if args.check_baseline is not None:
+        with open(args.out) as fh:
+            baseline_eps = json.load(fh)["speedup"][str(HEADLINE_N)][
+                "fast_events_per_sec"
+            ]
 
     report = run_sweep(quick=args.quick)
     OUT_DIR.mkdir(exist_ok=True)
@@ -209,6 +230,20 @@ def main() -> int:
     ):
         print(f"FAIL: N={HEADLINE_N:,} speedup {headline['speedup']} < {args.check_speedup}")
         ok = False
+    if baseline_eps is not None:
+        floor = args.check_baseline * baseline_eps
+        current = headline["fast_events_per_sec"]
+        if current < floor:
+            print(
+                f"FAIL: N={HEADLINE_N:,} fast {current:,} ev/s < "
+                f"{args.check_baseline} x committed {baseline_eps:,} ev/s"
+            )
+            ok = False
+        else:
+            print(
+                f"N={HEADLINE_N:,} fast {current:,} ev/s >= "
+                f"{args.check_baseline} x committed {baseline_eps:,} ev/s"
+            )
 
     if not args.quick:
         # Acceptance: the million-peer Setup-B point must complete in under

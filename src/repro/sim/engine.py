@@ -75,7 +75,8 @@ import heapq
 import math
 import os
 import random
-from collections import Counter, deque
+from array import array
+from collections import Counter
 from typing import Any
 
 from repro.sim import policies as pol
@@ -105,6 +106,22 @@ except ImportError:  # pragma: no cover - numpy is present in the dev image
 
 #: Engine names accepted by :func:`build_simulation`.
 ENGINES = ("reference", "compat", "fast")
+
+#: Calendar-bucket sizing bounds shared by every engine: at least 16 buckets
+#: (tiny runs stay exact without degenerate widths), at most 2^17 (a million
+#: peers must not allocate a bucket list per handful of events).
+MIN_BUCKETS = 16
+MAX_BUCKETS = 1 << 17
+
+
+def bucket_count(expected_events: float, per_bucket: int = 256) -> int:
+    """Calendar-queue bucket count for ~``per_bucket`` events per bucket.
+
+    The single sizing rule for both :meth:`BucketQueue.for_config` (compat
+    engine: every event is queued) and :class:`FastSimulation` (candidates
+    bypass the queue, so it sizes on the queued-event estimate only).
+    """
+    return min(max(int(expected_events / per_bucket) + 2, MIN_BUCKETS), MAX_BUCKETS)
 
 
 def _poisson(rnd, lam: float) -> int:
@@ -204,8 +221,7 @@ class BucketQueue:
     @classmethod
     def for_config(cls, config: SimConfig, per_bucket: int = 256) -> "BucketQueue":
         """Size buckets so ~``per_bucket`` events land in each."""
-        n_buckets = int(expected_event_count(config) / per_bucket) + 2
-        return cls(config.duration, min(max(n_buckets, 16), 1 << 17))
+        return cls(config.duration, bucket_count(expected_event_count(config), per_bucket))
 
     def push(self, entry: tuple[float, int, int, int]) -> None:
         index = int(entry[0] / self.width)
@@ -347,8 +363,6 @@ class FastSimulation:
     }
 
     def __init__(self, config: SimConfig, use_numpy: bool | None = None) -> None:
-        from array import array
-
         self.config = config
         self.metrics = SimMetrics(
             n_peers=config.n_peers,
@@ -367,7 +381,7 @@ class FastSimulation:
 
         seed = config.seed
         self._rng_pop = random.Random(f"{seed}|population")
-        self._rng_init = random.Random(f"{seed}|init")
+        self._init_stream = _BlockStream(seed, "init", self._np)
         self._rng_toggle = random.Random(f"{seed}|toggle")
         self._rng_retry = random.Random(f"{seed}|payee-retry")
         self._rng_counts = random.Random(f"{seed}|counts")
@@ -420,21 +434,34 @@ class FastSimulation:
             self._online_np = None
             self._dirty_np = None
 
-        # Scheduler state.  Candidate payments bypass the queue entirely and
-        # renewals live in a plain FIFO: every renewal is scheduled at
-        # ``now + 0.9 * renewal_period`` with ``now`` monotone, so the deque
-        # is always time-sorted without a heap.  Only toggles and restarts
-        # are calendar-queue events, so the buckets are sized for those.
+        # Scheduler state.  Candidate payments bypass the queue entirely,
+        # renewals live in a plain FIFO (every renewal is scheduled at
+        # ``now + 0.9 * renewal_period`` with ``now`` monotone, so the FIFO
+        # is always time-sorted without a heap), and the full toggle/restart
+        # schedule is precomputed by ``_initialize`` into per-bucket CSR
+        # columns — no :class:`BucketQueue` and no event tuples at all; this
+        # engine only needs the bucket geometry, sized for the toggle count.
         qevents = (
             n
             + config.broker_restarts
             + config.duration * 2.0 * n / (config.mean_online + config.mean_offline)
         )
-        self._queue = BucketQueue(
-            config.duration, min(max(int(qevents / 256) + 2, 16), 1 << 17)
-        )
-        self._renewals: deque[tuple[float, int]] = deque()
-        self._seq = 0
+        self._n_buckets = max(2, bucket_count(qevents))
+        # The last bucket starts exactly at ``duration`` (same geometry as
+        # BucketQueue) and catches events at the horizon itself.
+        self._width = config.duration / (self._n_buckets - 1)
+        # Renewal FIFO as two parallel columns with a head cursor instead of
+        # a deque of tuples: appends stay O(1) and time-sorted (every entry
+        # is ``now + 0.9 * renewal_period`` with ``now`` monotone), pops are
+        # cursor bumps, and no tuple or boxed pair outlives the bucket that
+        # consumed it — at N=10^6 the tuple deque alone was tens of MiB.
+        # Plain lists beat array('d')/array('q') here: appends skip the
+        # box→C conversion and peeks return existing refs, and the boxed
+        # overhead is bounded by the live renewal backlog (~tens of MB at
+        # N=10^6 against a peak budget in the hundreds).
+        self._r_times: list[float] = []
+        self._r_cids: list[int] = []
+        self._r_head = 0
         self._dirty: dict[int, bool] = {}
 
         # Flat metric accumulators.
@@ -472,6 +499,7 @@ class FastSimulation:
             not self._lazy
             and not self._track
             and not self._detection
+            and config.broker_restarts == 0
             and self._method_ids == (0, 1, 2, 3)
         )
 
@@ -508,20 +536,6 @@ class FastSimulation:
         self._payee_total = running
         self._payee_cum_np = None if self._np is None else self._np.array(cumulative)
 
-    # -- scheduler ----------------------------------------------------------
-
-    def _push(self, time: float, kind: int, subject: int) -> None:
-        # Initialization-time scheduling only: the merge loop routes its own
-        # pushes inline (same-bucket toggles are safe there because the only
-        # source of one is the subject's own firing toggle, which is already
-        # in the bucket's dirty set).
-        self._seq += 1
-        queue = self._queue
-        index = int(time / queue.width)
-        if index >= queue.n_buckets:
-            index = queue.n_buckets - 1
-        queue.buckets[index].append((time, kind, self._seq, subject))
-
     # -- candidate stream ---------------------------------------------------
 
     def _redraw_payee(self, payer: int) -> int:
@@ -536,18 +550,68 @@ class FastSimulation:
             if q != payer:
                 return q
 
-    def _sample_bucket(self, start: float, end: float, dirty: dict[int, bool]):
-        """Sample and thin the candidate payments with time in [start, end).
+    #: Candidate chunk size for the numpy fast path: payer/payee index
+    #: columns are built for a run of buckets at a time (one astype /
+    #: searchsorted per ~256k candidates instead of per bucket), bounded so
+    #: the transient chunk stays a few MiB even at the N=10^6 event budget.
+    _CHUNK_CANDIDATES = 1 << 18
 
-        The window's candidate count is one Poisson(Λ · span) draw and the
-        times are sorted uniforms on the span (conditional uniformity — an
-        exact identity, see the module docstring); payer and payee marks
-        are i.i.d., so pairing them with the order statistics in draw order
-        preserves the marked process exactly.  Thinning runs against the
-        bucket-entry online masks (exact under the dirty-peer argument) and
-        returns only the survivors: ``(total, ct, cp, cq)`` where ``total``
-        counts every candidate in the window (the events denominator) and
-        the parallel lists hold fire time, payer, and payee per survivor.
+    def _advance_chunk(self, b: int) -> None:
+        """Build payer/payee index columns for buckets ``[b, b1)``.
+
+        Stream consumption is order-identical to per-bucket draws (the
+        uniform streams are sequential, so block size never changes the
+        values; collision redraws consume the retry stream in global
+        candidate order either way), which keeps the fallback path — which
+        still samples per bucket — bitwise in lockstep.
+        """
+        coff = self._cand_coff
+        lo = coff[b]
+        b1 = b + 1
+        nb = self._n_buckets
+        cap = lo + self._CHUNK_CANDIDATES
+        while b1 < nb and coff[b1 + 1] <= cap:
+            b1 += 1
+        total = coff[b1] - lo
+        np_mod = self._np
+        n = self.config.n_peers
+        payer_u = self._payer_stream.uniforms(total)
+        payee_u = self._payee_stream.uniforms(total)
+        if self._payee_cum is None:
+            pr = (payer_u * n).astype(np_mod.int64)
+            raw = (payee_u * (n - 1)).astype(np_mod.int64)
+            pe = raw + (raw >= pr)
+        else:
+            wtotal = self._payee_total
+            last = n - 1
+            pr = np_mod.minimum(
+                np_mod.searchsorted(self._payee_cum_np, payer_u * wtotal, side="left"),
+                last,
+            )
+            pe = np_mod.minimum(
+                np_mod.searchsorted(self._payee_cum_np, payee_u * wtotal, side="left"),
+                last,
+            )
+            for k in np_mod.nonzero(pe == pr)[0].tolist():
+                pe[k] = self._redraw_payee(int(pr[k]))
+        self._ck_lo = lo
+        self._ck_b1 = b1
+        self._ck_pr = pr
+        self._ck_pe = pe
+
+    def _sample_bucket(self, b: int, start: float, end: float, dirty: dict[int, bool]):
+        """Thin bucket ``b``'s candidate payments (time in [start, end)).
+
+        The window's candidate count is one Poisson(Λ · span) draw (made in
+        bucket order by ``_initialize``) and the times are sorted uniforms
+        on the span (conditional uniformity — an exact identity, see the
+        module docstring); payer and payee marks are i.i.d., so pairing
+        them with the order statistics in draw order preserves the marked
+        process exactly.  Thinning runs against the bucket-entry online
+        masks (exact under the dirty-peer argument) and returns only the
+        survivors: ``(total, ct, cp, cq)`` where ``total`` counts every
+        candidate in the window (the events denominator) and the parallel
+        lists hold fire time, payer, and payee per survivor.
 
         Times are drawn for the *kept* candidates only: keeping a candidate
         depends solely on its marks (the dirty re-check happens later, but
@@ -558,28 +622,31 @@ class FastSimulation:
         rejected majority never costs a time draw or a sort slot.
 
         A candidate that touches a dirty peer cannot be thinned against the
-        entry masks; it is kept with its payer encoded as ``-1 - payer`` so
-        the merge loop re-evaluates it scalar at fire time without a
-        separate status column.  Rejected candidates never enter a
-        Python-level loop on the accelerated path.
+        entry masks; it is kept with its *payee* encoded as ``-1 - payee``
+        so the merge loop re-evaluates it scalar at fire time — the sign
+        doubles as the status flag, and because the end-of-bucket sentinel
+        also carries a negative payee, clean candidates (the vast majority)
+        pay exactly one sign test for sentinel and dirty handling combined.
+        Rejected candidates never enter a Python-level loop on the
+        accelerated path.
         """
-        span = end - start
-        if span <= 0.0:
-            return 0, [], [], []
-        total = _poisson(self._rng_counts.random, span / self._cand_gap_mean)
+        total = self._cand_counts[b]
         if not total:
             return 0, [], [], []
+        span = end - start
         n = self.config.n_peers
         np_mod = self._np
         gate = self._gate
-        payer_u = self._payer_stream.uniforms(total)
-        payee_u = self._payee_stream.uniforms(total)
-        if self._payee_cum is None:
-            if np_mod is not None:
-                pr = (payer_u * n).astype(np_mod.int64)
-                raw = (payee_u * (n - 1)).astype(np_mod.int64)
-                pe = raw + (raw >= pr)
-            else:
+        if np_mod is not None:
+            if b >= self._ck_b1:
+                self._advance_chunk(b)
+            lo = self._cand_coff[b] - self._ck_lo
+            pr = self._ck_pr[lo : lo + total]
+            pe = self._ck_pe[lo : lo + total]
+        else:
+            payer_u = self._payer_stream.uniforms(total)
+            payee_u = self._payee_stream.uniforms(total)
+            if self._payee_cum is None:
                 pr = [int(u * n) for u in payer_u]
                 pe = []
                 append_pe = pe.append
@@ -588,21 +655,9 @@ class FastSimulation:
                     if q >= pr[k]:
                         q += 1
                     append_pe(q)
-        else:
-            wtotal = self._payee_total
-            last = n - 1
-            if np_mod is not None:
-                pr = np_mod.minimum(
-                    np_mod.searchsorted(self._payee_cum_np, payer_u * wtotal, side="left"),
-                    last,
-                )
-                pe = np_mod.minimum(
-                    np_mod.searchsorted(self._payee_cum_np, payee_u * wtotal, side="left"),
-                    last,
-                )
-                for k in np_mod.nonzero(pe == pr)[0].tolist():
-                    pe[k] = self._redraw_payee(int(pr[k]))
             else:
+                wtotal = self._payee_total
+                last = n - 1
                 cum = self._payee_cum
                 left = bisect.bisect_left
                 pr = [min(left(cum, u * wtotal), last) for u in payer_u]
@@ -626,11 +681,11 @@ class FastSimulation:
                 st[(dirty_np[pr] | dirty_np[pe]) != 0] = 1
             sel = np_mod.nonzero(st)[0]
             if sel.size:
-                prs = pr[sel]
+                pes = pe[sel]
                 if dirty:
-                    prs = np_mod.where(st[sel] == 2, prs, -1 - prs)
-                cp = prs.tolist()
-                cq = pe[sel].tolist()
+                    pes = np_mod.where(st[sel] == 2, pes, -1 - pes)
+                cq = pes.tolist()
+                cp = pr[sel].tolist()
         else:
             online = self._online
             if dirty:
@@ -638,8 +693,8 @@ class FastSimulation:
                     p = pr[j]
                     q = pe[j]
                     if p in dirty or q in dirty:
-                        cp.append(-1 - p)
-                        cq.append(q)
+                        cp.append(p)
+                        cq.append(-1 - q)
                     elif online[q] and (online[p] or not gate):
                         cp.append(p)
                         cq.append(q)
@@ -668,111 +723,252 @@ class FastSimulation:
     # -- run ----------------------------------------------------------------
 
     def _initialize(self) -> None:
-        rnd = self._rng_init.random
+        # Stationary start, like the reference engine: one availability draw
+        # and one residual-session draw per peer, block-drawn from the init
+        # stream (identical values to per-call draws — same stream, same
+        # order) with the exponential transform kept scalar for bitwise
+        # numpy independence.
+        #
+        # The whole toggle *schedule* is precomputed here.  A peer's session
+        # process is an alternating renewal process independent of
+        # everything else in the model, so its entire in-horizon toggle
+        # sequence can be generated up front (per-peer sequential draws from
+        # the toggle stream; the gap mean is the mean of the state the
+        # toggle switches *into*, exactly as the old in-loop draw applied
+        # it).  The sequences are stably time-sorted and cut into compact
+        # per-bucket CSR columns (times, subjects) whose slices the merge
+        # loops walk directly.  This removes every RNG draw, ``log``,
+        # sequence number, tuple allocation and heap/insort operation from
+        # the merge loop's toggle branch — and it stores *nothing* for the
+        # out-of-horizon tail, which at N=10^6 (where most peers never
+        # toggle inside the short event-budgeted horizon) was the single
+        # largest block of peak RSS as one queue tuple per peer.  Broker
+        # restarts ride the same columns with the sentinel subject ``n``
+        # (ties at equal times keep toggles first, matching the reference's
+        # kind order).
+        n = self.config.n_peers
+        duration = self.config.duration
+        us = self._init_stream.uniforms(2 * n)
+        if self._np is not None:
+            us = us.tolist()
         avail = self._avail
         mean_on = self._mean_on
         mean_off = self._mean_off
         online = self._online
         log = math.log
-        queue = self._queue
-        qwidth = queue.width
-        qlast = queue.n_buckets - 1
-        qbuckets = queue.buckets
-        seq = self._seq
-        for index in range(self.config.n_peers):
-            # Stationary start, like the reference engine.  ``_push`` is
-            # inlined: at a million peers the per-call overhead alone is
-            # close to a second.
-            if rnd() < avail[index]:
+        rnd = self._rng_toggle.random
+        times: list[float] = []
+        subjects: list[int] = []
+        t_append = times.append
+        s_append = subjects.append
+        k = 0
+        for index in range(n):
+            if us[k] < avail[index]:
                 online[index] = 1
-                mean = mean_on[index]
+                s = 1
             else:
-                mean = mean_off[index]
-            t = -log(1.0 - rnd()) * mean
-            b = int(t / qwidth)
-            if b > qlast:
-                b = qlast
-            seq += 1
-            qbuckets[b].append((t, _TOGGLE, seq, index))
-        self._seq = seq
+                s = 0
+            t = -log(1.0 - us[k + 1]) * (mean_on[index] if s else mean_off[index])
+            k += 2
+            while t <= duration:
+                t_append(t)
+                s_append(index)
+                s = 1 - s
+                t += -log(1.0 - rnd()) * (mean_on[index] if s else mean_off[index])
         restarts = self.config.broker_restarts
         for i in range(1, restarts + 1):
-            self._push(self.config.duration * i / (restarts + 1), _RESTART, 0)
+            t_append(duration * i / (restarts + 1))
+            s_append(n)
+        # Sort the whole schedule by time (stable), then cut CSR bucket
+        # columns from the sorted arrays.  Stability is the tie rule:
+        # restarts are generated after every toggle, so an equal-time
+        # toggle/restart pair keeps the toggle first — the reference's kind
+        # order — and toggle/toggle ties (probability zero) keep generation
+        # order, which merely needs determinism.  Because the sort key is
+        # the fire time itself, each bucket's slice is already time-ordered
+        # and the merge loops can walk it directly; numpy's stable argsort
+        # and Timsort are both stable sorts of the same multiset, so the
+        # two paths produce the identical permutation.  Bucket assignment
+        # is one IEEE divide + truncation on both, so the offsets agree.
+        qwidth = self._width
+        qlast = self._n_buckets - 1
+        total = len(times)
+        np_mod = self._np
+        if np_mod is not None:
+            ta = np_mod.array(times)
+            order = np_mod.argsort(ta, kind="stable")
+            ta = ta[order]
+            bi = (ta / qwidth).astype(np_mod.int64)
+            np_mod.minimum(bi, qlast, out=bi)
+            tog_t = array("d")
+            tog_t.frombytes(ta.tobytes())
+            tog_s = array("i")
+            tog_s.frombytes(
+                np_mod.array(subjects, dtype=np_mod.int32)[order].tobytes()
+            )
+            offsets = [0]
+            offsets.extend(
+                np_mod.cumsum(np_mod.bincount(bi, minlength=qlast + 1)).tolist()
+            )
+        else:
+            order = sorted(range(total), key=times.__getitem__)
+            counts = [0] * (qlast + 2)
+            tog_t = array("d", bytes(8 * total))
+            tog_s = array("i", bytes(4 * total))
+            for pos in range(total):
+                j = order[pos]
+                t = times[j]
+                b = int(t / qwidth)
+                if b > qlast:
+                    b = qlast
+                counts[b + 1] += 1
+                tog_t[pos] = t
+                tog_s[pos] = subjects[j]
+            running = 0
+            offsets = counts
+            for b in range(len(counts)):
+                running += counts[b]
+                offsets[b] = running
+        self._tog_t = tog_t
+        self._tog_s = tog_s
+        self._tog_off = offsets
+        # Candidate-count schedule: one Poisson draw per bucket, consumed in
+        # bucket order from the dedicated counts stream — exactly the order
+        # the per-bucket sampler used, so the realization is unchanged and
+        # the numpy path can batch payer/payee index math across buckets.
+        nb = self._n_buckets
+        gap = self._cand_gap_mean
+        rndc = self._rng_counts.random
+        ccounts = [0] * nb
+        coff = [0] * (nb + 1)
+        running = 0
+        for b in range(nb):
+            cstart = b * qwidth
+            cend = cstart + qwidth
+            if cend > duration:
+                cend = duration
+            if cend > cstart:
+                c = _poisson(rndc, (cend - cstart) / gap)
+                ccounts[b] = c
+                running += c
+            coff[b + 1] = running
+        self._cand_counts = ccounts
+        self._cand_coff = coff
+        self._ck_b1 = 0
+        self._ck_lo = 0
+        self._ck_pr = None
+        self._ck_pe = None
 
     def run(self) -> SimResult:
         """Execute the configured run and return its metrics."""
         self._initialize()
         duration = self.config.duration
-        queue = self._queue
-        width = queue.width
-        for b in range(queue.n_buckets):
-            if b * width > duration:
-                break
-            if self._run_bucket(b, duration):
-                break
-            queue.buckets[b] = []
+        for b in range(self._n_buckets):
+            self._run_bucket(b, duration)
         self._fold_metrics()
         final = min(max(self._last_cand_t, self._last_queue_t), duration)
         self.now = final
         return SimResult(config=self.config, metrics=self.metrics, final_time=final)
 
-    def _run_bucket(self, b: int, duration: float) -> bool:
-        """Process one bucket; returns True when the horizon was crossed."""
-        queue = self._queue
-        entries = queue.buckets[b]
+    def _run_bucket(self, b: int, duration: float) -> None:
+        """Process one bucket of the precomputed schedule."""
+        off = self._tog_off
+        lo = off[b]
+        hi = off[b + 1]
+        npeers = self.config.n_peers
+        if hi > lo:
+            # This bucket's toggles/restarts, already time-sorted by
+            # ``_initialize`` (ties resolved there; see the sort comment).
+            ptimes = self._tog_t[lo:hi].tolist()
+            psubs = self._tog_s[lo:hi].tolist()
+        else:
+            ptimes = []
+            psubs = []
         dirty = self._dirty
-        for entry in entries:
-            if entry[1] == _TOGGLE:
-                dirty[entry[3]] = True
+        for s in psubs:
+            if s < npeers:
+                dirty[s] = True
+        # End-of-schedule sentinel: never fires (it loses every ``rt < ht``
+        # race once both are +inf and the candidate sentinel breaks first),
+        # but it lets the merge loops read ``ptimes[qi]`` unconditionally.
+        ptimes.append(math.inf)
+        psubs.append(npeers)
         dirty_np = self._dirty_np
         if dirty_np is not None and dirty:
             for x in dirty:
                 dirty_np[x] = 1
-        heapq.heapify(entries)
-        width = queue.width
+        width = self._width
         start = b * width
-        end = (b + 1) * width
+        end = start + width
         if end > duration:
             end = duration  # no candidates or renewals beyond the horizon
-        total, ct, cp, cq = self._sample_bucket(start, end, dirty)
+        total, ct, cp, cq = self._sample_bucket(b, start, end, dirty)
         self._cand_events += total
+        # Candidates drive the merge: the ``for`` loop iterates them at C
+        # speed in time order, draining the schedule events due first
+        # between consecutive candidates.  The +inf sentinel candidate
+        # drains whatever the bucket still holds past the last survivor.
+        # Every stored event is in-horizon by construction (``_initialize``
+        # drops the out-of-horizon tail), so no horizon check runs here.
+        ct.append(math.inf)
+        cp.append(-1)
+        cq.append(-1)
+        if self._plain:
+            self._merge_plain(ptimes, psubs, ct, cp, cq, end)
+        else:
+            self._merge_generic(ptimes, psubs, ct, cp, cq, end)
+        if dirty:
+            if dirty_np is not None:
+                for x in dirty:
+                    dirty_np[x] = 0
+            dirty.clear()
+
+    def _merge_plain(self, ptimes, psubs, ct, cp, cq, end: float) -> None:
+        """Merge loop specialized for the plain configuration.
+
+        Plain means policy I's method chain, proactive sync, no detection,
+        no per-peer tracking, and no broker restarts — the paper's Setup
+        A/B defaults.  Everything the generic machinery would do beyond the
+        counters is provably dead here, and the loop body says so inline:
+
+        * The owner check is a no-op (proactive) and per-payment tracking
+          is off, so payments update only the counters.
+        * One wallet scan serves both transfer methods: if no coin's owner
+          is online, *every* owner is offline, so the offline method's
+          first match is simply the first wallet coin.  The scan tries the
+          trailing coin first (a bare ``pop``, no shift — and with ~50%
+          availability it wins about half the time); other matches leave
+          by swap-remove.  Selection order is deterministic either way,
+          and wallet order was never part of the statistical contract.
+        * Per-coin dirty/check/retired/layer columns and the owned-coin
+          chain are never read (no deposit method → no retirement, no
+          detection → no checks, proactive → no lazy marks), so mints skip
+          those appends, renewals skip the staleness test, and rejoins
+          skip the owned-chain walk entirely.
+        * The renewal FIFO length is tracked in a local (``rn``): every
+          append site is inline in this loop, so the live ``len()`` reads
+          of the generic path collapse to integer bumps.
+        """
         online = self._online
         gate = self._gate
-        plain = self._plain
         wallets = self._wallets
         owner = self._c_owner
         holder = self._c_holder
-        retired = self._c_retired
-        c_dirty = self._c_dirty
         pending = self._pending
-        renewals = self._renewals
-        renewals_append = renewals.append
+        r_times = self._r_times
+        r_cids = self._r_cids
+        rh = self._r_head
+        rn = len(r_times)
+        rt_append = r_times.append
+        rc_append = r_cids.append
         renew_delay = self._renew_delay
-        ops = self._ops
-        attempt = self._attempt
-        heappop = heapq.heappop
-        heappush = heapq.heappush
         inf = math.inf
-        log = math.log
-        rng_toggle = self._rng_toggle.random
-        mean_on = self._mean_on
-        mean_off = self._mean_off
-        qwidth = queue.width
-        qlast = queue.n_buckets - 1
-        qbuckets = queue.buckets
-        seq = self._seq
         balance = self._balance
         coin_value = self._coin_value
-        owned_head = self._owned_head
-        onext = self._c_onext
         n_coins = self._n_coins
         ap_owner = self._ap_owner
         ap_holder = self._ap_holder
-        ap_dirty = self._ap_dirty
-        ap_check = self._ap_check
-        ap_retired = self._ap_retired
-        ap_layers = self._ap_layers
-        ap_onext = self._ap_onext
+        qi = 0
         qevents = 0
         fast_on = 0
         fast_off = 0
@@ -782,197 +978,148 @@ class FastSimulation:
         down_renewed = 0
         syncs = 0
         last_q = -1.0
-        stopped = False
-        ht = entries[0][0] if entries else inf
-        rt = renewals[0][0] if renewals else inf
+        ht = ptimes[0]
+        rt = r_times[rh] if rh < rn else inf
         if rt > end:
             rt = inf  # due in a later bucket
         next_t = ht if ht < rt else rt
-        # Candidates drive the merge: the ``for`` loop iterates them at C
-        # speed in time order, draining the queue events due first between
-        # consecutive candidates.  The +inf sentinel candidate drains
-        # whatever the queue holds past the last survivor; it is also the
-        # only point where a heap event can cross the horizon (in-loop
-        # drains pop only events earlier than an in-horizon candidate), so
-        # the hot path needs no ``stopped`` check.
-        ct.append(inf)
-        cp.append(0)
-        cq.append(-1)
         for t, p, q in zip(ct, cp, cq):
             if next_t < t:
                 while True:
                     if rt < ht:
-                        # Renewal due (ties go to the heap: _TOGGLE sorts
-                        # before _RENEWAL in the reference order).  Stale
-                        # entries for retired coins are dropped lazily;
-                        # wallet coins are always issued in this engine, so
-                        # no issued check is needed.
-                        time, cid = renewals.popleft()
-                        last_q = time
+                        # Renewal due (ties go to the toggle columns:
+                        # _TOGGLE sorts before _RENEWAL in the reference
+                        # order).
+                        cid = r_cids[rh]
+                        rh += 1
+                        last_q = rt
                         qevents += 1
-                        if not retired[cid]:
-                            h = holder[cid]
-                            if online[h]:
-                                if plain:
-                                    if online[owner[cid]]:
-                                        renewed += 1
-                                    else:
-                                        down_renewed += 1
-                                        c_dirty[cid] = 1
-                                    renewals_append((time + renew_delay, cid))
-                                else:
-                                    self.now = time
-                                    self._renew(cid)
+                        h = holder[cid]
+                        if online[h]:
+                            if online[owner[cid]]:
+                                renewed += 1
                             else:
-                                pend = pending.get(h)
-                                if pend is None:
-                                    pending[h] = [cid]
-                                else:
-                                    pend.append(cid)
-                        rt = renewals[0][0] if renewals else inf
+                                down_renewed += 1
+                            rt_append(rt + renew_delay)
+                            rc_append(cid)
+                            rn += 1
+                        else:
+                            pend = pending.get(h)
+                            if pend is None:
+                                pending[h] = [cid]
+                            else:
+                                pend.append(cid)
+                        rt = r_times[rh] if rh < rn else inf
                         if rt > end:
                             rt = inf
                     else:
-                        time, kind, _seq, subject = heappop(entries)
-                        if time > duration:
-                            stopped = True
-                            break
-                        last_q = time
+                        # Session toggle: a pure state flip — the next
+                        # toggle is already in the precomputed schedule,
+                        # and no restarts exist in plain mode.
+                        subject = psubs[qi]
+                        qi += 1
+                        last_q = ht
                         qevents += 1
-                        if kind == _TOGGLE:
-                            # Inline session toggle: flip, draw the next
-                            # toggle gap from the dedicated stream, and
-                            # route the next event straight into its bucket
-                            # (the firing subject is dirty by construction,
-                            # so a same-bucket push is safe).
-                            if online[subject]:
-                                online[subject] = 0
-                                gap = -log(1.0 - rng_toggle()) * mean_off[subject]
-                                rejoin = False
-                            else:
-                                online[subject] = 1
-                                gap = -log(1.0 - rng_toggle()) * mean_on[subject]
-                                rejoin = True
-                            nt = time + gap
-                            seq += 1
-                            index = int(nt / qwidth)
-                            if index > qlast:
-                                index = qlast
-                            if index <= b:
-                                heappush(entries, (nt, _TOGGLE, seq, subject))
-                            else:
-                                qbuckets[index].append((nt, _TOGGLE, seq, subject))
-                            if rejoin:
-                                if plain:
-                                    # Inline proactive rejoin: one sync
-                                    # clears the owned coins' dirty marks,
-                                    # then the pending renewals parked while
-                                    # this holder was offline replay.  No
-                                    # deposit method in the plain chain
-                                    # means no coin is ever retired, so
-                                    # neither the compaction branch nor the
-                                    # retired check of the generic
-                                    # ``_on_rejoin`` can fire.
-                                    syncs += 1
-                                    cid = owned_head[subject]
-                                    while cid >= 0:
-                                        c_dirty[cid] = 0
-                                        cid = onext[cid]
-                                    pend = pending.pop(subject, None)
-                                    if pend is not None:
-                                        rtime = time + renew_delay
-                                        for cid in pend:
-                                            if holder[cid] == subject:
-                                                if online[owner[cid]]:
-                                                    renewed += 1
-                                                else:
-                                                    down_renewed += 1
-                                                    c_dirty[cid] = 1
-                                                renewals_append((rtime, cid))
-                                else:
-                                    self.now = time
-                                    self._on_rejoin(subject)
-                                # The pending-renewal replay may have
-                                # repopulated an empty deque within this
-                                # bucket's span.
-                                rt = renewals[0][0] if renewals else inf
+                        if online[subject]:
+                            online[subject] = 0
+                        else:
+                            online[subject] = 1
+                            # Inline proactive rejoin: one sync, then the
+                            # pending renewals parked while this holder
+                            # was offline replay.
+                            syncs += 1
+                            pend = pending.pop(subject, None)
+                            if pend is not None:
+                                rtime = ht + renew_delay
+                                for cid in pend:
+                                    if holder[cid] == subject:
+                                        if online[owner[cid]]:
+                                            renewed += 1
+                                        else:
+                                            down_renewed += 1
+                                        rt_append(rtime)
+                                        rc_append(cid)
+                                        rn += 1
+                                # The replay may have repopulated an empty
+                                # FIFO within this bucket's span.
+                                rt = r_times[rh] if rh < rn else inf
                                 if rt > end:
                                     rt = inf
-                        else:
-                            self.now = time
-                            self._on_broker_restart()
-                        ht = entries[0][0] if entries else inf
+                        ht = ptimes[qi]
                     next_t = ht if ht < rt else rt
                     if next_t >= t:
                         break
             if q < 0:
-                break  # sentinel: queue fully drained (or horizon crossed)
-            if p < 0:
-                # Dirty-peer candidate: re-evaluate the thinning scalar at
-                # fire time (the sign is the status flag).
-                p = -1 - p
+                # One sign test covers both rare cases: the end-of-bucket
+                # sentinel (p < 0 too) and dirty-peer candidates, whose
+                # thinning re-evaluates scalar at fire time.
+                if p < 0:
+                    break  # sentinel: bucket fully drained
+                q = -1 - q
                 if not (online[q] and (online[p] or not gate)):
                     continue
-            if plain:
-                # Inline policy-I chain.  The owner check is a no-op
-                # (proactive) and per-payment tracking is off, so only the
-                # counters remain.  One scan serves both transfer methods:
-                # if no coin's owner is online, *every* owner is offline, so
-                # the offline method's first match is simply the first
-                # wallet coin.  Coin ids are unique, so ``remove`` drops
-                # exactly the matched position.  (Coin layers stay zero
-                # throughout — the plain chain has no layered method — so
-                # the transfers skip the generic path's layer reset.)
-                w = wallets[p]
-                for c in w:
-                    if online[owner[c]]:
-                        w.remove(c)
-                        holder[c] = q
-                        wallets[q].append(c)
-                        fast_on += 1
-                        break
+            w = wallets[p]
+            if w:
+                # Last-element fast path: with ~50% owner availability the
+                # tail coin matches half the time and its swap-remove is a
+                # bare pop.  Selection order is deterministic either way
+                # (wallet order is not part of the statistical contract).
+                c = w[-1]
+                if online[owner[c]]:
+                    w.pop()
+                    holder[c] = q
+                    wallets[q].append(c)
+                    fast_on += 1
                 else:
-                    if w:
+                    last = len(w) - 1
+                    for k in range(last):
+                        c = w[k]
+                        if online[owner[c]]:
+                            w[k] = w[last]
+                            w.pop()
+                            holder[c] = q
+                            wallets[q].append(c)
+                            fast_on += 1
+                            break
+                    else:
                         c = w[0]
-                        c_dirty[c] = 1
-                        w[0] = w[-1]
+                        w[0] = w[last]
                         w.pop()
                         holder[c] = q
                         wallets[q].append(c)
                         fast_off += 1
-                    else:
-                        # Purchase + issue (ISSUE_EXISTING can never match —
-                        # see ``_attempt``): mint the coin directly in its
-                        # post-issue state.
-                        bal = balance[p]
-                        if bal >= coin_value:
-                            balance[p] = bal - coin_value
-                            c = n_coins
-                            n_coins = c + 1
-                            ap_owner(p)
-                            ap_holder(q)
-                            ap_dirty(0)
-                            ap_check(0)
-                            ap_retired(0)
-                            ap_layers(0)
-                            ap_onext(owned_head[p])
-                            owned_head[p] = c
-                            wallets[q].append(c)
-                            renewals_append((t + renew_delay, c))
-                            fast_pur += 1
-                        else:
-                            fast_fail += 1
-                continue
-            self.now = t
-            attempt(p, q)
-        self._seq = seq
+            else:
+                # Purchase + issue (ISSUE_EXISTING can never match — see
+                # ``_attempt``): mint the coin directly in its post-issue
+                # state.
+                bal = balance[p]
+                if bal >= coin_value:
+                    balance[p] = bal - coin_value
+                    c = n_coins
+                    n_coins = c + 1
+                    ap_owner(p)
+                    ap_holder(q)
+                    wallets[q].append(c)
+                    rt_append(t + renew_delay)
+                    rc_append(c)
+                    rn += 1
+                    fast_pur += 1
+                else:
+                    fast_fail += 1
+        # Renewal-FIFO cursor write-back, with amortized compaction of the
+        # consumed prefix (O(1) per element over the run).
+        if rh and rh >= 1024 and rh * 2 >= rn:
+            del r_times[:rh]
+            del r_cids[:rh]
+            rh = 0
+        self._r_head = rh
         if last_q >= 0.0:
             self._last_queue_t = last_q
-        if plain:
-            # Only the inline chain mints through the local counter; in the
-            # generic mode ``_purchase_issue`` owns ``self._n_coins``.
-            self._n_coins = n_coins
+        # Only the inline chain mints through the local counter; in the
+        # generic mode ``_purchase_issue`` owns ``self._n_coins``.
+        self._n_coins = n_coins
         self._qevents += qevents
+        ops = self._ops
         made = fast_on + fast_off + fast_pur
         if made:
             self._made += made
@@ -996,12 +1143,105 @@ class FastSimulation:
             ops[_OP_DOWNTIME_RENEWAL] += down_renewed
         if syncs:
             ops[_OP_SYNC] += syncs
-        if dirty:
-            if dirty_np is not None:
-                for x in dirty:
-                    dirty_np[x] = 0
-            dirty.clear()
-        return stopped
+
+    def _merge_generic(self, ptimes, psubs, ct, cp, cq, end: float) -> None:
+        """Merge loop for every non-plain configuration.
+
+        Same drain structure as :meth:`_merge_plain`, but payments dispatch
+        through the generic ``_attempt`` method chain and renewals/rejoins
+        through the full bookkeeping methods (retirement staleness, lazy
+        marks, per-peer tracking, detection publishes, restarts).  The
+        renewal FIFO length is re-read live because the called methods
+        append to it out of the loop's sight.
+        """
+        online = self._online
+        gate = self._gate
+        npeers = self.config.n_peers
+        holder = self._c_holder
+        retired = self._c_retired
+        pending = self._pending
+        r_times = self._r_times
+        r_cids = self._r_cids
+        rh = self._r_head
+        attempt = self._attempt
+        inf = math.inf
+        qi = 0
+        qevents = 0
+        last_q = -1.0
+        ht = ptimes[0]
+        rt = r_times[rh] if rh < len(r_times) else inf
+        if rt > end:
+            rt = inf  # due in a later bucket
+        next_t = ht if ht < rt else rt
+        for t, p, q in zip(ct, cp, cq):
+            if next_t < t:
+                while True:
+                    if rt < ht:
+                        # Renewal due (ties go to the toggle columns).
+                        # Stale entries for retired coins are dropped
+                        # lazily; wallet coins are always issued in this
+                        # engine, so no issued check is needed.
+                        cid = r_cids[rh]
+                        rh += 1
+                        last_q = rt
+                        qevents += 1
+                        if not retired[cid]:
+                            h = holder[cid]
+                            if online[h]:
+                                self.now = rt
+                                self._renew(cid)
+                            else:
+                                pend = pending.get(h)
+                                if pend is None:
+                                    pending[h] = [cid]
+                                else:
+                                    pend.append(cid)
+                        rt = r_times[rh] if rh < len(r_times) else inf
+                        if rt > end:
+                            rt = inf
+                    else:
+                        subject = psubs[qi]
+                        qi += 1
+                        last_q = ht
+                        qevents += 1
+                        if subject < npeers:
+                            # Session toggle: a pure state flip — the next
+                            # toggle is already in the precomputed schedule.
+                            if online[subject]:
+                                online[subject] = 0
+                            else:
+                                online[subject] = 1
+                                self.now = ht
+                                self._on_rejoin(subject)
+                                # The pending-renewal replay may have
+                                # repopulated an empty FIFO within this
+                                # bucket's span.
+                                rt = r_times[rh] if rh < len(r_times) else inf
+                                if rt > end:
+                                    rt = inf
+                        else:
+                            self.now = ht
+                            self._on_broker_restart()
+                        ht = ptimes[qi]
+                    next_t = ht if ht < rt else rt
+                    if next_t >= t:
+                        break
+            if q < 0:
+                if p < 0:
+                    break  # sentinel: bucket fully drained
+                q = -1 - q
+                if not (online[q] and (online[p] or not gate)):
+                    continue
+            self.now = t
+            attempt(p, q)
+        if rh and rh >= 1024 and rh * 2 >= len(r_times):
+            del r_times[:rh]
+            del r_cids[:rh]
+            rh = 0
+        self._r_head = rh
+        if last_q >= 0.0:
+            self._last_queue_t = last_q
+        self._qevents += qevents
 
     # -- churn --------------------------------------------------------------
 
@@ -1056,8 +1296,9 @@ class FastSimulation:
 
     def _schedule_renewal(self, cid: int) -> None:
         # Every renewal is scheduled at ``now + 0.9 * renewal_period`` and
-        # ``now`` is monotone, so plain appends keep the deque time-sorted.
-        self._renewals.append((self.now + self._renew_delay, cid))
+        # ``now`` is monotone, so plain appends keep the columns time-sorted.
+        self._r_times.append(self.now + self._renew_delay)
+        self._r_cids.append(cid)
 
     def _renew(self, cid: int) -> None:
         owner = self._c_owner[cid]
@@ -1265,14 +1506,24 @@ class FastSimulation:
         metrics.events = self._cand_events + self._qevents
 
 
-def build_simulation(config: SimConfig, engine: str | None = "reference"):
-    """Build the requested engine: ``reference``, ``compat`` or ``fast``."""
-    if engine in (None, "", "reference"):
+def build_simulation(config: SimConfig, engine: str | None = None):
+    """Build the requested engine: ``fast``, ``reference`` or ``compat``.
+
+    ``None`` (or the empty string) resolves through the
+    ``WHOPAY_SIM_ENGINE`` environment override and then defaults to the
+    struct-of-arrays ``fast`` engine — the measurement engine for every
+    figure and benchmark.  ``reference`` (the original event loop) and
+    ``compat`` (its bit-identical calendar-queue port) survive as
+    equivalence oracles and must be requested explicitly.
+    """
+    if not engine:
+        engine = os.environ.get("WHOPAY_SIM_ENGINE") or "fast"
+    if engine == "fast":
+        return FastSimulation(config)
+    if engine == "reference":
         return Simulation(config)
     if engine == "compat":
         return EventSampledSimulation(config)
-    if engine == "fast":
-        return FastSimulation(config)
     raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
 
 

@@ -101,7 +101,7 @@ def generate_all(
     ``out_dir`` is given, also writes ``<figure>.csv`` per figure and a
     combined ``figures.txt`` report there.  ``engine`` selects the
     simulation engine (see :func:`repro.sim.engine.build_simulation`);
-    the default resolves to the reference engine.
+    the default resolves to the fast engine.
     """
     sweeps_a = {
         cfg: run_availability_sweep(_POLICIES[cfg[0]], cfg[1], small=small, engine=engine)

@@ -8,19 +8,25 @@ Sweep points are independent simulations, so the drivers can fan them out
 over a process pool (:func:`run_sweep_parallel`).  Determinism is preserved:
 every point carries its own seed inside its :class:`SimConfig`, workers
 share no state, and results are returned in submission order — the parallel
-path produces bit-identical rows to the sequential one.
+path produces bit-identical rows to the sequential one (modulo the
+wall-clock timing stamps, see below).
 
 Environment knobs (all optional):
 
 * ``WHOPAY_WORKERS`` — pool size (``auto``/empty → CPU count; malformed
   values warn and fall back instead of killing the sweep);
-* ``WHOPAY_SIM_ENGINE`` — default engine for sweep points (``reference``,
-  ``compat``, or ``fast``; see :mod:`repro.sim.engine`);
+* ``WHOPAY_SIM_ENGINE`` — default engine for sweep points (``fast``,
+  ``reference``, or ``compat``; see :mod:`repro.sim.engine`);
 * ``WHOPAY_CHUNK`` — ``pool.map`` chunksize override (default: spread
   points evenly at ~4 chunks per worker);
-* ``WHOPAY_PROFILE`` — directory for per-point cProfile dumps; also adds
-  ``wall_s`` / ``events_per_sec`` / ``peak_rss_kb`` timing columns to each
-  row.  Off by default so rows stay bit-identical run to run.
+* ``WHOPAY_PROFILE`` — directory for per-point cProfile dumps.
+
+Every row is stamped with its ``engine`` plus ``wall_s`` /
+``events_per_sec`` / ``peak_rss_kb`` timing columns, so committed figure
+artifacts are self-describing.  The timing columns are the only
+non-deterministic row entries — comparisons that want bit-identical rows
+strip :data:`TIMING_COLUMNS` first (the parallel runner's determinism
+contract is phrased modulo those columns).
 """
 
 from __future__ import annotations
@@ -39,9 +45,19 @@ from repro.sim.engine import build_simulation
 from repro.sim.policies import Policy
 
 
+#: Per-row wall-clock stamps — the only row entries that vary run to run.
+#: Strip these before bitwise row comparisons.
+TIMING_COLUMNS = ("wall_s", "events_per_sec", "peak_rss_kb")
+
+
+def strip_timing(row: dict[str, Any]) -> dict[str, Any]:
+    """A copy of ``row`` without :data:`TIMING_COLUMNS` (for bitwise compares)."""
+    return {k: v for k, v in row.items() if k not in TIMING_COLUMNS}
+
+
 def _resolve_engine(engine: str | None) -> str:
-    """Explicit argument, else the ``WHOPAY_SIM_ENGINE`` env, else reference."""
-    return engine or os.environ.get("WHOPAY_SIM_ENGINE") or "reference"
+    """Explicit argument, else the ``WHOPAY_SIM_ENGINE`` env, else fast."""
+    return engine or os.environ.get("WHOPAY_SIM_ENGINE") or "fast"
 
 
 def _peak_rss_kb() -> int | None:
@@ -56,18 +72,20 @@ def _peak_rss_kb() -> int | None:
 def run_one(config: SimConfig, engine: str | None = None) -> dict[str, Any]:
     """Run a single configuration and flatten its metrics into a row.
 
-    ``engine`` picks the simulation engine (default: the reference event
-    loop, overridable via ``WHOPAY_SIM_ENGINE``).  With ``WHOPAY_PROFILE``
-    set the point runs under cProfile, dumps its stats into that directory,
-    and the row gains wall-clock throughput columns; otherwise the row is a
-    pure function of the config.
+    ``engine`` picks the simulation engine (default: the fast
+    struct-of-arrays engine, overridable via ``WHOPAY_SIM_ENGINE``).
+    Every row carries ``engine`` plus the :data:`TIMING_COLUMNS` stamps;
+    everything else is a pure function of the config.  With
+    ``WHOPAY_PROFILE`` set the point additionally runs under cProfile and
+    dumps its stats into that directory.
     """
+    import time
+
     engine = _resolve_engine(engine)
     sim = build_simulation(config, engine)
     profile_dir = os.environ.get("WHOPAY_PROFILE")
     if profile_dir:
         import cProfile
-        import time
 
         prof = cProfile.Profile()
         start = time.perf_counter()  # wp-lint: disable=WP102
@@ -83,8 +101,9 @@ def run_one(config: SimConfig, engine: str | None = None) -> dict[str, Any]:
             )
         )
     else:
+        start = time.perf_counter()  # wp-lint: disable=WP102
         result = sim.run()
-        wall = None
+        wall = time.perf_counter() - start  # wp-lint: disable=WP102
     metrics = result.metrics
     row: dict[str, Any] = {
         "engine": engine,
@@ -114,10 +133,9 @@ def run_one(config: SimConfig, engine: str | None = None) -> dict[str, Any]:
         row[f"broker_shard{shard}_cpu"] = load
     for op, avg in metrics.peer_op_counts_avg().items():
         row[f"peer_avg_{op}"] = avg
-    if wall is not None:
-        row["wall_s"] = wall
-        row["events_per_sec"] = metrics.events / wall if wall > 0 else 0.0
-        row["peak_rss_kb"] = _peak_rss_kb()
+    row["wall_s"] = wall
+    row["events_per_sec"] = metrics.events / wall if wall > 0 else 0.0
+    row["peak_rss_kb"] = _peak_rss_kb()
     return row
 
 
@@ -202,7 +220,8 @@ def run_sweep_parallel(
 
     Returns exactly what ``[run_one(c, engine) for c in configs]`` would:
     each point is seeded by its config and workers share no state, so rows
-    are bit-identical to the sequential runner's.  With one config (or one
+    are bit-identical to the sequential runner's modulo the wall-clock
+    :data:`TIMING_COLUMNS` stamps.  With one config (or one
     worker available and one config) the pool is skipped entirely.  Points
     ship to workers in chunks (see :func:`_default_chunksize`) so short
     sweep points don't pay one IPC round-trip each.

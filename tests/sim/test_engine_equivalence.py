@@ -34,8 +34,11 @@ from repro.core.clock import DAY, HOUR
 from repro.sim.config import SimConfig
 from repro.sim.engine import (
     ENGINES,
+    MAX_BUCKETS,
+    MIN_BUCKETS,
     EventSampledSimulation,
     FastSimulation,
+    bucket_count,
     build_simulation,
 )
 from repro.sim.policies import (
@@ -73,6 +76,30 @@ VARIANTS = {
     "lossy-links": dict(message_loss=0.1),
     "detection": dict(detection=True),
     "broker-restarts": dict(broker_restarts=2),
+    # Cross-products of the knobs the figure campaign actually combines —
+    # the default-engine flip routes every figure/ablation sweep through
+    # the fast engine, so the equivalence gate covers the combinations,
+    # not just each knob alone.
+    "detection-powerlaw": dict(detection=True, heterogeneity="powerlaw"),
+    "detection-lazy": dict(detection=True, sync_mode="lazy"),
+    "detection-restarts": dict(detection=True, broker_restarts=2),
+    "lazy-restarts-lossy": dict(
+        sync_mode="lazy", broker_restarts=2, message_loss=0.1
+    ),
+    "layered-lazy-detection": dict(
+        policy=POLICY_I_LAYERED, max_layers=4, sync_mode="lazy", detection=True
+    ),
+    "powerlaw-superpeer-lossy": dict(
+        heterogeneity="powerlaw",
+        superpeer_max_availability=0.9,
+        message_loss=0.1,
+    ),
+    "detection-layered-powerlaw": dict(
+        detection=True,
+        policy=POLICY_I_LAYERED,
+        max_layers=3,
+        heterogeneity="powerlaw",
+    ),
 }
 
 
@@ -88,13 +115,50 @@ class TestBuildSimulation:
     def test_engine_names(self):
         assert ENGINES == ("reference", "compat", "fast")
         assert type(build_simulation(cfg(), "reference")) is Simulation
-        assert type(build_simulation(cfg(), None)) is Simulation
         assert type(build_simulation(cfg(), "compat")) is EventSampledSimulation
         assert type(build_simulation(cfg(), "fast")) is FastSimulation
 
-    def test_unknown_engine_rejected(self):
+    def test_default_is_fast(self, monkeypatch):
+        monkeypatch.delenv("WHOPAY_SIM_ENGINE", raising=False)
+        assert type(build_simulation(cfg())) is FastSimulation
+        assert type(build_simulation(cfg(), None)) is FastSimulation
+        assert type(build_simulation(cfg(), "")) is FastSimulation
+
+    def test_env_override_applies_when_unspecified(self, monkeypatch):
+        monkeypatch.setenv("WHOPAY_SIM_ENGINE", "reference")
+        assert type(build_simulation(cfg())) is Simulation
+        assert type(build_simulation(cfg(), "")) is Simulation
+
+    def test_explicit_engine_beats_env(self, monkeypatch):
+        monkeypatch.setenv("WHOPAY_SIM_ENGINE", "compat")
+        assert type(build_simulation(cfg(), "fast")) is FastSimulation
+
+    def test_unknown_engine_rejected(self, monkeypatch):
         with pytest.raises(ValueError, match="unknown engine"):
             build_simulation(cfg(), "turbo")
+        # A bogus env value surfaces the same way instead of silently
+        # falling back.
+        monkeypatch.setenv("WHOPAY_SIM_ENGINE", "warp")
+        with pytest.raises(ValueError, match="unknown engine"):
+            build_simulation(cfg())
+
+
+class TestBucketCount:
+    """The shared calendar sizing rule (compat queue and fast engine)."""
+
+    def test_targets_per_bucket_density(self):
+        assert bucket_count(256_000, per_bucket=256) == 1002
+
+    def test_floor_for_tiny_runs(self):
+        assert bucket_count(0) == MIN_BUCKETS
+        assert bucket_count(100) == MIN_BUCKETS
+
+    def test_ceiling_for_huge_runs(self):
+        assert bucket_count(10**12) == MAX_BUCKETS
+
+    def test_monotone_in_event_count(self):
+        counts = [bucket_count(float(n)) for n in (0, 10**3, 10**5, 10**7, 10**9)]
+        assert counts == sorted(counts)
 
 
 class TestCompatBitIdentical:
